@@ -1,0 +1,142 @@
+(* bench/main — regenerates every table and figure of the paper's
+   evaluation (§4), then runs bechamel microbenchmarks of the CM's hot
+   paths.
+
+   Set CM_BENCH_FULL=1 for the long variants (10^6-buffer Fig. 4/5 point,
+   200k-packet Fig. 6); set CM_BENCH_SEED to change the seed. *)
+
+open Cm_util
+
+let params =
+  let seed =
+    match Sys.getenv_opt "CM_BENCH_SEED" with Some s -> int_of_string s | None -> 42
+  in
+  let full = Sys.getenv_opt "CM_BENCH_FULL" = Some "1" in
+  { Experiments.Exp_common.seed; full }
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+
+let run_experiments () =
+  print_endline "=====================================================================";
+  print_endline " Congestion Manager reproduction: every table and figure (paper sec 4)";
+  print_endline "=====================================================================";
+  timed "fig3" (fun () -> Experiments.Fig3.print (Experiments.Fig3.run params));
+  timed "fig4+fig5" (fun () -> Experiments.Fig4_5.print (Experiments.Fig4_5.run params));
+  timed "fig6" (fun () -> Experiments.Fig6.print (Experiments.Fig6.run params));
+  timed "table1" (fun () -> Experiments.Fig6.print_table1 (Experiments.Fig6.run_table1 params));
+  timed "fig7" (fun () -> Experiments.Fig7.print (Experiments.Fig7.run params));
+  timed "fig8" (fun () -> Experiments.Fig8_10.print (Experiments.Fig8_10.run_fig8 params));
+  timed "fig9" (fun () -> Experiments.Fig8_10.print (Experiments.Fig8_10.run_fig9 params));
+  timed "fig10" (fun () -> Experiments.Fig8_10.print (Experiments.Fig8_10.run_fig10 params));
+  timed "micro" (fun () -> Experiments.Micro.print (Experiments.Micro.run params));
+  timed "ablation_sched" (fun () ->
+      Experiments.Ablations.print_scheduler (Experiments.Ablations.run_scheduler params));
+  timed "ablation_ctrl" (fun () ->
+      Experiments.Ablations.print_controller (Experiments.Ablations.run_controller params));
+  timed "ablation_share" (fun () ->
+      Experiments.Ablations.print_sharing (Experiments.Ablations.run_sharing params));
+  timed "sec6_phttp" (fun () ->
+      Experiments.Sec6_phttp.print (Experiments.Sec6_phttp.run params));
+  timed "ext_cmproto" (fun () ->
+      Experiments.Ext_cmproto.print (Experiments.Ext_cmproto.run params));
+  timed "content_adapt" (fun () ->
+      Experiments.Content_adapt.print (Experiments.Content_adapt.run params));
+  timed "ext_merge" (fun () ->
+      Experiments.Ext_merge.print (Experiments.Ext_merge.run params));
+  timed "ablation_fairness" (fun () ->
+      Experiments.Ablations.print_fairness (Experiments.Ablations.run_fairness params))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: wall-clock cost of the implementation's hot
+   paths on this machine. *)
+
+open Bechamel
+open Toolkit
+
+let bench_cm_transaction () =
+  (* one full request -> grant -> notify -> update cycle *)
+  let engine = Eventsim.Engine.create () in
+  let cm = Cm.create engine ~mtu:1448 () in
+  let key =
+    Netsim.Addr.flow
+      ~src:(Netsim.Addr.endpoint ~host:0 ~port:100)
+      ~dst:(Netsim.Addr.endpoint ~host:1 ~port:200)
+      ~proto:Netsim.Addr.Udp ()
+  in
+  let fid = Cm.open_flow cm key in
+  Cm.register_send cm fid (fun fid ->
+      Cm.notify cm fid ~nbytes:1448;
+      Cm.update cm fid ~nsent:1448 ~nrecd:1448 ~loss:Cm.Cm_types.No_loss ~rtt:(Cm_util.Time.ms 10) ());
+  Staged.stage (fun () ->
+      Cm.request cm fid;
+      (* bounded: the macroflow's periodic maintenance timer means the
+         event queue never fully drains *)
+      Eventsim.Engine.run_for engine (Cm_util.Time.us 10))
+
+let bench_engine_event () =
+  let engine = Eventsim.Engine.create () in
+  Staged.stage (fun () ->
+      ignore (Eventsim.Engine.schedule_after engine 10 (fun () -> ()));
+      ignore (Eventsim.Engine.step engine))
+
+let bench_heap () =
+  let h = Heap.create () in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      ignore (Heap.insert h ~prio:(!i land 1023) !i);
+      ignore (Heap.extract_min h))
+
+let bench_scheduler () =
+  let s = Cm.Scheduler.round_robin () in
+  Staged.stage (fun () ->
+      s.Cm.Scheduler.enqueue 1;
+      s.Cm.Scheduler.enqueue 2;
+      ignore (s.Cm.Scheduler.dequeue ());
+      ignore (s.Cm.Scheduler.dequeue ()))
+
+let bench_controller () =
+  let c = Cm.Controller.aimd () ~mtu:1448 in
+  Staged.stage (fun () ->
+      c.Cm.Controller.on_ack ~nbytes:1448;
+      if c.Cm.Controller.cwnd () > 1 lsl 20 then c.Cm.Controller.on_loss Cm.Cm_types.Persistent)
+
+let bench_rto () =
+  let r = Tcp.Rto.create () in
+  Staged.stage (fun () ->
+      Tcp.Rto.observe r (Cm_util.Time.ms 50);
+      ignore (Tcp.Rto.rto r))
+
+let tests =
+  Test.make_grouped ~name:"hot-paths" ~fmt:"%s %s"
+    [
+      Test.make ~name:"cm request/grant/notify/update" (bench_cm_transaction ());
+      Test.make ~name:"engine schedule+step" (bench_engine_event ());
+      Test.make ~name:"heap insert+extract" (bench_heap ());
+      Test.make ~name:"rr scheduler cycle" (bench_scheduler ());
+      Test.make ~name:"aimd on_ack" (bench_controller ());
+      Test.make ~name:"rto observe" (bench_rto ());
+    ]
+
+let run_microbenchmarks () =
+  print_endline "";
+  print_endline "== Bechamel microbenchmarks: implementation hot paths (this machine) ==";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Printf.printf "%-44s %10.1f ns/op\n" name est
+      | _ -> Printf.printf "%-44s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
+
+let () =
+  run_experiments ();
+  run_microbenchmarks ()

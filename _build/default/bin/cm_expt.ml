@@ -1,0 +1,82 @@
+(* cm_expt — command-line runner for the paper-reproduction experiments.
+
+   One subcommand per table/figure (fig3 … fig10, table1), plus the §4.1
+   microbenchmark and the three ablation benches, plus [all]. *)
+
+open Cmdliner
+
+let params seed full = { Experiments.Exp_common.seed; full }
+
+let seed_arg =
+  let doc = "Seed for every random number generator (runs are deterministic)." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let full_arg =
+  let doc =
+    "Run the long variants (e.g. the 10^6-buffer point of Figs. 4-5 and the 200k-packet Fig. 6)."
+  in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let run_fig3 p = Experiments.Fig3.print (Experiments.Fig3.run p)
+let run_fig4_5 p = Experiments.Fig4_5.print (Experiments.Fig4_5.run p)
+let run_fig6 p = Experiments.Fig6.print (Experiments.Fig6.run p)
+let run_table1 p = Experiments.Fig6.print_table1 (Experiments.Fig6.run_table1 p)
+let run_fig7 p = Experiments.Fig7.print (Experiments.Fig7.run p)
+let run_fig8 p = Experiments.Fig8_10.print (Experiments.Fig8_10.run_fig8 p)
+let run_fig9 p = Experiments.Fig8_10.print (Experiments.Fig8_10.run_fig9 p)
+let run_fig10 p = Experiments.Fig8_10.print (Experiments.Fig8_10.run_fig10 p)
+let run_micro p = Experiments.Micro.print (Experiments.Micro.run p)
+
+let run_abl_sched p =
+  Experiments.Ablations.print_scheduler (Experiments.Ablations.run_scheduler p)
+
+let run_abl_ctrl p =
+  Experiments.Ablations.print_controller (Experiments.Ablations.run_controller p)
+
+let run_abl_share p = Experiments.Ablations.print_sharing (Experiments.Ablations.run_sharing p)
+let run_phttp p = Experiments.Sec6_phttp.print (Experiments.Sec6_phttp.run p)
+let run_cmproto p = Experiments.Ext_cmproto.print (Experiments.Ext_cmproto.run p)
+let run_content p = Experiments.Content_adapt.print (Experiments.Content_adapt.run p)
+let run_merge p = Experiments.Ext_merge.print (Experiments.Ext_merge.run p)
+let run_fair p = Experiments.Ablations.print_fairness (Experiments.Ablations.run_fairness p)
+
+let experiments =
+  [
+    ("fig3", "Throughput vs loss: TCP/CM vs TCP/Linux", run_fig3);
+    ("fig4", "100 Mbps throughput vs buffers transmitted (also prints Fig. 5)", run_fig4_5);
+    ("fig5", "Sender CPU utilization vs buffers transmitted (also prints Fig. 4)", run_fig4_5);
+    ("fig6", "Per-packet API overhead vs packet size", run_fig6);
+    ("table1", "Boundary crossings per packet per API", run_table1);
+    ("fig7", "Sequential fetches: congestion-state sharing", run_fig7);
+    ("fig8", "ALF layered streaming over a varying path", run_fig8);
+    ("fig9", "Rate-callback layered streaming", run_fig9);
+    ("fig10", "Rate callback with delayed feedback", run_fig10);
+    ("micro", "Connection-establishment microbenchmark", run_micro);
+    ("ablation_sched", "Round-robin vs weighted scheduler", run_abl_sched);
+    ("ablation_ctrl", "AIMD vs binomial controllers", run_abl_ctrl);
+    ("ablation_share", "Independent vs shared congestion state", run_abl_share);
+    ("phttp", "Sec. 6: P-HTTP multiplexing vs CM concurrent connections", run_phttp);
+    ("cmproto", "Extension: CM protocol (kernel feedback) vs app feedback", run_cmproto);
+    ("content", "Content adaptation: fixed vs cm_query-chosen encodings", run_content);
+    ("merge", "Extension: merged macroflows behind a shared bottleneck", run_merge);
+    ("ablation_fairness", "Jain fairness across flow ensembles", run_fair);
+  ]
+
+let make_cmd (name, doc, runner) =
+  let action seed full = runner (params seed full) in
+  Cmd.v (Cmd.info name ~doc) Term.(const action $ seed_arg $ full_arg)
+
+let all_cmd =
+  let doc = "Run every experiment in order." in
+  let action seed full =
+    let p = params seed full in
+    List.iter (fun (_, _, runner) -> runner p)
+      (List.filter (fun (n, _, _) -> n <> "fig5") experiments)
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const action $ seed_arg $ full_arg)
+
+let () =
+  let doc = "Reproduce the Congestion Manager paper's tables and figures" in
+  let info = Cmd.info "cm_expt" ~version:"1.0" ~doc in
+  let group = Cmd.group info (all_cmd :: List.map make_cmd experiments) in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/cm_protocol.ml: Addr Cm Cm_util Cmproto Engine Eventsim Format Netsim Packet Time Timer Topology Udp

@@ -1,0 +1,1 @@
+examples/cm_protocol.mli:

@@ -1,0 +1,1 @@
+examples/layered_streaming.ml: Addr Cm Cm_apps Cm_util Engine Eventsim Format Libcm Netsim Time Timer Topology Udp

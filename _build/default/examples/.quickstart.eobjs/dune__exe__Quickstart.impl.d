@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Cm Cm_util Engine Eventsim Format Netsim Packet Time Topology Udp

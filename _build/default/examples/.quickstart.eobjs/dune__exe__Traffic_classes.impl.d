@@ -1,0 +1,1 @@
+examples/traffic_classes.ml: Addr Cm Cm_util Engine Eventsim Format List Netsim Time Timer Topology Udp

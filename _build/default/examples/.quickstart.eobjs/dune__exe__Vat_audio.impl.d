@@ -1,0 +1,1 @@
+examples/vat_audio.ml: Addr Cm Cm_apps Cm_util Engine Eventsim Format Libcm Netsim Stats Time Timer Topology

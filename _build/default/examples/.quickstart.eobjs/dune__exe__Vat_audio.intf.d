@@ -1,0 +1,1 @@
+examples/vat_audio.mli:

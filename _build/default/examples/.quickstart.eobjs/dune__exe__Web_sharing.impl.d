@@ -1,0 +1,1 @@
+examples/web_sharing.ml: Addr Cm Cm_apps Cm_util Engine Eventsim Format List Netsim Tcp Time Topology

@@ -1,0 +1,1 @@
+lib/apps/bulk.ml: Addr Cm_util Cpu Engine Eventsim Host Netsim Stdlib Tcp Time Timer Udp

@@ -1,0 +1,1 @@
+lib/apps/bulk.mli: Cm Cm_util Host Netsim Tcp Time

@@ -1,0 +1,1 @@
+lib/apps/layered.ml: Addr Array Cm Cm_util Engine Eventsim Float Host Libcm Netsim Packet Stdlib Time Timeline Timer Udp

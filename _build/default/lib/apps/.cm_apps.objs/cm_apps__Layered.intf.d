@@ -1,0 +1,1 @@
+lib/apps/layered.mli: Addr Cm Cm_util Host Libcm Netsim Time Timeline

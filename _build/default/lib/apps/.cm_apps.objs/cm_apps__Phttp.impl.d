@@ -1,0 +1,1 @@
+lib/apps/phttp.ml: Addr Array Cm_util Engine Eventsim Float Host Netsim Tcp Time

@@ -1,0 +1,1 @@
+lib/apps/phttp.mli: Cm Host Netsim Tcp

@@ -1,0 +1,1 @@
+lib/apps/vat.ml: Addr Byte_queue Cm Cm_util Engine Eventsim Float Host Libcm Netsim Packet Stats Time Timeline Timer Udp

@@ -1,0 +1,1 @@
+lib/apps/vat.mli: Addr Cm_util Host Libcm Netsim Stats Time Timeline

@@ -1,0 +1,1 @@
+lib/apps/web.ml: Array Cm Cm_util Engine Eventsim Fun Host List Netsim Tcp Time

@@ -1,0 +1,1 @@
+lib/apps/web.mli: Addr Cm Cm_util Host Netsim Tcp Time

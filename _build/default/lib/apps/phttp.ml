@@ -1,0 +1,83 @@
+open Cm_util
+open Eventsim
+open Netsim
+
+type result = {
+  object_ms : float array;
+  first_chunk_ms : float array; (* time to each object's first 8 KB *)
+  total_ms : float;
+}
+
+let chunk_bytes = 8 * 1024
+
+let phttp_transfer ~src ~dst_host ~port ~objects ~object_bytes
+    ?(config = Tcp.Conn.default_config) ~on_done () =
+  let engine = Host.engine src in
+  let t0 = Engine.now engine in
+  let object_ms = Array.make objects nan in
+  let first_chunk_ms = Array.make objects nan in
+  let received = ref 0 in
+  let finished = ref 0 in
+  let _listener =
+    Tcp.Conn.listen dst_host ~port ~config
+      ~on_accept:(fun conn ->
+        Tcp.Conn.on_receive conn (fun n ->
+            received := !received + n;
+            let now_ms = Time.to_float_ms (Time.diff (Engine.now engine) t0) in
+            (* in-order byte stream: object i's bytes only become available
+               once everything before them has arrived — the coupling
+               under test *)
+            Array.iteri
+              (fun i v ->
+                if Float.is_nan v && !received >= (i * object_bytes) + chunk_bytes then
+                  first_chunk_ms.(i) <- now_ms)
+              first_chunk_ms;
+            while
+              !finished < objects && !received >= (!finished + 1) * object_bytes
+            do
+              object_ms.(!finished) <- now_ms;
+              incr finished;
+              if !finished = objects then
+                on_done { object_ms; first_chunk_ms; total_ms = now_ms }
+            done))
+      ()
+  in
+  let conn = Tcp.Conn.connect src ~dst:(Addr.endpoint ~host:(Host.id dst_host) ~port) ~config () in
+  (* all objects are available immediately and sent back to back *)
+  Tcp.Conn.send conn (objects * object_bytes);
+  Tcp.Conn.close conn
+
+let cm_transfer ~src ~dst_host ~base_port ~cm ~objects ~object_bytes
+    ?(config = Tcp.Conn.default_config) ~on_done () =
+  let engine = Host.engine src in
+  let t0 = Engine.now engine in
+  let object_ms = Array.make objects nan in
+  let first_chunk_ms = Array.make objects nan in
+  let finished = ref 0 in
+  for i = 0 to objects - 1 do
+    let port = base_port + i in
+    let received = ref 0 in
+    let _listener =
+      Tcp.Conn.listen dst_host ~port ~config
+        ~on_accept:(fun conn ->
+          Tcp.Conn.on_receive conn (fun n ->
+              received := !received + n;
+              let now_ms = Time.to_float_ms (Time.diff (Engine.now engine) t0) in
+              if Float.is_nan first_chunk_ms.(i) && !received >= chunk_bytes then
+                first_chunk_ms.(i) <- now_ms;
+              if !received >= object_bytes && Float.is_nan object_ms.(i) then begin
+                object_ms.(i) <- now_ms;
+                incr finished;
+                if !finished = objects then
+                  on_done { object_ms; first_chunk_ms; total_ms = now_ms }
+              end))
+        ()
+    in
+    let conn =
+      Tcp.Conn.connect src
+        ~dst:(Addr.endpoint ~host:(Host.id dst_host) ~port)
+        ~driver:(Tcp.Conn.Cm_driven cm) ~config ()
+    in
+    Tcp.Conn.send conn object_bytes;
+    Tcp.Conn.close conn
+  done

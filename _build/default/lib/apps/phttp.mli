@@ -1,0 +1,57 @@
+(** Persistent-connection HTTP–style multiplexing (paper §6).
+
+    The paper's related-work argument against application-level
+    multiplexing (P-HTTP, SCP, MUX): putting logically independent
+    streams on one TCP connection couples them — "if packets belonging to
+    one stream are lost, another stream could stall even if none of its
+    packets are lost because of the in-order 'linear' delivery forced by
+    TCP".  The CM's answer is concurrent connections that {e share
+    congestion state} instead of sharing a byte stream.
+
+    This module implements both sides of that comparison:
+
+    - {!phttp_transfer}: [n] logical objects sent back-to-back over one
+      TCP connection (serialized, like HTTP/1.1 pipelining);
+    - {!cm_transfer}: the same objects over [n] concurrent TCP/CM
+      connections sharing one macroflow.
+
+    Each returns per-object completion times, so head-of-line coupling is
+    directly visible. *)
+
+open Netsim
+
+type result = {
+  object_ms : float array;  (** Completion time of each logical object, ms. *)
+  first_chunk_ms : float array;
+      (** Time until each object's first 8 KB was deliverable — the
+          progressive-rendering / parallelism-of-downloads metric. *)
+  total_ms : float;  (** Time until every object completed. *)
+}
+
+val phttp_transfer :
+  src:Host.t ->
+  dst_host:Host.t ->
+  port:int ->
+  objects:int ->
+  object_bytes:int ->
+  ?config:Tcp.Conn.config ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit
+(** Send [objects] objects of [object_bytes] each, serialized over one
+    TCP connection.  Object [i] completes when the receiver has
+    [(i+1)·object_bytes] in-order bytes. *)
+
+val cm_transfer :
+  src:Host.t ->
+  dst_host:Host.t ->
+  base_port:int ->
+  cm:Cm.t ->
+  objects:int ->
+  object_bytes:int ->
+  ?config:Tcp.Conn.config ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit
+(** Send the same objects over [objects] concurrent TCP/CM connections
+    (ports [base_port … base_port+objects-1]), all in one macroflow. *)

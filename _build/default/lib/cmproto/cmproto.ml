@@ -1,0 +1,264 @@
+open Cm_util
+open Eventsim
+open Netsim
+
+let header_bytes = 8
+
+type Packet.payload +=
+  | Data of { seq : int; ts : Time.t; inner : Packet.payload }
+  | Feedback of {
+      data_flow : Addr.flow;
+      max_seq : int;
+      count : int;
+      bytes : int;
+      ts_echo : Time.t;
+    }
+
+let unwrap = function Data { inner; _ } -> inner | p -> p
+
+(* feedback packets travel host-to-host on a reserved flow; they are
+   consumed by the sender agent's receive filter and never demultiplexed *)
+let feedback_flow ~from_host ~to_host =
+  Addr.flow
+    ~src:(Addr.endpoint ~host:from_host ~port:0)
+    ~dst:(Addr.endpoint ~host:to_host ~port:0)
+    ~proto:Addr.Udp ()
+
+let feedback_wire_bytes = 40
+
+(* ------------------------------------------------------------------ *)
+
+module Receiver_agent = struct
+  type flow_state = {
+    mutable pending_count : int;
+    mutable pending_bytes : int;
+    mutable max_seq : int;
+    mutable ts_latest : Time.t;
+    timer : Timer.t;
+  }
+
+  type t = {
+    host : Host.t;
+    ack_every : int;
+    max_delay : Time.span;
+    flows : flow_state Addr.Flow_table.t;
+    mutable feedback_sent : int;
+    mutable data_seen : int;
+  }
+
+  let flush t data_flow st =
+    if st.pending_count > 0 then begin
+      let pkt =
+        Packet.make
+          ~now:(Engine.now (Host.engine t.host))
+          ~flow:(feedback_flow ~from_host:(Host.id t.host) ~to_host:data_flow.Addr.src.Addr.host)
+          ~payload_bytes:feedback_wire_bytes
+          (Feedback
+             {
+               data_flow;
+               max_seq = st.max_seq;
+               count = st.pending_count;
+               bytes = st.pending_bytes;
+               ts_echo = st.ts_latest;
+             })
+      in
+      st.pending_count <- 0;
+      st.pending_bytes <- 0;
+      Timer.stop st.timer;
+      t.feedback_sent <- t.feedback_sent + 1;
+      Host.ip_output t.host pkt
+    end
+
+  let state_for t data_flow =
+    match Addr.Flow_table.find_opt t.flows data_flow with
+    | Some st -> st
+    | None ->
+        let rec st =
+          lazy
+            {
+              pending_count = 0;
+              pending_bytes = 0;
+              max_seq = -1;
+              ts_latest = 0;
+              timer =
+                Timer.create (Host.engine t.host) ~callback:(fun () ->
+                    flush t data_flow (Lazy.force st));
+            }
+        in
+        let st = Lazy.force st in
+        Addr.Flow_table.replace t.flows data_flow st;
+        st
+
+  let on_data t pkt ~seq ~ts ~inner =
+    t.data_seen <- t.data_seen + 1;
+    let data_flow = pkt.Packet.flow in
+    let st = state_for t data_flow in
+    st.pending_count <- st.pending_count + 1;
+    (* byte counts are in CM-charged payload units (header included), so
+       feedback resolves exactly what cm_notify charged *)
+    st.pending_bytes <- st.pending_bytes + Packet.payload_bytes pkt;
+    if seq > st.max_seq then st.max_seq <- seq;
+    st.ts_latest <- ts;
+    if st.pending_count >= t.ack_every then flush t data_flow st
+    else if not (Timer.is_running st.timer) then Timer.start st.timer t.max_delay;
+    (* hand the unwrapped packet to the unmodified application *)
+    Some { pkt with Packet.payload = inner }
+
+  let install host ?(ack_every = 2) ?(max_delay = Time.ms 100) () =
+    if ack_every <= 0 then invalid_arg "Receiver_agent.install: ack_every must be positive";
+    let t =
+      {
+        host;
+        ack_every;
+        max_delay;
+        flows = Addr.Flow_table.create 16;
+        feedback_sent = 0;
+        data_seen = 0;
+      }
+    in
+    Host.add_rx_filter host (fun pkt ->
+        match pkt.Packet.payload with
+        | Data { seq; ts; inner } -> on_data t pkt ~seq ~ts ~inner
+        | _ -> Some pkt);
+    t
+
+  let feedback_sent t = t.feedback_sent
+  let data_seen t = t.data_seen
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Sender_agent = struct
+  type t = {
+    cm : Cm.t;
+    handlers :
+      (Cm.Cm_types.flow_id, max_seq:int -> count:int -> bytes:int -> ts_echo:Time.t -> unit)
+      Hashtbl.t;
+    mutable feedback_received : int;
+    mutable orphan : int;
+  }
+
+  let install host cm =
+    let t = { cm; handlers = Hashtbl.create 16; feedback_received = 0; orphan = 0 } in
+    Host.add_rx_filter host (fun pkt ->
+        match pkt.Packet.payload with
+        | Feedback { data_flow; max_seq; count; bytes; ts_echo } ->
+            t.feedback_received <- t.feedback_received + 1;
+            (match Cm.lookup t.cm data_flow with
+            | Some fid -> (
+                match Hashtbl.find_opt t.handlers fid with
+                | Some handler -> handler ~max_seq ~count ~bytes ~ts_echo
+                | None -> t.orphan <- t.orphan + 1)
+            | None -> t.orphan <- t.orphan + 1);
+            None (* consumed: applications never see CM feedback *)
+        | _ -> Some pkt);
+    t
+
+  let register t fid handler = Hashtbl.replace t.handlers fid handler
+  let unregister t fid = Hashtbl.remove t.handlers fid
+  let feedback_received t = t.feedback_received
+  let orphan_feedback t = t.orphan
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type t = {
+    agent : Sender_agent.t;
+    host : Host.t;
+    cm : Cm.t;
+    socket : Udp.Socket.t;
+    fid : Cm.Cm_types.flow_id;
+    ledger : Udp.Feedback.Sender.t;
+    queue : int Byte_queue.t;
+    queue_limit : int;
+    mutable sent_pkts : int;
+    mutable sent_bytes : int;
+    mutable requests_outstanding : int;
+    mutable open_ : bool;
+  }
+
+  let sync_requests t =
+    let want = Stdlib.min (Byte_queue.length t.queue) 256 in
+    while t.requests_outstanding < want do
+      t.requests_outstanding <- t.requests_outstanding + 1;
+      Cm.request t.cm t.fid
+    done
+
+  let on_grant t _fid =
+    t.requests_outstanding <- Stdlib.max 0 (t.requests_outstanding - 1);
+    match Byte_queue.pop t.queue with
+    | None -> Cm.notify t.cm t.fid ~nbytes:0
+    | Some bytes ->
+        let now = Engine.now (Host.engine t.host) in
+        let seq = Udp.Feedback.Sender.on_transmit t.ledger ~bytes:(bytes + header_bytes) in
+        t.sent_pkts <- t.sent_pkts + 1;
+        t.sent_bytes <- t.sent_bytes + bytes;
+        Udp.Socket.send t.socket
+          ~payload_bytes:(bytes + header_bytes)
+          (Data { seq; ts = now; inner = Packet.Raw bytes })
+
+  let create agent ~host ~cm ~dst ?(dscp = 0) ?port ?(queue_limit_pkts = 128) () =
+    let socket = Udp.Socket.create host ~dscp ?port () in
+    Udp.Socket.connect socket dst;
+    let key = Addr.flow ~dscp ~src:(Udp.Socket.local socket) ~dst ~proto:Addr.Udp () in
+    let fid = Cm.open_flow cm key in
+    let t_ref = ref None in
+    let ledger =
+      Udp.Feedback.Sender.create (Host.engine host)
+        ~on_report:(fun r ->
+          match !t_ref with
+          | Some t when t.open_ ->
+              Cm.update cm fid ~nsent:r.Udp.Feedback.nsent ~nrecd:r.Udp.Feedback.nrecd
+                ~loss:r.Udp.Feedback.loss ?rtt:r.Udp.Feedback.rtt ()
+          | _ -> ())
+        ()
+    in
+    let t =
+      {
+        agent;
+        host;
+        cm;
+        socket;
+        fid;
+        ledger;
+        queue = Byte_queue.create ();
+        queue_limit = queue_limit_pkts;
+        sent_pkts = 0;
+        sent_bytes = 0;
+        requests_outstanding = 0;
+        open_ = true;
+      }
+    in
+    t_ref := Some t;
+    Cm.register_send cm fid (fun fid -> on_grant t fid);
+    Sender_agent.register agent fid (fun ~max_seq ~count ~bytes ~ts_echo ->
+        Udp.Feedback.Sender.on_ack t.ledger ~max_seq ~count ~bytes ~ts_echo);
+    t
+
+  let send t bytes =
+    if not t.open_ then invalid_arg "Cmproto.Session.send: session closed";
+    let mtu = Cm.mtu t.cm t.fid - header_bytes in
+    if bytes <= 0 || bytes > mtu then
+      invalid_arg (Printf.sprintf "Cmproto.Session.send: payload must be in (0, %d]" mtu);
+    if Byte_queue.length t.queue < t.queue_limit then begin
+      Byte_queue.push t.queue ~size:bytes bytes;
+      sync_requests t
+    end
+
+  let queued t = Byte_queue.length t.queue
+  let packets_sent t = t.sent_pkts
+  let bytes_sent t = t.sent_bytes
+  let unresolved_packets t = Udp.Feedback.Sender.outstanding_packets t.ledger
+  let flow t = t.fid
+
+  let close t =
+    if t.open_ then begin
+      t.open_ <- false;
+      Udp.Feedback.Sender.shutdown t.ledger;
+      Sender_agent.unregister t.agent t.fid;
+      Cm.close_flow t.cm t.fid;
+      Udp.Socket.close t.socket;
+      Byte_queue.clear t.queue
+    end
+end

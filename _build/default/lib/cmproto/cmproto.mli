@@ -1,0 +1,120 @@
+(** The Congestion Manager protocol (receiver-side CM feedback).
+
+    The paper's implementation deliberately changes nothing at the
+    receiver, so every UDP application must implement its own
+    acknowledgments (§3.1) and pay user-space feedback costs (§4.2).  Its
+    Limitations section points at the alternative from the original CM
+    architecture paper \[3\]: a kernel-to-kernel {e CM protocol} where the
+    receiving host's CM acknowledges on the applications' behalf — "but
+    remains to be studied".  This library studies it.
+
+    Mechanics: the sending CM prepends a small header (sequence number,
+    timestamp) to each data packet of participating flows; the receiving
+    host's {!Receiver_agent} strips the header before the packet reaches
+    the (unmodified) application and periodically sends aggregate
+    feedback — highest sequence, packets/bytes received, timestamp echo —
+    back to the sending host's {!Sender_agent}, which turns it into
+    [cm_update] calls.  Applications send and receive exactly as without
+    the CM: no acknowledgment code, no recv/gettimeofday/update crossings.
+
+    The [ext_cmproto] experiment quantifies the saving against the
+    paper's buffered (application-feedback) API. *)
+
+open Cm_util
+open Netsim
+
+val header_bytes : int
+(** Wire overhead added to each data packet (8 bytes: sequence +
+    compressed timestamp). *)
+
+type Packet.payload +=
+  | Data of { seq : int; ts : Time.t; inner : Packet.payload }
+        (** A data packet wrapped with the CM header. *)
+  | Feedback of {
+      data_flow : Addr.flow;  (** The (sender-side) flow being acknowledged. *)
+      max_seq : int;
+      count : int;
+      bytes : int;
+      ts_echo : Time.t;
+    }  (** Receiver-CM feedback for one flow. *)
+
+(** Receiving host: strips CM headers, generates feedback. *)
+module Receiver_agent : sig
+  type t
+  (** One per receiving host. *)
+
+  val install : Host.t -> ?ack_every:int -> ?max_delay:Time.span -> unit -> t
+  (** Register the agent's receive filter on the host.  Feedback for a
+      flow is emitted after [ack_every] data packets (default 2, like
+      delayed acks) or [max_delay] after the first unacknowledged packet
+      (default 100 ms). *)
+
+  val feedback_sent : t -> int
+  (** Feedback packets emitted. *)
+
+  val data_seen : t -> int
+  (** CM-wrapped data packets processed. *)
+end
+
+(** Sending host: consumes feedback, drives [cm_update]. *)
+module Sender_agent : sig
+  type t
+  (** One per sending host (requires the host's CM). *)
+
+  val install : Host.t -> Cm.t -> t
+  (** Register the agent's receive filter; feedback packets are consumed
+      here and never reach applications. *)
+
+  val feedback_received : t -> int
+  (** Feedback packets consumed. *)
+
+  val orphan_feedback : t -> int
+  (** Feedback for flows that are no longer open. *)
+end
+
+(** A congestion-controlled, CM-protocol-acknowledged datagram session —
+    the buffered API of §3.3 with kernel-to-kernel feedback instead of
+    application acknowledgments. *)
+module Session : sig
+  type t
+  (** A session bound to one destination. *)
+
+  val create :
+    Sender_agent.t ->
+    host:Host.t ->
+    cm:Cm.t ->
+    dst:Addr.endpoint ->
+    ?dscp:int ->
+    ?port:int ->
+    ?queue_limit_pkts:int ->
+    unit ->
+    t
+  (** Open a CM flow to [dst] whose transmissions carry CM headers and
+      whose feedback arrives via the agents. *)
+
+  val send : t -> int -> unit
+  (** Queue one datagram (paced by CM grants, like
+      {!Udp.Cc_socket.send}). *)
+
+  val queued : t -> int
+  (** Datagrams awaiting grants. *)
+
+  val packets_sent : t -> int
+  (** Datagrams transmitted. *)
+
+  val bytes_sent : t -> int
+  (** Payload bytes transmitted (excluding the CM header). *)
+
+  val unresolved_packets : t -> int
+  (** Transmitted datagrams not yet covered by feedback. *)
+
+  val flow : t -> Cm.Cm_types.flow_id
+  (** The backing CM flow. *)
+
+  val close : t -> unit
+  (** Release the CM flow and socket. *)
+end
+
+val unwrap : Packet.payload -> Packet.payload
+(** [unwrap p] is the inner payload if [p] is CM-wrapped, else [p]
+    (useful in tests and custom receivers). *)

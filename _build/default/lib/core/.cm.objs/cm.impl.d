@@ -1,0 +1,1 @@
+lib/core/cm.ml: Addr Cm_types Cm_util Controller Costs Cpu Engine Eventsim Format Hashtbl Host List Macroflow Netsim Packet Printf Scheduler Stdlib Time

@@ -1,0 +1,1 @@
+lib/core/cm.mli: Addr Cm_types Cm_util Controller Engine Eventsim Format Host Macroflow Netsim Scheduler Time

@@ -1,0 +1,1 @@
+lib/core/cm_types.ml: Cm_util Format Time

@@ -1,0 +1,1 @@
+lib/core/cm_types.mli: Cm_util Format Time

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Cm_types Cm_util Float Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/macroflow.ml: Cm_types Cm_util Controller Engine Eventsim Ewma Float Logs Queue Scheduler Sim_log Stdlib Time Timer

@@ -1,0 +1,1 @@
+lib/core/macroflow.mli: Cm_types Cm_util Controller Engine Eventsim Scheduler Time

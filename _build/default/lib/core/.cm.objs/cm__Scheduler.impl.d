@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Cm_types Float Hashtbl Option Queue

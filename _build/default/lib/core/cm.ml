@@ -1,0 +1,348 @@
+open Cm_util
+open Netsim
+open Eventsim
+
+(* Re-export the library's public submodules so that users see
+   [Cm.Controller], [Cm.Scheduler], [Cm.Macroflow] and [Cm.Cm_types]. *)
+module Cm_types = Cm_types
+module Controller = Controller
+module Scheduler = Scheduler
+module Macroflow = Macroflow
+
+type flow = {
+  fid : Cm_types.flow_id;
+  key : Addr.flow;
+  mutable mf : Macroflow.t;
+  mutable send_cb : (Cm_types.flow_id -> unit) option;
+  mutable update_cb : (Cm_types.status -> unit) option;
+  mutable thresh_down : float;
+  mutable thresh_up : float;
+  mutable last_reported_rate : float;
+  mutable update_pending : bool;
+  mutable open_ : bool;
+}
+
+type counters = {
+  opens : int;
+  closes : int;
+  requests : int;
+  grants : int;
+  updates : int;
+  notifies : int;
+  declined_grants : int;
+}
+
+type aggregation = By_destination | By_destination_and_dscp
+
+(* macroflow aggregation key: destination host — "all flows destined to the
+   same end host take the same path in the common case" (§2) — plus,
+   optionally, the differentiated-services codepoint: under diffserv,
+   flows to one host with different service classes no longer share a
+   bottleneck fate (§5) *)
+type mf_key = int * int
+
+type t = {
+  engine : Engine.t;
+  mtu : int;
+  aggregation : aggregation;
+  controller : Controller.factory;
+  scheduler : Scheduler.factory;
+  grant_reclaim_after : Time.span option;
+  idle_restart : Time.span option;
+  flows_by_id : (Cm_types.flow_id, flow) Hashtbl.t;
+  flows_by_key : Cm_types.flow_id Addr.Flow_table.t;
+  default_mf : (mf_key, Macroflow.t) Hashtbl.t; (* per-destination macroflows *)
+  mf_members : (int, int) Hashtbl.t; (* macroflow id -> member count *)
+  mutable next_fid : int;
+  mutable next_mfid : int;
+  mutable c_opens : int;
+  mutable c_closes : int;
+  mutable c_requests : int;
+  mutable c_grants : int;
+  mutable c_updates : int;
+  mutable c_notifies : int;
+  mutable c_declined : int;
+}
+
+let create engine ?(mtu = 1448) ?(aggregation = By_destination)
+    ?(controller = Controller.aimd ()) ?(scheduler = Scheduler.round_robin)
+    ?grant_reclaim_after ?idle_restart () =
+  {
+    engine;
+    mtu;
+    aggregation;
+    controller;
+    scheduler;
+    grant_reclaim_after;
+    idle_restart;
+    flows_by_id = Hashtbl.create 64;
+    flows_by_key = Addr.Flow_table.create 64;
+    default_mf = Hashtbl.create 16;
+    mf_members = Hashtbl.create 16;
+    next_fid = 1;
+    next_mfid = 1;
+    c_opens = 0;
+    c_closes = 0;
+    c_requests = 0;
+    c_grants = 0;
+    c_updates = 0;
+    c_notifies = 0;
+    c_declined = 0;
+  }
+
+let engine t = t.engine
+
+let get_flow t fid =
+  match Hashtbl.find_opt t.flows_by_id fid with
+  | Some fl when fl.open_ -> fl
+  | _ -> invalid_arg (Printf.sprintf "Cm: unknown or closed flow %d" fid)
+
+(* ---- rate-change callbacks ------------------------------------------- *)
+
+let flow_rate fl =
+  let members = Stdlib.max 1 (Macroflow.members fl.mf) in
+  Macroflow.rate_bps fl.mf /. float_of_int members
+
+let flow_status fl =
+  let st = Macroflow.status fl.mf in
+  { st with Cm_types.rate_bps = flow_rate fl }
+
+let check_rate_callbacks t mf_id =
+  let consider _ fl =
+    if fl.open_ && Macroflow.id fl.mf = mf_id then begin
+      match fl.update_cb with
+      | None -> ()
+      | Some cb ->
+          let rate = flow_rate fl in
+          let last = fl.last_reported_rate in
+          let crossed =
+            last <= 0.
+            || rate <= last *. fl.thresh_down
+            || rate >= last *. fl.thresh_up
+          in
+          if crossed && rate > 0. && not fl.update_pending then begin
+            fl.update_pending <- true;
+            ignore
+              (Engine.schedule_after t.engine 0 (fun () ->
+                   fl.update_pending <- false;
+                   if fl.open_ then begin
+                     fl.last_reported_rate <- flow_rate fl;
+                     cb (flow_status fl)
+                   end))
+          end
+    end
+  in
+  Hashtbl.iter consider t.flows_by_id
+
+(* ---- grant dispatch --------------------------------------------------- *)
+
+let deliver_grant t fid =
+  t.c_grants <- t.c_grants + 1;
+  match Hashtbl.find_opt t.flows_by_id fid with
+  | Some fl when fl.open_ -> (
+      match fl.send_cb with
+      | Some cb -> cb fid
+      | None ->
+          t.c_declined <- t.c_declined + 1;
+          Macroflow.notify fl.mf ~nbytes:0)
+  | _ ->
+      t.c_declined <- t.c_declined + 1
+
+(* ---- macroflow lifecycle ---------------------------------------------- *)
+
+let new_macroflow t =
+  let mfid = t.next_mfid in
+  t.next_mfid <- t.next_mfid + 1;
+  let mf =
+    Macroflow.create t.engine ~id:mfid ~mtu:t.mtu ~controller:t.controller
+      ~scheduler:t.scheduler
+      ~deliver_grant:(fun fid -> deliver_grant t fid)
+      ~on_state_change:(fun () -> ())
+      ?grant_reclaim_after:t.grant_reclaim_after ?idle_restart:t.idle_restart ()
+  in
+  mf
+
+let mf_key_of t (key : Addr.flow) : mf_key =
+  ( key.Addr.dst.Addr.host,
+    match t.aggregation with By_destination -> 0 | By_destination_and_dscp -> key.Addr.dscp )
+
+let macroflow_for_key t k =
+  match Hashtbl.find_opt t.default_mf k with
+  | Some mf -> mf
+  | None ->
+      let mf = new_macroflow t in
+      Hashtbl.replace t.default_mf k mf;
+      mf
+
+let drop_membership t mf =
+  let mfid = Macroflow.id mf in
+  let members = Macroflow.members mf in
+  (* Per-destination macroflows persist after their last flow closes: the
+     congestion state they hold is exactly what lets a subsequent
+     connection to the same host skip slow start (paper §4.3, Fig. 7).
+     Only detached (split-off) macroflows are discarded when empty. *)
+  let is_default =
+    Hashtbl.fold (fun _ m acc -> acc || Macroflow.id m = mfid) t.default_mf false
+  in
+  if members = 0 && not is_default then begin
+    Macroflow.shutdown mf;
+    Hashtbl.remove t.mf_members mfid
+  end
+
+(* ---- public API -------------------------------------------------------- *)
+
+let open_flow t key =
+  if Addr.Flow_table.mem t.flows_by_key key then
+    invalid_arg (Format.asprintf "Cm.open_flow: %a already open" Addr.pp_flow key);
+  let fid = t.next_fid in
+  t.next_fid <- t.next_fid + 1;
+  let mf = macroflow_for_key t (mf_key_of t key) in
+  Macroflow.add_member mf;
+  let fl =
+    {
+      fid;
+      key;
+      mf;
+      send_cb = None;
+      update_cb = None;
+      thresh_down = 0.5;
+      thresh_up = 2.0;
+      last_reported_rate = 0.;
+      update_pending = false;
+      open_ = true;
+    }
+  in
+  Hashtbl.replace t.flows_by_id fid fl;
+  Addr.Flow_table.replace t.flows_by_key key fid;
+  t.c_opens <- t.c_opens + 1;
+  fid
+
+let close_flow t fid =
+  let fl = get_flow t fid in
+  fl.open_ <- false;
+  Macroflow.detach_flow fl.mf fid;
+  Addr.Flow_table.remove t.flows_by_key fl.key;
+  Hashtbl.remove t.flows_by_id fid;
+  t.c_closes <- t.c_closes + 1;
+  drop_membership t fl.mf
+
+let mtu t fid =
+  let _fl = get_flow t fid in
+  t.mtu
+
+let register_send t fid cb =
+  let fl = get_flow t fid in
+  fl.send_cb <- Some cb
+
+let register_update t fid cb =
+  let fl = get_flow t fid in
+  fl.update_cb <- Some cb
+
+let set_thresh t fid ~down ~up =
+  if not (down > 0. && down < 1. && up > 1.) then
+    invalid_arg "Cm.set_thresh: need 0 < down < 1 < up";
+  let fl = get_flow t fid in
+  fl.thresh_down <- down;
+  fl.thresh_up <- up
+
+let request t fid =
+  let fl = get_flow t fid in
+  t.c_requests <- t.c_requests + 1;
+  Macroflow.request fl.mf fid
+
+let update t fid ~nsent ~nrecd ~loss ?rtt () =
+  let fl = get_flow t fid in
+  t.c_updates <- t.c_updates + 1;
+  Macroflow.update fl.mf ~nsent ~nrecd ~loss ~rtt;
+  check_rate_callbacks t (Macroflow.id fl.mf)
+
+let notify t fid ~nbytes =
+  let fl = get_flow t fid in
+  t.c_notifies <- t.c_notifies + 1;
+  Macroflow.notify fl.mf ~nbytes
+
+let query t fid =
+  let fl = get_flow t fid in
+  flow_status fl
+
+let bulk_request t fids = List.iter (request t) fids
+
+let bulk_update t entries =
+  List.iter (fun (fid, nsent, nrecd, loss, rtt) -> update t fid ~nsent ~nrecd ~loss ?rtt ())
+    entries
+
+let macroflow_id t fid = Macroflow.id (get_flow t fid).mf
+
+let move_flow t fl target_mf =
+  let old_mf = fl.mf in
+  if Macroflow.id old_mf <> Macroflow.id target_mf then begin
+    (* carry this flow's pending requests over to the new macroflow *)
+    let requests_to_move = Macroflow.pending_for_flow old_mf fl.fid in
+    Macroflow.detach_flow old_mf fl.fid;
+    fl.mf <- target_mf;
+    Macroflow.add_member target_mf;
+    for _ = 1 to requests_to_move do
+      Macroflow.request target_mf fl.fid
+    done;
+    drop_membership t old_mf
+  end
+
+let split t fid =
+  let fl = get_flow t fid in
+  let mf = new_macroflow t in
+  move_flow t fl mf
+
+let merge t fid ~into =
+  let fl = get_flow t fid in
+  let target = get_flow t into in
+  move_flow t fl target.mf
+
+let set_weight t fid w =
+  let fl = get_flow t fid in
+  Macroflow.set_weight fl.mf fid w
+
+let lookup t key = Addr.Flow_table.find_opt t.flows_by_key key
+let flow_key t fid = (get_flow t fid).key
+
+let flows t =
+  Hashtbl.fold (fun fid _ acc -> fid :: acc) t.flows_by_id [] |> List.sort Stdlib.compare
+
+let macroflow_of t fid = (get_flow t fid).mf
+
+let attach t host =
+  Host.add_tx_hook host (fun pkt ->
+      match Addr.Flow_table.find_opt t.flows_by_key pkt.Packet.flow with
+      | Some fid ->
+          let nbytes = Packet.payload_bytes pkt in
+          if nbytes > 0 then begin
+            Cpu.charge (Host.cpu host) (Host.costs host).Costs.cm_op;
+            notify t fid ~nbytes
+          end
+      | None -> ())
+
+let counters t =
+  {
+    opens = t.c_opens;
+    closes = t.c_closes;
+    requests = t.c_requests;
+    grants = t.c_grants;
+    updates = t.c_updates;
+    notifies = t.c_notifies;
+    declined_grants = t.c_declined;
+  }
+
+let pp_summary fmt t =
+  let c = counters t in
+  Format.fprintf fmt "CM: %d open flows, %d macroflows@." (Hashtbl.length t.flows_by_id)
+    (Hashtbl.length t.default_mf);
+  Format.fprintf fmt "  api: %d opens, %d requests, %d grants (%d declined), %d updates, %d notifies@."
+    c.opens c.requests c.grants c.declined_grants c.updates c.notifies;
+  Hashtbl.iter
+    (fun _ fl ->
+      let mf = fl.mf in
+      Format.fprintf fmt "  flow %d (%a): macroflow %d cwnd=%d out=%d srtt=%s@." fl.fid
+        Addr.pp_flow fl.key (Macroflow.id mf) (Macroflow.cwnd mf) (Macroflow.outstanding mf)
+        (match Macroflow.srtt mf with
+        | Some s -> Format.asprintf "%a" Time.pp s
+        | None -> "-"))
+    t.flows_by_id

@@ -1,0 +1,183 @@
+(** The Congestion Manager.
+
+    The paper's end-system module: maintains a flow table, aggregates
+    flows into per-destination macroflows, and exposes the adaptation API
+    (§2.1).  The function names map onto the paper's C API:
+
+    - [open_flow] / [close_flow] — [cm_open] / [cm_close]
+    - [mtu] — [cm_mtu]
+    - [request] — [cm_request] (grant arrives via the registered
+      [cmapp_send] callback)
+    - [register_send] — [cm_register_send]
+    - [register_update] / [set_thresh] — [cm_register_update] / [cm_thresh]
+    - [update] — [cm_update]
+    - [notify] — [cm_notify] (invoked automatically from the IP output
+      hook once the CM is {!attach}ed to a host)
+    - [query] — [cm_query]
+    - [split] / [merge] — macroflow construction and splitting
+    - [bulk_request] / [bulk_update] — the §5 batching optimization
+
+    In-kernel clients (TCP, congestion-controlled UDP) call these functions
+    directly; user-space clients go through [Libcm], which adds the
+    control-socket machinery and its costs. *)
+
+open Cm_util
+open Netsim
+open Eventsim
+
+module Cm_types : module type of Cm_types
+(** Shared types ({!Cm_types.status}, {!Cm_types.loss_mode}, …). *)
+
+module Controller : module type of Controller
+(** Congestion controllers (AIMD, binomial family). *)
+
+module Scheduler : module type of Scheduler
+(** Flow schedulers (round-robin, weighted). *)
+
+module Macroflow : module type of Macroflow
+(** Macroflow internals (stats, window accounting). *)
+
+type t
+(** A CM instance (one per sending host). *)
+
+type aggregation =
+  | By_destination
+      (** The paper's default: all flows to one host share a macroflow. *)
+  | By_destination_and_dscp
+      (** §5's differentiated-services refinement: flows to one host with
+          different DSCPs receive different network service, so they get
+          separate macroflows. *)
+
+val create :
+  Engine.t ->
+  ?mtu:int ->
+  ?aggregation:aggregation ->
+  ?controller:Controller.factory ->
+  ?scheduler:Scheduler.factory ->
+  ?grant_reclaim_after:Time.span ->
+  ?idle_restart:Time.span ->
+  unit ->
+  t
+(** [create eng ()] builds a CM.  [mtu] is the usable payload per packet
+    (default 1448, Ethernet 1500 minus simulated headers); [aggregation]
+    defaults to {!By_destination}; [controller] defaults to
+    {!Controller.aimd} with an initial window of one MTU; [scheduler]
+    defaults to {!Scheduler.round_robin}.  [idle_restart] enables
+    slow-start restart after that much idle time (off by default: the
+    persistence is what Fig. 7 exploits). *)
+
+val attach : t -> Host.t -> unit
+(** Install the CM's transmit hook on the host's IP output path, so every
+    outgoing packet belonging to a CM flow is charged via [notify]
+    automatically (paper §2.1.3).  The hook charges payload bytes; pure
+    control packets (zero payload) are not charged. *)
+
+val engine : t -> Engine.t
+(** The engine this CM schedules callbacks on. *)
+
+val open_flow : t -> Addr.flow -> Cm_types.flow_id
+(** [cm_open]: allocate a flow for the 5-tuple and place it in the
+    macroflow for its destination host (creating one if needed).
+    Raises [Invalid_argument] if the 5-tuple is already open. *)
+
+val close_flow : t -> Cm_types.flow_id -> unit
+(** [cm_close]: release the flow; its macroflow is destroyed when the last
+    member closes.  Closing an unknown flow raises [Invalid_argument]. *)
+
+val mtu : t -> Cm_types.flow_id -> int
+(** [cm_mtu]: usable payload bytes per transmission for this flow. *)
+
+val register_send : t -> Cm_types.flow_id -> (Cm_types.flow_id -> unit) -> unit
+(** [cm_register_send]: set the [cmapp_send] callback.  Each invocation is
+    a grant to transmit up to one MTU on the given flow. *)
+
+val register_update : t -> Cm_types.flow_id -> (Cm_types.status -> unit) -> unit
+(** [cm_register_update]: set the [cmapp_update] rate callback. *)
+
+val set_thresh : t -> Cm_types.flow_id -> down:float -> up:float -> unit
+(** [cm_thresh]: fire the update callback when the flow's rate estimate
+    falls below [down ×] or rises above [up ×] the last reported rate.
+    Defaults are 0.5 / 2.0.  Requires [0 < down < 1 < up]. *)
+
+val request : t -> Cm_types.flow_id -> unit
+(** [cm_request]: one implicit request to send up to an MTU.  The grant
+    arrives asynchronously through the [register_send] callback. *)
+
+val update :
+  t ->
+  Cm_types.flow_id ->
+  nsent:int ->
+  nrecd:int ->
+  loss:Cm_types.loss_mode ->
+  ?rtt:Time.span ->
+  unit ->
+  unit
+(** [cm_update]: feedback from the flow's receiver — [nsent] payload bytes
+    resolved, of which [nrecd] arrived; [loss] classifies congestion;
+    [rtt] is a fresh RTT sample if available. *)
+
+val notify : t -> Cm_types.flow_id -> nbytes:int -> unit
+(** [cm_notify]: [nbytes] payload bytes of this flow were handed to the
+    network ([0] relinquishes an unused grant).  Called automatically by
+    the {!attach} hook; clients that decline a grant call it explicitly
+    with [~nbytes:0]. *)
+
+val query : t -> Cm_types.flow_id -> Cm_types.status
+(** [cm_query]: current per-flow network state estimate.  The macroflow
+    rate is divided evenly among member flows (round-robin sharing). *)
+
+val bulk_request : t -> Cm_types.flow_id list -> unit
+(** Batched [cm_request] (one call, many flows — §5 optimization). *)
+
+val bulk_update :
+  t ->
+  (Cm_types.flow_id * int * int * Cm_types.loss_mode * Time.span option) list ->
+  unit
+(** Batched [cm_update]: [(flow, nsent, nrecd, loss, rtt)] tuples. *)
+
+val macroflow_id : t -> Cm_types.flow_id -> int
+(** Identifier of the macroflow the flow currently belongs to. *)
+
+val split : t -> Cm_types.flow_id -> unit
+(** Move the flow into a fresh macroflow of its own (fresh congestion
+    state) — macroflow splitting for flows that should not share state,
+    e.g. under differentiated services (§5). *)
+
+val merge : t -> Cm_types.flow_id -> into:Cm_types.flow_id -> unit
+(** Move the first flow into the macroflow of [into] (macroflow
+    construction).  Pending requests are re-queued in the new macroflow. *)
+
+val set_weight : t -> Cm_types.flow_id -> float -> unit
+(** Scheduler weight of the flow within its macroflow (only meaningful
+    with a weighted scheduler). *)
+
+val lookup : t -> Addr.flow -> Cm_types.flow_id option
+(** The flow id registered for a 5-tuple, if any (the "well-defined CM
+    interface" the IP layer uses, §2.1.3). *)
+
+val flow_key : t -> Cm_types.flow_id -> Addr.flow
+(** The 5-tuple of an open flow. *)
+
+val flows : t -> Cm_types.flow_id list
+(** All open flows (ascending id). *)
+
+val macroflow_of : t -> Cm_types.flow_id -> Macroflow.t
+(** The flow's macroflow (stats and tests; treat as read-only). *)
+
+type counters = {
+  opens : int;
+  closes : int;
+  requests : int;
+  grants : int;
+  updates : int;
+  notifies : int;
+  declined_grants : int;  (** Grants whose flow had vanished or had no callback. *)
+}
+(** Cumulative API-usage counters. *)
+
+val counters : t -> counters
+(** Snapshot of the counters. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Render a diagnostic snapshot: open flows, macroflows, window state and
+    API counters. *)

@@ -1,0 +1,29 @@
+open Cm_util
+
+type flow_id = int
+type loss_mode = No_loss | Ecn_echo | Transient | Persistent
+
+type status = {
+  rate_bps : float;
+  srtt : Time.span option;
+  rttvar : Time.span option;
+  loss_rate : float;
+  cwnd : int;
+  mtu : int;
+}
+
+let pp_loss_mode fmt m =
+  Format.pp_print_string fmt
+    (match m with
+    | No_loss -> "No_loss"
+    | Ecn_echo -> "Ecn_echo"
+    | Transient -> "Transient"
+    | Persistent -> "Persistent")
+
+let pp_status fmt s =
+  let pp_span fmt = function
+    | None -> Format.pp_print_string fmt "-"
+    | Some v -> Time.pp fmt v
+  in
+  Format.fprintf fmt "rate=%.0fbps srtt=%a loss=%.4f cwnd=%d" s.rate_bps pp_span s.srtt
+    s.loss_rate s.cwnd

@@ -1,0 +1,36 @@
+(** Shared Congestion Manager types.
+
+    Conventions: every byte count handed to or returned by the CM is
+    {e transport payload bytes} (what sequence numbers count), not wire
+    bytes.  The MTU reported by the CM is likewise the usable payload per
+    packet. *)
+
+open Cm_util
+
+type flow_id = int
+(** Handle returned by [cm_open]; used in every subsequent call. *)
+
+type loss_mode =
+  | No_loss  (** Feedback reports progress only. *)
+  | Ecn_echo  (** Congestion signaled by ECN marks (RFC 2481), no drop. *)
+  | Transient  (** Isolated loss within a window (e.g. TCP triple dupack). *)
+  | Persistent
+      (** Serious, sustained loss (e.g. TCP retransmission timeout);
+          the paper's [CM_LOST_FEEDBACK]. *)
+
+type status = {
+  rate_bps : float;  (** Estimated per-flow sustainable rate, payload bits/s. *)
+  srtt : Time.span option;  (** Smoothed round-trip time, if any sample yet. *)
+  rttvar : Time.span option;  (** RTT mean deviation. *)
+  loss_rate : float;  (** Smoothed fraction of bytes lost. *)
+  cwnd : int;  (** Macroflow congestion window, payload bytes. *)
+  mtu : int;  (** Usable payload bytes per packet. *)
+}
+(** Network-state snapshot returned by [cm_query] and passed to
+    [cmapp_update] callbacks. *)
+
+val pp_loss_mode : Format.formatter -> loss_mode -> unit
+(** Render the constructor name. *)
+
+val pp_status : Format.formatter -> status -> unit
+(** One-line rendering for traces. *)

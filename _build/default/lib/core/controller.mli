@@ -1,0 +1,62 @@
+(** Pluggable congestion controllers.
+
+    The CM's controller decides the macroflow congestion window.  The
+    default is the paper's TCP-compatible window AIMD with slow start and
+    byte counting (§2, §4).  The record-of-closures representation is the
+    paper's "modularity … encourages experimentation with other non-AIMD
+    schemes": the binomial family (Bansal & Balakrishnan) is provided for
+    the ablation benches. *)
+
+type t = {
+  name : string;
+  cwnd : unit -> int;  (** Current window, payload bytes (≥ 1 MTU). *)
+  ssthresh : unit -> int;  (** Slow-start threshold, payload bytes. *)
+  in_slow_start : unit -> bool;  (** Whether the next ack grows the window exponentially. *)
+  on_ack : nbytes:int -> unit;  (** [nbytes] payload bytes were received by the peer. *)
+  on_loss : Cm_types.loss_mode -> unit;
+      (** A congestion event of the given severity occurred.  Callers
+          gate reporting to at most one event per window/RTT, as TCP
+          does. *)
+  reset : unit -> unit;  (** Return to the initial (post-open) state. *)
+}
+(** A controller instance, private to one macroflow. *)
+
+type factory = mtu:int -> t
+(** Builds a fresh controller for a macroflow with the given payload MTU. *)
+
+val aimd : ?initial_window_pkts:int -> ?max_window:int -> ?initial_ssthresh:int -> unit -> factory
+(** The paper's controller: slow start from [initial_window_pkts] MTUs
+    (default 1, the CM's conservative choice — Linux used 2), byte-counted
+    additive increase of one MTU per window, halving on {!Cm_types.Transient} /
+    {!Cm_types.Ecn_echo}, collapse to one MTU plus slow start on
+    {!Cm_types.Persistent}.  [max_window] caps the window
+    (default 4 MiB); [initial_ssthresh] defaults to effectively infinite. *)
+
+val binomial :
+  k:float ->
+  l:float ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?initial_window_pkts:int ->
+  ?max_window:int ->
+  unit ->
+  factory
+(** Binomial congestion control: per acked window, [cwnd += alpha·mtu^(k+1)/cwnd^k];
+    on loss, [cwnd -= beta·cwnd^l·mtu^(1-l)].  [(k=0, l=1)] is AIMD;
+    [(k=1, l=0)] is IIAD; [(k=0.5, l=0.5)] is SQRT — gentler rate
+    oscillation for audio/video, the paper's motivating example.
+    Defaults: [alpha = 1.0], [beta = 0.5]. *)
+
+val iiad : unit -> factory
+(** [binomial ~k:1.0 ~l:0.0 ()], named for convenience. *)
+
+val sqrt_ctl : unit -> factory
+(** [binomial ~k:0.5 ~l:0.5 ()], named for convenience. *)
+
+val equation : ?initial_window_pkts:int -> ?max_window:int -> unit -> factory
+(** TFRC-style equation-based control: the window follows
+    [MTU·√(3/(2p))] where [p] is estimated from the EWMA-smoothed
+    loss-event interval (bytes acknowledged between congestion events).
+    Slow starts until the first loss event.  Much smoother than AIMD —
+    the other end of the responsiveness/smoothness trade the binomial
+    family explores. *)

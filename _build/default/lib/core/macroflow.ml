@@ -1,0 +1,255 @@
+open Cm_util
+open Eventsim
+
+let log = Sim_log.src "cm"
+
+type grant_record = { at : Time.t; reserved : int }
+
+type t = {
+  engine : Engine.t;
+  id : int;
+  mtu : int;
+  ctrl : Controller.t;
+  sched : Scheduler.t;
+  deliver_grant : Cm_types.flow_id -> unit;
+  on_state_change : unit -> unit;
+  grant_reclaim_after : Time.span;
+  idle_restart : Time.span option;
+  mutable last_tx : Time.t;
+  (* window accounting, payload bytes *)
+  mutable outstanding : int;
+  grants : grant_record Queue.t; (* oldest first *)
+  mutable granted_bytes : int; (* sum of outstanding grant reservations *)
+  (* Grants promise "up to MTU bytes", but reserving a full MTU per grant
+     starves flows whose packets are small (interactive audio sends 160-byte
+     frames).  The macroflow learns each flow ensemble's typical packet
+     size from cm_notify and reserves that much per grant instead. *)
+  avg_pkt : Ewma.t;
+  (* shared RTT estimate, ns as floats (TCP gains) *)
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rtt_valid : bool;
+  loss_ewma : Ewma.t;
+  mutable members : int;
+  mutable grant_event_pending : bool;
+  maintenance : Timer.t option ref;
+  mutable last_feedback : Time.t;
+  mutable grants_issued : int;
+  mutable grants_reclaimed : int;
+}
+
+let granted t = t.granted_bytes
+
+let reservation t =
+  if Ewma.initialized t.avg_pkt then
+    Stdlib.min t.mtu (Stdlib.max 64 (int_of_float (Ewma.value t.avg_pkt)))
+  else t.mtu
+
+let window_avail t = t.ctrl.Controller.cwnd () - t.outstanding - t.granted_bytes
+
+let rec run_grants t =
+  t.grant_event_pending <- false;
+  let rec loop () =
+    if window_avail t >= reservation t then begin
+      match t.sched.Scheduler.dequeue () with
+      | None -> ()
+      | Some fid ->
+          let reserved = reservation t in
+          Queue.push { at = Engine.now t.engine; reserved } t.grants;
+          t.granted_bytes <- t.granted_bytes + reserved;
+          t.grants_issued <- t.grants_issued + 1;
+          t.deliver_grant fid;
+          loop ()
+    end
+  in
+  loop ()
+
+and maybe_grant t =
+  if
+    (not t.grant_event_pending)
+    && t.sched.Scheduler.pending () > 0
+    && window_avail t >= reservation t
+  then begin
+    t.grant_event_pending <- true;
+    ignore (Engine.schedule_after t.engine 0 (fun () -> run_grants t))
+  end
+
+let maintenance_tick t =
+  (* Reclaim grants that were never followed by a transmission. *)
+  let now = Engine.now t.engine in
+  let reclaimed = ref false in
+  let expired g = Time.diff now g.at > t.grant_reclaim_after in
+  while (not (Queue.is_empty t.grants)) && expired (Queue.peek t.grants) do
+    Logs.debug ~src:log (fun m -> m "macroflow %d: reclaiming a stale grant" t.id);
+    let g = Queue.pop t.grants in
+    t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - g.reserved);
+    t.grants_reclaimed <- t.grants_reclaimed + 1;
+    reclaimed := true
+  done;
+  (* Error handling: if feedback has stopped arriving while bytes remain
+     charged as outstanding, decay the charge so the macroflow cannot
+     deadlock on lost feedback. *)
+  if t.outstanding > 0 && Time.diff now t.last_feedback > Time.ms 1_000 then begin
+    t.outstanding <- t.outstanding / 2;
+    reclaimed := true
+  end;
+  if !reclaimed then maybe_grant t
+
+let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_change
+    ?(grant_reclaim_after = Time.ms 500) ?idle_restart () =
+  if mtu <= 0 then invalid_arg "Macroflow.create: mtu must be positive";
+  let t =
+    {
+      engine;
+      id;
+      mtu;
+      ctrl = controller ~mtu;
+      sched = scheduler ();
+      deliver_grant;
+      on_state_change;
+      grant_reclaim_after;
+      idle_restart;
+      last_tx = Engine.now engine;
+      outstanding = 0;
+      grants = Queue.create ();
+      granted_bytes = 0;
+      avg_pkt = Ewma.create ~gain:0.25;
+      srtt = 0.;
+      rttvar = 0.;
+      rtt_valid = false;
+      loss_ewma = Ewma.create ~gain:0.25;
+      members = 0;
+      grant_event_pending = false;
+      maintenance = ref None;
+      last_feedback = Engine.now engine;
+      grants_issued = 0;
+      grants_reclaimed = 0;
+    }
+  in
+  let timer = Timer.create engine ~callback:(fun () -> maintenance_tick t) in
+  Timer.start_periodic timer (Time.ms 100);
+  t.maintenance := Some timer;
+  t
+
+let id t = t.id
+let mtu t = t.mtu
+let cwnd t = t.ctrl.Controller.cwnd ()
+let ssthresh t = t.ctrl.Controller.ssthresh ()
+let outstanding t = t.outstanding
+let members t = t.members
+let add_member t = t.members <- t.members + 1
+
+let detach_flow t fid =
+  t.sched.Scheduler.remove fid;
+  t.members <- Stdlib.max 0 (t.members - 1)
+
+let request t fid =
+  (* optional slow-start restart (RFC 2861 spirit): congestion state grows
+     stale while the macroflow is idle; restarting avoids blasting an old
+     window into a path whose conditions may have changed.  Off by
+     default — Fig. 7's benefit is exactly this persistence. *)
+  (match t.idle_restart with
+  | Some threshold
+    when t.outstanding = 0
+         && Queue.is_empty t.grants
+         && Time.diff (Engine.now t.engine) t.last_tx > threshold ->
+      t.ctrl.Controller.reset ();
+      t.last_tx <- Engine.now t.engine
+  | _ -> ());
+  t.sched.Scheduler.enqueue fid;
+  maybe_grant t
+
+let notify t ~nbytes =
+  if nbytes < 0 then invalid_arg "Macroflow.notify: negative byte count";
+  (* Consume the oldest grant; transmissions that arrive without a grant
+     (e.g. buffered sends charged by the IP hook) are charged directly. *)
+  if not (Queue.is_empty t.grants) then begin
+    let g = Queue.pop t.grants in
+    t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - g.reserved)
+  end;
+  t.outstanding <- t.outstanding + nbytes;
+  if nbytes > 0 then begin
+    t.last_tx <- Engine.now t.engine;
+    Ewma.update t.avg_pkt (float_of_int nbytes)
+  end;
+  if nbytes = 0 then
+    (* the client declined to use its grant; let another flow have it *)
+    maybe_grant t
+  else if window_avail t >= reservation t then
+    (* a small transmission may have freed most of its reservation *)
+    maybe_grant t
+
+let update_rtt t sample =
+  let s = float_of_int sample in
+  if not t.rtt_valid then begin
+    t.srtt <- s;
+    t.rttvar <- s /. 2.;
+    t.rtt_valid <- true
+  end
+  else begin
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. s));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. s)
+  end
+
+let update t ~nsent ~nrecd ~loss ~rtt =
+  if nsent < 0 || nrecd < 0 || nrecd > nsent then
+    invalid_arg "Macroflow.update: need 0 <= nrecd <= nsent";
+  t.last_feedback <- Engine.now t.engine;
+  (match rtt with Some sample when sample > 0 -> update_rtt t sample | _ -> ());
+  t.outstanding <- Stdlib.max 0 (t.outstanding - nsent);
+  if nsent > 0 then Ewma.update t.loss_ewma (float_of_int (nsent - nrecd) /. float_of_int nsent);
+  (* Congestion-window validation (RFC 2861 spirit): only grow the window
+     when the flow ensemble is actually using it, otherwise an
+     application sending below its allowed rate inflates cwnd — and the
+     advertised rate — without ever testing the path. *)
+  let used = t.outstanding + nsent + granted t in
+  if nrecd > 0 && 3 * used >= t.ctrl.Controller.cwnd () then
+    t.ctrl.Controller.on_ack ~nbytes:nrecd;
+  (match loss with
+  | Cm_types.No_loss -> ()
+  | mode ->
+      Logs.debug ~src:log (fun m ->
+          m "macroflow %d: %a congestion, cwnd %d -> reacting" t.id Cm_types.pp_loss_mode mode
+            (cwnd t));
+      t.ctrl.Controller.on_loss mode;
+      if mode = Cm_types.Persistent then
+        (* after persistent congestion everything in flight is presumed
+           lost; restart the accounting cleanly *)
+        t.outstanding <- 0);
+  maybe_grant t;
+  t.on_state_change ()
+
+let srtt t = if t.rtt_valid then Some (int_of_float t.srtt) else None
+let rttvar t = if t.rtt_valid then Some (int_of_float t.rttvar) else None
+let loss_rate t = if Ewma.initialized t.loss_ewma then Ewma.value t.loss_ewma else 0.
+
+let rate_bps t =
+  if not t.rtt_valid then 0.
+  else if t.srtt <= 0. then 0.
+  else float_of_int (cwnd t) *. 8. /. (t.srtt /. 1e9)
+
+let status t =
+  {
+    Cm_types.rate_bps = rate_bps t;
+    srtt = srtt t;
+    rttvar = rttvar t;
+    loss_rate = loss_rate t;
+    cwnd = cwnd t;
+    mtu = t.mtu;
+  }
+
+let set_weight t fid w = t.sched.Scheduler.set_weight fid w
+let pending_requests t = t.sched.Scheduler.pending ()
+let grants_issued t = t.grants_issued
+let grants_reclaimed t = t.grants_reclaimed
+let controller_name t = t.ctrl.Controller.name
+let reset_congestion_state t = t.ctrl.Controller.reset ()
+
+let shutdown t =
+  match !(t.maintenance) with
+  | Some timer ->
+      Timer.stop timer;
+      t.maintenance := None
+  | None -> ()
+
+let pending_for_flow t fid = t.sched.Scheduler.pending_for fid

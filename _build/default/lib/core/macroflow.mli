@@ -1,0 +1,127 @@
+(** Macroflows: the CM's unit of congestion state aggregation.
+
+    A macroflow is "a group of flows that share the same congestion state,
+    control algorithms, and state information in the CM" (paper §2) —
+    by default all flows to the same destination host.  It owns one
+    congestion controller, one scheduler, the shared smoothed RTT
+    estimate, and the window bookkeeping that turns controller decisions
+    into per-flow transmission grants of one MTU each.
+
+    Window accounting invariant: [outstanding + granted ≤ cwnd], where
+    [outstanding] is payload bytes transmitted but not yet resolved by
+    feedback, and [granted] is bytes promised to clients that have not yet
+    transmitted.  Grants that are never followed by a [notify] are
+    reclaimed by the maintenance timer (the paper's "timer-driven component
+    to perform background tasks and error handling"). *)
+
+open Cm_util
+open Eventsim
+
+type t
+(** A macroflow. *)
+
+val create :
+  Engine.t ->
+  id:int ->
+  mtu:int ->
+  controller:Controller.factory ->
+  scheduler:Scheduler.factory ->
+  deliver_grant:(Cm_types.flow_id -> unit) ->
+  on_state_change:(unit -> unit) ->
+  ?grant_reclaim_after:Time.span ->
+  ?idle_restart:Time.span ->
+  unit ->
+  t
+(** [create eng ~id ~mtu ~controller ~scheduler ~deliver_grant
+    ~on_state_change ()] builds an idle macroflow.  [deliver_grant] is
+    invoked (from an engine event) once per grant; [on_state_change] after
+    any feedback that may alter rate estimates.  Grants unclaimed after
+    [grant_reclaim_after] (default 500 ms) are returned to the window.
+    With [idle_restart], a request arriving after that much transmission
+    silence resets the controller to its initial window (slow-start
+    restart); by default congestion state persists — that persistence is
+    the Fig. 7 benefit. *)
+
+val id : t -> int
+(** Macroflow identifier. *)
+
+val mtu : t -> int
+(** Payload bytes per grant. *)
+
+val cwnd : t -> int
+(** Controller's current window (payload bytes). *)
+
+val ssthresh : t -> int
+(** Controller's slow-start threshold. *)
+
+val outstanding : t -> int
+(** Payload bytes in flight (sent, no feedback yet). *)
+
+val granted : t -> int
+(** Payload bytes granted but not yet transmitted. *)
+
+val members : t -> int
+(** Number of flows attached. *)
+
+val add_member : t -> unit
+(** Record a flow joining (membership is tracked by the CM). *)
+
+val detach_flow : t -> Cm_types.flow_id -> unit
+(** Remove a flow: discard its pending requests and decrement
+    membership. *)
+
+val request : t -> Cm_types.flow_id -> unit
+(** One implicit request to send up to an MTU on behalf of the flow
+    ([cm_request]). *)
+
+val notify : t -> nbytes:int -> unit
+(** A packet of [nbytes] payload bytes of this macroflow was handed to the
+    network ([cm_notify]); [nbytes = 0] returns an unused grant. *)
+
+val update :
+  t -> nsent:int -> nrecd:int -> loss:Cm_types.loss_mode -> rtt:Time.span option -> unit
+(** Client feedback ([cm_update]): of [nsent] payload bytes whose fate is
+    now known, [nrecd] arrived; [loss] classifies any congestion; [rtt] is
+    an optional new RTT sample. *)
+
+val srtt : t -> Time.span option
+(** Shared smoothed RTT (combining samples from all member flows). *)
+
+val rttvar : t -> Time.span option
+(** Shared RTT mean deviation. *)
+
+val loss_rate : t -> float
+(** Smoothed loss fraction. *)
+
+val rate_bps : t -> float
+(** Macroflow sustainable rate estimate: [cwnd / srtt], in payload
+    bits per second (0 until an RTT sample exists). *)
+
+val status : t -> Cm_types.status
+(** Snapshot for [cm_query] (macroflow-level; the CM divides rate among
+    member flows). *)
+
+val set_weight : t -> Cm_types.flow_id -> float -> unit
+(** Set a member flow's scheduler weight. *)
+
+val pending_requests : t -> int
+(** Requests queued awaiting window space. *)
+
+val grants_issued : t -> int
+(** Cumulative grants delivered. *)
+
+val grants_reclaimed : t -> int
+(** Cumulative grants reclaimed by the maintenance timer. *)
+
+val controller_name : t -> string
+(** Name of the active controller (diagnostics). *)
+
+val reset_congestion_state : t -> unit
+(** Return the controller to its initial state (used when constructing a
+    fresh macroflow for a split is undesirable). *)
+
+val shutdown : t -> unit
+(** Stop the maintenance timer (call when the macroflow is discarded). *)
+
+val pending_for_flow : t -> Cm_types.flow_id -> int
+(** Requests this flow currently has queued in the scheduler. *)

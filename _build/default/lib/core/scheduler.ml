@@ -1,0 +1,114 @@
+type t = {
+  name : string;
+  enqueue : Cm_types.flow_id -> unit;
+  dequeue : unit -> Cm_types.flow_id option;
+  remove : Cm_types.flow_id -> unit;
+  set_weight : Cm_types.flow_id -> float -> unit;
+  pending : unit -> int;
+  pending_for : Cm_types.flow_id -> int;
+}
+
+type factory = unit -> t
+
+let round_robin () =
+  (* ring of flow ids that currently have >= 1 pending request *)
+  let ring : Cm_types.flow_id Queue.t = Queue.create () in
+  let counts : (Cm_types.flow_id, int) Hashtbl.t = Hashtbl.create 8 in
+  let total = ref 0 in
+  let count fid = Option.value (Hashtbl.find_opt counts fid) ~default:0 in
+  let enqueue fid =
+    let c = count fid in
+    Hashtbl.replace counts fid (c + 1);
+    incr total;
+    if c = 0 then Queue.push fid ring
+  in
+  let rec dequeue () =
+    match Queue.take_opt ring with
+    | None -> None
+    | Some fid ->
+        let c = count fid in
+        if c = 0 then dequeue () (* stale ring entry after remove *)
+        else begin
+          Hashtbl.replace counts fid (c - 1);
+          decr total;
+          if c - 1 > 0 then Queue.push fid ring;
+          Some fid
+        end
+  in
+  let remove fid =
+    total := !total - count fid;
+    Hashtbl.remove counts fid
+  in
+  {
+    name = "round-robin";
+    enqueue;
+    dequeue;
+    remove;
+    set_weight = (fun _ _ -> ());
+    pending = (fun () -> !total);
+    pending_for = count;
+  }
+
+let weighted () =
+  (* stride scheduling: each backlogged flow has a pass value; the flow
+     with the least pass is granted and its pass advances by stride_k /
+     weight.  Linear scan — macroflows hold few flows. *)
+  let stride_k = 1_000_000. in
+  let counts : (Cm_types.flow_id, int) Hashtbl.t = Hashtbl.create 8 in
+  let weights : (Cm_types.flow_id, float) Hashtbl.t = Hashtbl.create 8 in
+  let passes : (Cm_types.flow_id, float) Hashtbl.t = Hashtbl.create 8 in
+  let total = ref 0 in
+  let global_pass = ref 0. in
+  let count fid = Option.value (Hashtbl.find_opt counts fid) ~default:0 in
+  let weight fid = Option.value (Hashtbl.find_opt weights fid) ~default:1.0 in
+  let enqueue fid =
+    let c = count fid in
+    Hashtbl.replace counts fid (c + 1);
+    incr total;
+    if c = 0 && not (Hashtbl.mem passes fid) then Hashtbl.replace passes fid !global_pass;
+    (* a newly backlogged flow re-enters at the current global pass so it
+       cannot hoard credit accumulated while idle *)
+    if c = 0 then Hashtbl.replace passes fid (Float.max !global_pass (Option.value (Hashtbl.find_opt passes fid) ~default:0.))
+  in
+  let dequeue () =
+    if !total = 0 then None
+    else begin
+      let best = ref None in
+      Hashtbl.iter
+        (fun fid c ->
+          if c > 0 then begin
+            let pass = Option.value (Hashtbl.find_opt passes fid) ~default:0. in
+            match !best with
+            | Some (_, best_pass) when best_pass <= pass -> ()
+            | _ -> best := Some (fid, pass)
+          end)
+        counts;
+      match !best with
+      | None -> None
+      | Some (fid, pass) ->
+          Hashtbl.replace counts fid (count fid - 1);
+          decr total;
+          global_pass := pass;
+          Hashtbl.replace passes fid (pass +. (stride_k /. weight fid));
+          Some fid
+    end
+  in
+  let remove fid =
+    total := !total - count fid;
+    Hashtbl.remove counts fid;
+    Hashtbl.remove weights fid;
+    Hashtbl.remove passes fid
+  in
+  let set_weight fid w =
+    if w <= 0. then invalid_arg "Scheduler.weighted: weight must be positive";
+    Hashtbl.replace weights fid w
+  in
+  {
+    name = "weighted-stride";
+    enqueue;
+    dequeue;
+    remove;
+    set_weight;
+    pending = (fun () -> !total);
+    pending_for = count;
+  }

@@ -1,0 +1,33 @@
+(** Macroflow schedulers.
+
+    The congestion controller decides how much the macroflow may send; the
+    scheduler decides {e which flow} gets each transmission grant.  The
+    paper's implementation uses an unweighted round-robin scheduler; a
+    weighted (stride) scheduler is provided for the ablation bench.
+
+    Each [enqueue fid] is one outstanding request for a grant of up to one
+    MTU; a flow may hold several requests at once. *)
+
+type t = {
+  name : string;
+  enqueue : Cm_types.flow_id -> unit;  (** Add one pending request for the flow. *)
+  dequeue : unit -> Cm_types.flow_id option;
+      (** Pick the next flow to grant (consumes one of its requests). *)
+  remove : Cm_types.flow_id -> unit;  (** Discard all state for a closed flow. *)
+  set_weight : Cm_types.flow_id -> float -> unit;
+      (** Set a flow's share weight (ignored by unweighted schedulers). *)
+  pending : unit -> int;  (** Total requests queued. *)
+  pending_for : Cm_types.flow_id -> int;  (** Requests queued for one flow. *)
+}
+(** A scheduler instance, private to one macroflow. *)
+
+type factory = unit -> t
+(** Builds a fresh scheduler. *)
+
+val round_robin : factory
+(** The paper's default: cycle over flows that have pending requests,
+    one grant per turn, FIFO among a flow's own requests. *)
+
+val weighted : factory
+(** Stride scheduling: flows receive grants in proportion to their
+    weights (default weight 1.0). *)

@@ -1,0 +1,1 @@
+lib/eventsim/engine.ml: Cm_util Format Fun Heap Stdlib Time

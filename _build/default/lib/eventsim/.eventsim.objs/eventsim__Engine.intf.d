@@ -1,0 +1,1 @@
+lib/eventsim/engine.mli: Cm_util Time

@@ -1,0 +1,1 @@
+lib/eventsim/sim_log.ml: Cm_util Engine Format Hashtbl Logs Time

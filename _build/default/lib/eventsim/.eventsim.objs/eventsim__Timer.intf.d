@@ -1,0 +1,1 @@
+lib/eventsim/timer.mli: Cm_util Engine Time

@@ -1,0 +1,57 @@
+open Cm_util
+
+type event = { fn : unit -> unit }
+type handle = event Heap.handle * event Heap.t
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Heap.t;
+  mutable executed : int;
+  mutable running : bool;
+}
+
+let create ?(start = Time.zero) () =
+  { clock = start; queue = Heap.create (); executed = 0; running = false }
+
+let now t = t.clock
+
+let schedule_at t when_ fn =
+  if when_ < t.clock then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is in the past (now %a)" Time.pp when_ Time.pp
+         t.clock);
+  let h = Heap.insert t.queue ~prio:when_ { fn } in
+  (h, t.queue)
+
+let schedule_after t d fn = schedule_at t (Time.add t.clock (Stdlib.max d 0)) fn
+let cancel _t (h, q) = Heap.remove q h
+let pending t = Heap.size t.queue
+
+let step t =
+  match Heap.extract_min t.queue with
+  | None -> false
+  | Some (when_, ev) ->
+      t.clock <- when_;
+      t.executed <- t.executed + 1;
+      ev.fn ();
+      true
+
+let run ?until t =
+  if t.running then invalid_arg "Engine.run: reentrant run";
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+      let continue = ref true in
+      while !continue do
+        match Heap.min_elt t.queue with
+        | None -> continue := false
+        | Some (when_, _) -> (
+            match until with
+            | Some limit when when_ > limit -> continue := false
+            | _ -> ignore (step t))
+      done;
+      match until with Some limit when limit > t.clock -> t.clock <- limit | _ -> ())
+
+let run_for t d = run ~until:(Time.add t.clock d) t
+let events_executed t = t.executed

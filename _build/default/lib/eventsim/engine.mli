@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over virtual time: callbacks are scheduled
+    at absolute timestamps and executed in timestamp order (FIFO among
+    equal timestamps).  All simulated subsystems — links, timers, CPUs,
+    protocol state machines — are driven from one engine, which makes every
+    run fully deterministic. *)
+
+open Cm_util
+
+type t
+(** An engine instance. *)
+
+type handle
+(** Names a scheduled event so it can be cancelled. *)
+
+val create : ?start:Time.t -> unit -> t
+(** [create ()] is a fresh engine with the clock at [start]
+    (default {!Time.zero}). *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at t when_ f] runs [f] when the clock reaches [when_].
+    Scheduling in the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+(** [schedule_after t d f] is [schedule_at t (now t + max d 0) f]. *)
+
+val cancel : t -> handle -> bool
+(** Cancel a pending event; [false] if it already ran or was cancelled. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val step : t -> bool
+(** Execute the next event; [false] if the queue is empty. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Run events in order.  With [until], stop once the next event would be
+    strictly after [until] and advance the clock to [until]; without it,
+    run until the queue drains. *)
+
+val run_for : t -> Time.span -> unit
+(** [run_for t d] is [run ~until:(now t + d) t]. *)
+
+val events_executed : t -> int
+(** Total number of callbacks executed (diagnostics, bench). *)

@@ -1,0 +1,27 @@
+open Cm_util
+
+let setup engine ?(level = Logs.Warning) () =
+  let report src lvl ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf (fun ?header ?tags fmt ->
+        ignore tags;
+        let hdr = match header with Some h -> h ^ " " | None -> "" in
+        Format.kfprintf k Format.err_formatter
+          ("[%a] %s %a %s@[" ^^ fmt ^^ "@]@.")
+          Time.pp (Engine.now engine) (Logs.Src.name src) Logs.pp_level lvl hdr)
+  in
+  Logs.set_reporter { Logs.report };
+  Logs.set_level (Some level)
+
+let sources : (string, Logs.src) Hashtbl.t = Hashtbl.create 8
+
+let src name =
+  match Hashtbl.find_opt sources name with
+  | Some s -> s
+  | None ->
+      let s = Logs.Src.create name ~doc:(name ^ " component") in
+      Hashtbl.replace sources name s;
+      s

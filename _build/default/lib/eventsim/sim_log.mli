@@ -1,0 +1,14 @@
+(** Simulation-aware logging.
+
+    Wires the [logs] library to a reporter that prefixes every message
+    with the engine's virtual clock, so library debug output lines up
+    with simulated time rather than wall time.  Libraries log under their
+    own sources (e.g. ["cm"], ["tcp"]); nothing is printed unless the
+    application installs this reporter and raises the level. *)
+
+val setup : Engine.t -> ?level:Logs.level -> unit -> unit
+(** Install a stderr reporter stamped with [eng]'s clock and set the
+    global log level (default [Logs.Warning]). *)
+
+val src : string -> Logs.src
+(** [src name] is a memoized log source for a library component. *)

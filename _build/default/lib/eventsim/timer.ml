@@ -1,0 +1,41 @@
+open Cm_util
+
+type t = {
+  engine : Engine.t;
+  callback : unit -> unit;
+  mutable handle : Engine.handle option;
+  mutable expiry : Time.t option;
+  mutable period : Time.span option;
+}
+
+let create engine ~callback = { engine; callback; handle = None; expiry = None; period = None }
+
+let stop t =
+  (match t.handle with Some h -> ignore (Engine.cancel t.engine h) | None -> ());
+  t.handle <- None;
+  t.expiry <- None;
+  t.period <- None
+
+let rec arm t delay =
+  let fire () =
+    t.handle <- None;
+    t.expiry <- None;
+    (match t.period with Some p -> arm t p | None -> ());
+    t.callback ()
+  in
+  let when_ = Time.add (Engine.now t.engine) (Stdlib.max delay 0) in
+  t.handle <- Some (Engine.schedule_at t.engine when_ fire);
+  t.expiry <- Some when_
+
+let start t delay =
+  stop t;
+  arm t delay
+
+let start_periodic t period =
+  if period <= 0 then invalid_arg "Timer.start_periodic: period must be positive";
+  stop t;
+  t.period <- Some period;
+  arm t period
+
+let is_running t = t.handle <> None
+let expiry t = t.expiry

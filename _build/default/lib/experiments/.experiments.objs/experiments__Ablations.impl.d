@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Addr Cm Cm_apps Cm_util Engine Eventsim Exp_common Float List Netsim Printf Rng Stats Stdlib String Tcp Time Timer Topology Udp

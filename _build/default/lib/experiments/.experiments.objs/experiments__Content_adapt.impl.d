@@ -1,0 +1,1 @@
+lib/experiments/content_adapt.ml: Addr Cm Cm_apps Cm_util Engine Eventsim Exp_common List Netsim Printf Rng String Tcp Time Timer Topology

@@ -1,0 +1,1 @@
+lib/experiments/content_adapt.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Addr Cm Cm_util Costs Cpu Engine Eventsim Host Netsim Rng Stdlib Tcp Time Topology

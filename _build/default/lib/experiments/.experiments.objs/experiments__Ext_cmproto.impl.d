@@ -1,0 +1,1 @@
+lib/experiments/ext_cmproto.ml: Addr Cm Cm_util Cmproto Costs Cpu Engine Eventsim Exp_common Fig6 Host Libcm List Netsim Packet Printf Rng Time Timer Topology

@@ -1,0 +1,1 @@
+lib/experiments/ext_merge.ml: Addr Array Cm Cm_util Engine Eventsim Exp_common List Netsim Printf Rng Stdlib Tcp Time Timer Topology Udp

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Cm_util Exp_common List Printf Tcp Time

@@ -1,0 +1,1 @@
+lib/experiments/fig4_5.ml: Cm_util Costs Exp_common List Netsim Printf Tcp Time

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Addr Cm Cm_util Costs Cpu Engine Eventsim Exp_common Host Libcm List Netsim Packet Printf Rng Tcp Time Topology Udp

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Addr Cm Cm_apps Cm_util Engine Eventsim Exp_common List Netsim Printf Rng Tcp Time Topology

@@ -1,0 +1,1 @@
+lib/experiments/fig8_10.ml: Addr Cm Cm_apps Cm_util Engine Eventsim Exp_common Float Libcm List Netsim Printf Rng Time Timeline Topology Udp

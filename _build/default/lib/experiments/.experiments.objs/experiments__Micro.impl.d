@@ -1,0 +1,1 @@
+lib/experiments/micro.ml: Addr Cm Cm_util Costs Engine Eventsim Exp_common Netsim Printf Rng Tcp Time Topology Unix

@@ -1,0 +1,1 @@
+lib/experiments/sec6_phttp.ml: Array Cm Cm_apps Cm_util Engine Eventsim Exp_common Float Host Link List Netsim Packet Printf Queue_disc String Time

@@ -1,0 +1,1 @@
+lib/experiments/sec6_phttp.mli: Exp_common

@@ -1,0 +1,63 @@
+(** Ablation benches for the design choices DESIGN.md calls out.
+
+    - {b Scheduler}: the paper ships unweighted round-robin but the
+      modularity invites alternatives — two backlogged CC-UDP flows in
+      one macroflow under round-robin vs a 3:1 weighted scheduler.
+    - {b Controller}: AIMD vs the binomial family (IIAD, SQRT) driving a
+      streaming source — smoother controllers trade oscillation for
+      responsiveness (the paper's "other non-AIMD schemes … better suited
+      to audio or video").
+    - {b Sharing}: four concurrent web fetches with independent congestion
+      state (native TCP) vs one shared macroflow (TCP/CM) — the ensemble
+      is less aggressive and no less fair (paper §4.3/§6). *)
+
+type sched_row = {
+  scheduler : string;
+  flow_a_bytes : int;
+  flow_b_bytes : int;
+  share_ratio : float;  (** flow_a / flow_b. *)
+}
+
+val run_scheduler : Exp_common.params -> sched_row list
+(** Round-robin vs weighted (weight 3 for flow A). *)
+
+type ctrl_row = {
+  controller : string;
+  mean_kbps : float;  (** Mean delivered rate, KBytes/s. *)
+  cv : float;  (** Coefficient of variation of the per-100ms rate (smoothness; lower is smoother). *)
+}
+
+val run_controller : Exp_common.params -> ctrl_row list
+(** AIMD vs IIAD vs SQRT on a fixed 8 Mbps bottleneck. *)
+
+type share_row = {
+  setup : string;
+  mean_completion_ms : float;
+  max_completion_ms : float;
+  total_retransmits : int;
+}
+
+val run_sharing : Exp_common.params -> share_row list
+(** 4 concurrent 256 KB fetches: independent vs shared congestion state. *)
+
+val print_scheduler : sched_row list -> unit
+(** Print the scheduler ablation. *)
+
+val print_controller : ctrl_row list -> unit
+(** Print the controller ablation. *)
+
+val print_sharing : share_row list -> unit
+(** Print the sharing ablation. *)
+
+type fairness_row = {
+  mix : string;
+  per_flow_kb : int list;  (** Bytes moved by each flow, KB. *)
+  jain : float;  (** Jain's fairness index: 1.0 = perfectly fair. *)
+}
+
+val run_fairness : Exp_common.params -> fairness_row list
+(** All-native, all-CM (one macroflow), and a half-and-half mix sharing
+    one bottleneck. *)
+
+val print_fairness : fairness_row list -> unit
+(** Print the fairness ablation. *)

@@ -1,0 +1,58 @@
+open Cm_util
+open Eventsim
+open Netsim
+
+type params = { seed : int; full : bool }
+
+let default_params = { seed = 42; full = false }
+let kbps bits_per_s = bits_per_s /. 8. /. 1000.
+
+let print_header name =
+  print_endline "";
+  print_endline ("== " ^ name ^ " ==")
+
+let print_row = print_endline
+
+let measured_bulk params ~driver ~bandwidth_bps ~delay ?(loss = 0.) ?(qdisc_limit = 100)
+    ?(costs = Costs.zero) ?(duration = Time.sec 30.) ?bytes () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:params.seed in
+  let net = Topology.pipe engine ~bandwidth_bps ~delay ~loss_rate:loss ~qdisc_limit ~rng ~costs () in
+  let cm = Cm.create engine () in
+  Cm.attach cm net.Topology.a;
+  let drv = driver (Some cm) in
+  let delivered = ref 0 in
+  let finished_at = ref None in
+  let target = bytes in
+  let _listener =
+    Tcp.Conn.listen net.Topology.b ~port:80
+      ~on_accept:(fun conn ->
+        Tcp.Conn.on_receive conn (fun n ->
+            delivered := !delivered + n;
+            match target with
+            | Some want when !delivered >= want && !finished_at = None ->
+                finished_at := Some (Engine.now engine)
+            | _ -> ()))
+      ()
+  in
+  let conn = Tcp.Conn.connect net.Topology.a ~dst:(Addr.endpoint ~host:1 ~port:80) ~driver:drv () in
+  let to_send = match target with Some b -> b | None -> 1 lsl 34 in
+  Tcp.Conn.send conn to_send;
+  let busy0 = Cpu.total_busy (Host.cpu net.Topology.a) in
+  (match target with
+  | Some _ ->
+      (* run until delivery completes (bounded by a generous limit) *)
+      let guard = ref 0 in
+      while !finished_at = None && !guard < 10_000 do
+        incr guard;
+        Engine.run_for engine (Time.ms 100)
+      done
+  | None -> Engine.run_for engine duration);
+  let elapsed =
+    match !finished_at with Some t -> t | None -> Engine.now engine
+  in
+  let elapsed = Stdlib.max elapsed 1 in
+  let busy = Cpu.total_busy (Host.cpu net.Topology.a) - busy0 in
+  let goodput = float_of_int (!delivered * 8) /. Time.to_float_s elapsed in
+  let util = float_of_int busy /. float_of_int elapsed in
+  (goodput, util)

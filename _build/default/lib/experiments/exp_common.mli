@@ -1,0 +1,39 @@
+(** Shared plumbing for the paper-reproduction experiments. *)
+
+open Cm_util
+
+open Netsim
+
+type params = { seed : int; full : bool }
+(** [seed] drives every RNG; [full] enables the long variants (e.g. the
+    10^6-buffer point of Figs. 4–5). *)
+
+val default_params : params
+(** [seed = 42], [full = false]. *)
+
+val kbps : float -> float
+(** Bits/s to the paper's KBytes/s. *)
+
+val print_header : string -> unit
+(** Banner line for one experiment's output. *)
+
+val print_row : string -> unit
+(** One data row (plain [print_endline], named for greppability). *)
+
+val measured_bulk :
+  params ->
+  driver:(Cm.t option -> Tcp.Conn.driver) ->
+  bandwidth_bps:float ->
+  delay:Time.span ->
+  ?loss:float ->
+  ?qdisc_limit:int ->
+  ?costs:Costs.t ->
+  ?duration:Time.span ->
+  ?bytes:int ->
+  unit ->
+  float * float
+(** One bulk TCP run on a fresh pipe; returns
+    [(goodput_bps, sender_cpu_utilization)].  With [?bytes] the run ends
+    when that much is delivered; otherwise it is time-limited by
+    [duration] (default 30 s) with the goodput measured over the whole
+    window. *)

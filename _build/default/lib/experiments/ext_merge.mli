@@ -1,0 +1,31 @@
+(** §5 extension: macroflows spanning multiple destinations.
+
+    "A macroflow may thus be extended to cover multiple destination hosts
+    behind the same shared bottleneck link.  Efficiently determining such
+    bottlenecks remains an open research problem" (§5).  The CM's
+    [merge] API already supports the grouping; this experiment supplies
+    the missing bottleneck knowledge by construction (a star topology
+    where two destinations share one bottleneck) and measures what
+    merging buys:
+
+    - {b separate} macroflows (the default): each flow probes the shared
+      bottleneck independently — the pair is as aggressive as two TCPs;
+    - {b merged}: one congestion window for both — the ensemble behaves
+      like a single TCP toward a competing reference flow.
+
+    The reference is a native TCP to a third destination crossing the
+    same bottleneck; its achieved share tells us how aggressive the pair
+    was. *)
+
+type row = {
+  setup : string;
+  pair_bytes : int;  (** Bytes the two CC-UDP flows moved (combined). *)
+  reference_bytes : int;  (** Bytes the competing native TCP moved. *)
+  pair_to_reference : float;  (** Aggressiveness ratio. *)
+}
+
+val run : Exp_common.params -> row list
+(** Separate vs merged, same topology and seed. *)
+
+val print : row list -> unit
+(** Print the comparison. *)

@@ -1,0 +1,36 @@
+open Cm_util
+
+type row = { loss_pct : float; linux_kbps : float; cm_kbps : float }
+
+let loss_points = [ 0.0; 0.25; 0.5; 1.0; 1.5; 2.0; 2.5; 3.0; 3.5; 4.0; 4.5; 5.0 ]
+
+let native_driver _ = Tcp.Conn.Native
+
+let cm_driver = function
+  | Some cm -> Tcp.Conn.Cm_driven cm
+  | None -> invalid_arg "fig3: CM required"
+
+let run params =
+  let one loss_pct =
+    let loss = loss_pct /. 100. in
+    let measure driver =
+      fst
+        (Exp_common.measured_bulk params ~driver ~bandwidth_bps:10e6 ~delay:(Time.ms 30) ~loss
+           ~duration:(Time.sec 30.) ())
+    in
+    {
+      loss_pct;
+      linux_kbps = Exp_common.kbps (measure native_driver);
+      cm_kbps = Exp_common.kbps (measure cm_driver);
+    }
+  in
+  List.map one loss_points
+
+let print rows =
+  Exp_common.print_header
+    "Figure 3: throughput (KBytes/s) vs loss rate, 10 Mbps / 60 ms RTT";
+  Exp_common.print_row (Printf.sprintf "%-10s %14s %14s" "loss(%)" "TCP/Linux" "TCP/CM");
+  List.iter
+    (fun r ->
+      Exp_common.print_row (Printf.sprintf "%-10.2f %14.1f %14.1f" r.loss_pct r.linux_kbps r.cm_kbps))
+    rows

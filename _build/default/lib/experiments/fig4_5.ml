@@ -1,0 +1,56 @@
+open Cm_util
+open Netsim
+
+type row = {
+  buffers : int;
+  linux_kbps : float;
+  cm_kbps : float;
+  linux_cpu_pct : float;
+  cm_cpu_pct : float;
+}
+
+let buffer_bytes = 8192
+
+let run params =
+  let points =
+    if params.Exp_common.full then [ 1_000; 10_000; 100_000; 1_000_000 ]
+    else [ 1_000; 10_000; 100_000 ]
+  in
+  let one buffers =
+    let bytes = buffers * buffer_bytes in
+    let measure driver =
+      Exp_common.measured_bulk params ~driver ~bandwidth_bps:100e6 ~delay:(Time.us 250)
+        ~qdisc_limit:1000 ~costs:Costs.pentium3 ~bytes ()
+    in
+    let native_bps, native_util = measure (fun _ -> Tcp.Conn.Native) in
+    let cm_bps, cm_util =
+      measure (function Some cm -> Tcp.Conn.Cm_driven cm | None -> assert false)
+    in
+    {
+      buffers;
+      linux_kbps = Exp_common.kbps native_bps;
+      cm_kbps = Exp_common.kbps cm_bps;
+      linux_cpu_pct = native_util *. 100.;
+      cm_cpu_pct = cm_util *. 100.;
+    }
+  in
+  List.map one points
+
+let print rows =
+  Exp_common.print_header "Figure 4: 100 Mbps TCP throughput (KBytes/s) vs buffers transmitted";
+  Exp_common.print_row (Printf.sprintf "%-10s %14s %14s %10s" "buffers" "TCP/Linux" "TCP/CM" "delta%");
+  List.iter
+    (fun r ->
+      let delta = (r.linux_kbps -. r.cm_kbps) /. r.linux_kbps *. 100. in
+      Exp_common.print_row
+        (Printf.sprintf "%-10d %14.0f %14.0f %10.2f" r.buffers r.linux_kbps r.cm_kbps delta))
+    rows;
+  Exp_common.print_header "Figure 5: sender CPU utilization (%) vs buffers transmitted";
+  Exp_common.print_row
+    (Printf.sprintf "%-10s %14s %14s %10s" "buffers" "TCP/Linux" "TCP/CM" "delta");
+  List.iter
+    (fun r ->
+      Exp_common.print_row
+        (Printf.sprintf "%-10d %14.2f %14.2f %10.2f" r.buffers r.linux_cpu_pct r.cm_cpu_pct
+           (r.cm_cpu_pct -. r.linux_cpu_pct)))
+    rows

@@ -1,0 +1,35 @@
+(** Figures 8–10: adaptive layered streaming over a time-varying path.
+
+    A four-layer streaming source adapts to a bottleneck whose available
+    bandwidth follows a schedule (our stand-in for the paper's live vBNS
+    path — see DESIGN.md).  Three runs:
+
+    - Fig. 8: ALF (request/callback) source, 25 s — fast, fine-grained
+      layer tracking;
+    - Fig. 9: rate-callback source with [cm_thresh], 20 s — coarser,
+      smoother switches;
+    - Fig. 10: rate-callback with receiver feedback batched to
+      min(500 acks, 2 s), 70 s — bursty reported rate, slow start-up.
+
+    Each series reports per-second transmission rate and the CM-reported
+    rate, both in KBytes/s like the paper's axes. *)
+
+type sample = {
+  t_s : float;  (** Time, seconds. *)
+  tx_kbps : float;  (** Transmission rate over the bin, KBytes/s. *)
+  cm_kbps : float;  (** CM-reported per-flow rate, KBytes/s. *)
+}
+
+type series = { label : string; samples : sample list }
+
+val run_fig8 : Exp_common.params -> series
+(** The ALF run. *)
+
+val run_fig9 : Exp_common.params -> series
+(** The rate-callback run. *)
+
+val run_fig10 : Exp_common.params -> series
+(** The delayed-feedback run. *)
+
+val print : series -> unit
+(** Print one series. *)

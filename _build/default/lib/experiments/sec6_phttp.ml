@@ -1,0 +1,144 @@
+open Cm_util
+open Eventsim
+open Netsim
+
+type row = {
+  setup : string;
+  per_object_ms : float array;
+  first_chunk_ms : float array;
+  first_ms : float;
+  total_ms : float;
+  spread_ms : float;
+}
+
+let objects = 4
+let object_bytes = 64 * 1024
+
+let make_row setup (r : Cm_apps.Phttp.result) =
+  let first = Array.fold_left Float.min Float.infinity r.Cm_apps.Phttp.object_ms in
+  {
+    setup;
+    per_object_ms = r.Cm_apps.Phttp.object_ms;
+    first_chunk_ms = r.Cm_apps.Phttp.first_chunk_ms;
+    first_ms = first;
+    total_ms = r.Cm_apps.Phttp.total_ms;
+    spread_ms = r.Cm_apps.Phttp.total_ms -. first;
+  }
+
+(* a queueing discipline that deterministically drops the data packets
+   whose (1-based) index is listed — one surgical loss event, so the
+   coupling it induces is unambiguous *)
+let drop_listed ~drops inner =
+  let count = ref 0 in
+  let enqueue pkt =
+    if Packet.payload_bytes pkt > 500 then begin
+      incr count;
+      if List.mem !count drops then Queue_disc.Dropped else inner.Queue_disc.enqueue pkt
+    end
+    else inner.Queue_disc.enqueue pkt
+  in
+  { inner with Queue_disc.enqueue; name = "drop-listed" }
+
+let run_side _params ~use_cm ~drops =
+  let engine = Engine.create () in
+  let a = Host.create engine ~id:0 () in
+  let b = Host.create engine ~id:1 () in
+  let qdisc = drop_listed ~drops (Queue_disc.droptail ~limit_pkts:100 ()) in
+  let ab =
+    Link.create engine ~bandwidth_bps:6e6 ~delay:(Time.ms 25) ~qdisc
+      ~sink:(fun p -> Host.deliver b p)
+      ()
+  in
+  let ba =
+    Link.create engine ~bandwidth_bps:6e6 ~delay:(Time.ms 25)
+      ~sink:(fun p -> Host.deliver a p)
+      ()
+  in
+  Host.attach_route a (Link.send ab);
+  Host.attach_route b (Link.send ba);
+  let result = ref None in
+  if use_cm then begin
+    let cm = Cm.create engine () in
+    Cm.attach cm a;
+    Cm_apps.Phttp.cm_transfer ~src:a ~dst_host:b ~base_port:8000 ~cm ~objects ~object_bytes
+      ~on_done:(fun r -> result := Some r)
+      ()
+  end
+  else
+    Cm_apps.Phttp.phttp_transfer ~src:a ~dst_host:b ~port:8000 ~objects ~object_bytes
+      ~on_done:(fun r -> result := Some r)
+      ();
+  Engine.run_for engine (Time.sec 60.);
+  match !result with
+  | Some r ->
+      make_row
+        (if use_cm then "CM concurrent (shared macroflow)" else "P-HTTP (one TCP conn)")
+        r
+  | None -> failwith "sec6_phttp: transfer did not complete"
+
+(* One loss event mid-transfer (data packets 60 and 61), late enough
+   that fast retransmit can recover it.  Under P-HTTP those bytes belong
+   to one object, yet in-order delivery stalls EVERY object behind the
+   retransmission.  Under the CM the loss hits one or two connections;
+   the others are coupled only through the shared congestion window (one
+   halving), not through ordering. *)
+let drops = [ 60; 61 ]
+
+let run params =
+  [
+    run_side params ~use_cm:false ~drops:[];
+    run_side params ~use_cm:false ~drops;
+    run_side params ~use_cm:true ~drops:[];
+    run_side params ~use_cm:true ~drops;
+  ]
+
+let print rows =
+  Exp_common.print_header
+    "Sec. 6 comparison: P-HTTP multiplexing vs CM concurrent connections (4 x 64 KB, one early loss event)";
+  Exp_common.print_row
+    (Printf.sprintf "%-44s %10s %10s   %s" "setup" "first ms" "total ms" "per-object ms");
+  List.iteri
+    (fun i r ->
+      let label = if i mod 2 = 0 then r.setup ^ " [clean]" else r.setup ^ " [loss]" in
+      let fmt a =
+        Array.to_list a |> List.map (Printf.sprintf "%.0f") |> String.concat " "
+      in
+      Exp_common.print_row
+        (Printf.sprintf "%-44s %10.1f %10.1f   done [%s]  first-8KB [%s]" label r.first_ms
+           r.total_ms (fmt r.per_object_ms) (fmt r.first_chunk_ms)))
+    rows;
+  (* coupling metric: how many objects were delayed by a loss that hit
+     only one object's bytes? *)
+  match rows with
+  | [ p0; p1; c0; c1 ] ->
+      let inflation base lossy =
+        let sorted a =
+          let c = Array.copy a in
+          Array.sort Float.compare c;
+          c
+        in
+        let b = sorted base.per_object_ms and l = sorted lossy.per_object_ms in
+        Array.mapi (fun i v -> v -. b.(i)) l
+      in
+      let pi = inflation p0 p1 and ci = inflation c0 c1 in
+      let fmt a = Array.to_list a |> List.map (Printf.sprintf "%+.0f") |> String.concat " " in
+      let span a =
+        Array.fold_left Float.max 0. a -. Array.fold_left Float.min Float.infinity a
+      in
+      Exp_common.print_row "";
+      Exp_common.print_row
+        (Printf.sprintf
+           "parallelism of downloads (clean first-8KB span): P-HTTP %.0f ms, CM %.0f ms"
+           (span p0.first_chunk_ms) (span c0.first_chunk_ms));
+      Exp_common.print_row
+        (Printf.sprintf "completion shift from the loss (sorted): P-HTTP [%s], CM [%s]" (fmt pi)
+           (fmt ci));
+      Exp_common.print_row
+        "(P-HTTP serializes delivery - later objects' first bytes wait hundreds of ms -";
+      Exp_common.print_row
+        " and an early object's loss delays every object behind it in the byte stream.";
+      Exp_common.print_row
+        " CM streams deliver in parallel and share only the congestion window, which";
+      Exp_common.print_row
+        " shifts all completions uniformly - the paper's sec. 6 argument.)"
+  | _ -> ()

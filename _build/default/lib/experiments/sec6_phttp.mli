@@ -1,0 +1,25 @@
+(** §6 comparison: P-HTTP multiplexing vs. CM concurrent connections.
+
+    The paper's argument for the CM over application-level multiplexing:
+    a single TCP connection couples logically independent streams ("if
+    packets belonging to one stream are lost, another stream could
+    stall"), while CM connections share congestion state without sharing
+    a byte stream.  We send four 64 KB objects over a lossy path both
+    ways and report per-object completion times against each setup's own
+    lossless baseline: under P-HTTP a loss anywhere delays every later
+    object; under the CM the luckiest streams are nearly untouched. *)
+
+type row = {
+  setup : string;
+  per_object_ms : float array;  (** Completion time of each object. *)
+  first_chunk_ms : float array;  (** Time to each object's first 8 KB. *)
+  first_ms : float;  (** First object available. *)
+  total_ms : float;  (** All objects complete. *)
+  spread_ms : float;  (** last − first: serialization/coupling cost. *)
+}
+
+val run : Exp_common.params -> row list
+(** P-HTTP vs CM, same path, same seed. *)
+
+val print : row list -> unit
+(** Print the comparison. *)

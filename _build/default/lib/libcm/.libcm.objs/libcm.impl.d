@@ -1,0 +1,1 @@
+lib/libcm/libcm.ml: Cm Cm_util Eventsim Hashtbl Host List Netsim Ops Queue Time Timer

@@ -1,0 +1,1 @@
+lib/libcm/libcm.mli: Addr Cm Cm_util Host Netsim Ops Time

@@ -1,0 +1,1 @@
+lib/libcm/ops.ml: Costs Cpu Hashtbl Host Netsim Option

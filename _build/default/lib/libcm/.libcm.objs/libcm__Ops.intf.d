@@ -1,0 +1,1 @@
+lib/libcm/ops.mli: Cm_util Costs Host Netsim Time

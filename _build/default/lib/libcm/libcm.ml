@@ -1,0 +1,161 @@
+open Cm_util
+open Eventsim
+open Netsim
+module Ops = Ops
+
+type mode = Select_loop | Sigio | Poll of Time.span
+
+type t = {
+  host : Host.t;
+  cm : Cm.t;
+  mode : mode;
+  extra_fds : int;
+  meter : Ops.meter;
+  (* control socket state: flows whose write bit is set, and flows whose
+     exception (status-changed) bit is set *)
+  ready_send : Cm.Cm_types.flow_id Queue.t;
+  mutable status_changed : Cm.Cm_types.flow_id list;
+  mutable dispatch_pending : bool;
+  mutable dispatches : int;
+  send_cbs : (Cm.Cm_types.flow_id, Cm.Cm_types.flow_id -> unit) Hashtbl.t;
+  update_cbs : (Cm.Cm_types.flow_id, Cm.Cm_types.status -> unit) Hashtbl.t;
+  poll_timer : Timer.t option ref;
+}
+
+let engine t = Host.engine t.host
+
+(* One control-socket wakeup: drain everything that is ready with a single
+   ioctl per bit, then call back into the application (paper §2.2.2). *)
+let dispatch t () =
+  t.dispatch_pending <- false;
+  t.dispatches <- t.dispatches + 1;
+  if not (Queue.is_empty t.ready_send) then begin
+    (* one ioctl extracts the list of all flow IDs that may send *)
+    Ops.charge t.meter Ops.Ioctl_query;
+    let fids = Queue.fold (fun acc fid -> fid :: acc) [] t.ready_send in
+    Queue.clear t.ready_send;
+    List.iter
+      (fun fid ->
+        match Hashtbl.find_opt t.send_cbs fid with
+        | Some cb -> cb fid
+        | None -> Cm.notify t.cm fid ~nbytes:0)
+      (List.rev fids)
+  end;
+  if t.status_changed <> [] then begin
+    let fids = List.rev t.status_changed in
+    t.status_changed <- [];
+    List.iter
+      (fun fid ->
+        match Hashtbl.find_opt t.update_cbs fid with
+        | Some cb ->
+            (* only the current status matters: re-query at dispatch time *)
+            Ops.charge t.meter Ops.Ioctl_query;
+            cb (Cm.query t.cm fid)
+        | None -> ())
+      fids
+  end
+
+let schedule_dispatch t =
+  if not t.dispatch_pending then begin
+    match t.mode with
+    | Select_loop ->
+        t.dispatch_pending <- true;
+        (* the app returns from select — scanning its own descriptors plus
+           the one extra control socket (the paper's Table 1 line item) *)
+        Ops.charge_deferred t.meter ~nfds:(t.extra_fds + 1) Ops.Select (dispatch t)
+    | Sigio ->
+        t.dispatch_pending <- true;
+        Ops.charge_deferred t.meter Ops.Sigio (dispatch t)
+    | Poll _ ->
+        (* the poll timer picks it up on its own schedule *)
+        ()
+  end
+
+let create host cm ?(mode = Select_loop) ?(extra_fds = 1) () =
+  let t =
+    {
+      host;
+      cm;
+      mode;
+      extra_fds;
+      meter = Ops.meter host;
+      ready_send = Queue.create ();
+      status_changed = [];
+      dispatch_pending = false;
+      dispatches = 0;
+      send_cbs = Hashtbl.create 8;
+      update_cbs = Hashtbl.create 8;
+      poll_timer = ref None;
+    }
+  in
+  (match mode with
+  | Poll interval ->
+      let timer =
+        Timer.create (engine t) ~callback:(fun () ->
+            (* non-blocking select on the control socket, then dispatch *)
+            Ops.charge t.meter ~nfds:(t.extra_fds + 1) Ops.Select;
+            if (not (Queue.is_empty t.ready_send)) || t.status_changed <> [] then dispatch t ())
+      in
+      Timer.start_periodic timer interval;
+      t.poll_timer := Some timer
+  | Select_loop | Sigio -> ());
+  t
+
+let meter t = t.meter
+let mode t = t.mode
+
+let open_flow t key =
+  (* connection setup is off the data path; its one-time cost is not
+     metered (the paper found setup costs indistinguishable, §4.1) *)
+  Cm.open_flow t.cm key
+
+let close_flow t fid =
+  Hashtbl.remove t.send_cbs fid;
+  Hashtbl.remove t.update_cbs fid;
+  Cm.close_flow t.cm fid
+
+let mtu t fid = Cm.mtu t.cm fid
+
+let request t fid =
+  Ops.charge t.meter Ops.Ioctl_request;
+  Cm.request t.cm fid
+
+let bulk_request t fids =
+  Ops.charge t.meter Ops.Ioctl_request;
+  Cm.bulk_request t.cm fids
+
+let update t fid ~nsent ~nrecd ~loss ?rtt () =
+  Ops.charge t.meter Ops.Ioctl_update;
+  Cm.update t.cm fid ~nsent ~nrecd ~loss ?rtt ()
+
+let bulk_update t entries =
+  Ops.charge t.meter Ops.Ioctl_update;
+  Cm.bulk_update t.cm entries
+
+let notify t fid ~nbytes =
+  Ops.charge t.meter Ops.Ioctl_notify;
+  Cm.notify t.cm fid ~nbytes
+
+let query t fid =
+  Ops.charge t.meter Ops.Ioctl_query;
+  Cm.query t.cm fid
+
+let set_thresh t fid ~down ~up = Cm.set_thresh t.cm fid ~down ~up
+
+let register_send t fid cb =
+  Hashtbl.replace t.send_cbs fid cb;
+  Cm.register_send t.cm fid (fun fid ->
+      Queue.push fid t.ready_send;
+      schedule_dispatch t)
+
+let register_update t fid cb =
+  Hashtbl.replace t.update_cbs fid cb;
+  Cm.register_update t.cm fid (fun _st ->
+      if not (List.mem fid t.status_changed) then
+        t.status_changed <- fid :: t.status_changed;
+      schedule_dispatch t)
+
+let app_send t ~bytes = Ops.charge t.meter ~bytes Ops.Send
+let app_recv t ~bytes = Ops.charge t.meter ~bytes Ops.Recv
+let app_gettimeofday t = Ops.charge t.meter Ops.Gettimeofday
+let dispatches t = t.dispatches

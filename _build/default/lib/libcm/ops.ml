@@ -1,0 +1,56 @@
+open Netsim
+
+type kind =
+  | Send
+  | Recv
+  | Select
+  | Ioctl_request
+  | Ioctl_notify
+  | Ioctl_update
+  | Ioctl_query
+  | Gettimeofday
+  | Sigio
+
+let all =
+  [ Send; Recv; Select; Ioctl_request; Ioctl_notify; Ioctl_update; Ioctl_query; Gettimeofday; Sigio ]
+
+let to_string = function
+  | Send -> "send"
+  | Recv -> "recv"
+  | Select -> "select"
+  | Ioctl_request -> "ioctl(request)"
+  | Ioctl_notify -> "ioctl(notify)"
+  | Ioctl_update -> "ioctl(update)"
+  | Ioctl_query -> "ioctl(query)"
+  | Gettimeofday -> "gettimeofday"
+  | Sigio -> "sigio"
+
+let cost_of (c : Costs.t) ?(bytes = 0) ?(nfds = 2) = function
+  | Send -> c.Costs.syscall + Costs.copy c bytes
+  | Recv -> c.Costs.syscall + Costs.copy c bytes
+  | Select -> Costs.select c ~nfds
+  | Ioctl_request | Ioctl_notify | Ioctl_update | Ioctl_query -> c.Costs.ioctl
+  | Gettimeofday -> c.Costs.gettimeofday
+  | Sigio -> c.Costs.signal_delivery
+
+type meter = { host : Host.t; counts : (kind, int) Hashtbl.t }
+
+let meter host = { host; counts = Hashtbl.create 16 }
+
+let bump m kind =
+  let c = Option.value (Hashtbl.find_opt m.counts kind) ~default:0 in
+  Hashtbl.replace m.counts kind (c + 1)
+
+let charge m ?bytes ?nfds kind =
+  bump m kind;
+  let cost = cost_of (Host.costs m.host) ?bytes ?nfds kind in
+  if cost > 0 then Cpu.charge (Host.cpu m.host) cost
+
+let charge_deferred m ?bytes ?nfds kind fn =
+  bump m kind;
+  let cost = cost_of (Host.costs m.host) ?bytes ?nfds kind in
+  Cpu.run (Host.cpu m.host) ~cost fn
+
+let count m kind = Option.value (Hashtbl.find_opt m.counts kind) ~default:0
+let total m = Hashtbl.fold (fun _ c acc -> acc + c) m.counts 0
+let reset m = Hashtbl.reset m.counts

@@ -1,0 +1,54 @@
+(** User/kernel boundary operations and their metering.
+
+    Every call a user-space CM client makes crosses the kernel boundary
+    somewhere: a socket syscall, a [select], an [ioctl] on the CM control
+    socket, a clock read.  {!Meter} counts them per kind and charges their
+    cost-model time to the host CPU — the instrumentation behind Fig. 5,
+    Fig. 6 and Table 1. *)
+
+open Cm_util
+open Netsim
+
+type kind =
+  | Send  (** [send]/[sendto] syscall, incl. the outbound data copy. *)
+  | Recv  (** [recv] syscall, incl. the inbound data copy. *)
+  | Select  (** One [select] wakeup. *)
+  | Ioctl_request  (** [cm_request] via control-socket ioctl. *)
+  | Ioctl_notify  (** Explicit [cm_notify] ioctl (unconnected sockets). *)
+  | Ioctl_update  (** [cm_update] ioctl. *)
+  | Ioctl_query  (** [cm_query] / ready-flow-extraction ioctl. *)
+  | Gettimeofday  (** Clock read for RTT computation. *)
+  | Sigio  (** SIGIO delivery to the process. *)
+
+val all : kind list
+(** Every kind, in display order. *)
+
+val to_string : kind -> string
+(** Short label, e.g. ["select"]. *)
+
+type meter
+(** Per-process operation counters bound to a host CPU. *)
+
+val meter : Host.t -> meter
+(** A fresh meter charging the host's CPU using its cost profile. *)
+
+val charge : meter -> ?bytes:int -> ?nfds:int -> kind -> unit
+(** Count one operation and charge its cost to the CPU: [bytes] adds the
+    per-byte copy cost for [Send]/[Recv]; [nfds] scales a [Select] by its
+    descriptor-set size (default 2). *)
+
+val charge_deferred : meter -> ?bytes:int -> ?nfds:int -> kind -> (unit -> unit) -> unit
+(** Like {!charge} but runs the continuation when the CPU has actually
+    executed the operation (serializing behind earlier work). *)
+
+val count : meter -> kind -> int
+(** Operations counted so far for the kind. *)
+
+val total : meter -> int
+(** All operations counted. *)
+
+val reset : meter -> unit
+(** Zero the counters (CPU busy time is not rolled back). *)
+
+val cost_of : Costs.t -> ?bytes:int -> ?nfds:int -> kind -> Time.span
+(** The cost-model time for one operation of this kind. *)

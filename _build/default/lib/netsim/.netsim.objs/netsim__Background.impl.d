@@ -1,0 +1,1 @@
+lib/netsim/background.ml: Addr Cm_util Engine Eventsim Host Packet Rng Time

@@ -1,0 +1,1 @@
+lib/netsim/background.mli: Addr Cm_util Engine Eventsim Host Rng Time

@@ -1,0 +1,1 @@
+lib/netsim/costs.mli: Cm_util Time

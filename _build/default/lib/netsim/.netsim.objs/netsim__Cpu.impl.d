@@ -1,0 +1,1 @@
+lib/netsim/cpu.ml: Cm_util Engine Eventsim Time

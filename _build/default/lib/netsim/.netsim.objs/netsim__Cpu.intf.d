@@ -1,0 +1,1 @@
+lib/netsim/cpu.mli: Cm_util Engine Eventsim Time

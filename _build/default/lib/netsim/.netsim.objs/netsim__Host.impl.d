@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Addr Costs Cpu Engine Eventsim Format Hashtbl List Packet Printf

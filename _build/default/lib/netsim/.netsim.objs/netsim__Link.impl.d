@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Cm_util Engine Eventsim Packet Queue_disc Rng Time

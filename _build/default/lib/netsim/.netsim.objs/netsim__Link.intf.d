@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Cm_util Engine Eventsim Packet Queue_disc Rng Time

@@ -1,0 +1,1 @@
+lib/netsim/packet.ml: Addr Cm_util Format Stdlib Time

@@ -1,0 +1,1 @@
+lib/netsim/packet.mli: Addr Cm_util Format Time

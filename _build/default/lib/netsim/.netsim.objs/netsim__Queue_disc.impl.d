@@ -1,0 +1,1 @@
+lib/netsim/queue_disc.ml: Byte_queue Cm_util Packet Rng

@@ -1,0 +1,1 @@
+lib/netsim/router.ml: Addr Hashtbl Packet

@@ -1,0 +1,1 @@
+lib/netsim/router.mli: Packet

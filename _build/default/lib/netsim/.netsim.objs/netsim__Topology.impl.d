@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Engine Eventsim Host Link List Queue_disc Router

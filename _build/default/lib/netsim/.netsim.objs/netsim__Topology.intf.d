@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Cm_util Costs Engine Eventsim Host Link Rng Time

@@ -1,0 +1,1 @@
+lib/netsim/tracer.ml: Addr Array Cm_util Engine Eventsim Format Host List Packet Stdlib Time

@@ -1,0 +1,1 @@
+lib/netsim/tracer.mli: Addr Cm_util Engine Eventsim Format Host Packet Time

@@ -1,0 +1,70 @@
+open Cm_util
+open Eventsim
+
+type t = { mutable active : bool; mutable sent : int }
+
+let interval ~rate_bps ~packet_bytes = Time.sec (float_of_int (packet_bytes * 8) /. rate_bps)
+
+let emit engine host ~dst ~packet_bytes t =
+  let src = Addr.endpoint ~host:(Host.id host) ~port:9 in
+  let flow = Addr.flow ~src ~dst ~proto:Addr.Udp () in
+  let pkt =
+    Packet.make ~now:(Engine.now engine) ~flow
+      ~payload_bytes:(packet_bytes - Packet.header_bytes)
+      (Packet.Raw (packet_bytes - Packet.header_bytes))
+  in
+  t.sent <- t.sent + 1;
+  Host.ip_output host pkt
+
+let check_window ?start ?stop engine =
+  let now = Engine.now engine in
+  let started = match start with Some s -> now >= s | None -> true in
+  let stopped = match stop with Some s -> now >= s | None -> false in
+  (started, stopped)
+
+let make_looper engine ~host ~dst ~packet_bytes ?start ?stop next_gap =
+  if packet_bytes <= Packet.header_bytes then
+    invalid_arg "Background: packet_bytes must exceed header size";
+  let t = { active = true; sent = 0 } in
+  let rec tick () =
+    if t.active then begin
+      let started, stopped = check_window ?start ?stop engine in
+      if stopped then t.active <- false
+      else begin
+        if started then emit engine host ~dst ~packet_bytes t;
+        ignore (Engine.schedule_after engine (next_gap ()) tick)
+      end
+    end
+  in
+  let first = match start with Some s -> Time.max 0 (Time.diff s (Engine.now engine)) | None -> 0 in
+  ignore (Engine.schedule_after engine first tick);
+  t
+
+let cbr engine ~host ~dst ~rate_bps ~packet_bytes ?start ?stop () =
+  let gap = interval ~rate_bps ~packet_bytes in
+  make_looper engine ~host ~dst ~packet_bytes ?start ?stop (fun () -> gap)
+
+let on_off engine ~host ~dst ~rate_bps ~packet_bytes ~mean_on ~mean_off ~rng ?start ?stop () =
+  let gap = interval ~rate_bps ~packet_bytes in
+  let remaining_on = ref 0 in
+  let next_gap () =
+    if !remaining_on > 0 then begin
+      remaining_on := !remaining_on - gap;
+      gap
+    end
+    else begin
+      let on_len = Time.sec (Rng.exponential rng ~mean:(Time.to_float_s mean_on)) in
+      let off_len = Time.sec (Rng.exponential rng ~mean:(Time.to_float_s mean_off)) in
+      remaining_on := on_len;
+      off_len + gap
+    end
+  in
+  make_looper engine ~host ~dst ~packet_bytes ?start ?stop next_gap
+
+let poisson engine ~host ~dst ~rate_bps ~packet_bytes ~rng ?start ?stop () =
+  let mean_gap = Time.to_float_s (interval ~rate_bps ~packet_bytes) in
+  let next_gap () = Time.sec (Rng.exponential rng ~mean:mean_gap) in
+  make_looper engine ~host ~dst ~packet_bytes ?start ?stop next_gap
+
+let stop t = t.active <- false
+let packets_sent t = t.sent

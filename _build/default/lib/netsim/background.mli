@@ -1,0 +1,60 @@
+(** Background (cross) traffic generators.
+
+    Non-adaptive UDP load used to contend with the flows under test:
+    constant bit rate, exponential on/off, and Poisson packet arrivals.
+    Combined with {!Topology.apply_bandwidth_schedule} these reproduce the
+    "available bandwidth varies over time" conditions of Figs. 8–10. *)
+
+open Cm_util
+open Eventsim
+
+type t
+(** A running generator. *)
+
+val cbr :
+  Engine.t ->
+  host:Host.t ->
+  dst:Addr.endpoint ->
+  rate_bps:float ->
+  packet_bytes:int ->
+  ?start:Time.t ->
+  ?stop:Time.t ->
+  unit ->
+  t
+(** Constant-bit-rate UDP source from [host] to [dst]:
+    one [packet_bytes] packet every [packet_bytes·8 / rate_bps] seconds. *)
+
+val on_off :
+  Engine.t ->
+  host:Host.t ->
+  dst:Addr.endpoint ->
+  rate_bps:float ->
+  packet_bytes:int ->
+  mean_on:Time.span ->
+  mean_off:Time.span ->
+  rng:Rng.t ->
+  ?start:Time.t ->
+  ?stop:Time.t ->
+  unit ->
+  t
+(** Exponential on/off source transmitting at [rate_bps] during on
+    periods. *)
+
+val poisson :
+  Engine.t ->
+  host:Host.t ->
+  dst:Addr.endpoint ->
+  rate_bps:float ->
+  packet_bytes:int ->
+  rng:Rng.t ->
+  ?start:Time.t ->
+  ?stop:Time.t ->
+  unit ->
+  t
+(** Poisson packet arrivals with the given mean load. *)
+
+val stop : t -> unit
+(** Stop generating. *)
+
+val packets_sent : t -> int
+(** Packets emitted so far. *)

@@ -1,0 +1,51 @@
+open Cm_util
+
+type t = {
+  syscall : Time.span;
+  copy_per_byte_ns : int;
+  gettimeofday : Time.span;
+  select_base : Time.span;
+  select_per_fd : Time.span;
+  ioctl : Time.span;
+  tcp_proc : Time.span;
+  udp_proc : Time.span;
+  ip_proc : Time.span;
+  intr_rx : Time.span;
+  cm_op : Time.span;
+  signal_delivery : Time.span;
+}
+
+let zero =
+  {
+    syscall = 0;
+    copy_per_byte_ns = 0;
+    gettimeofday = 0;
+    select_base = 0;
+    select_per_fd = 0;
+    ioctl = 0;
+    tcp_proc = 0;
+    udp_proc = 0;
+    ip_proc = 0;
+    intr_rx = 0;
+    cm_op = 0;
+    signal_delivery = 0;
+  }
+
+let pentium3 =
+  {
+    syscall = Time.ns 5_000;
+    copy_per_byte_ns = 6;
+    gettimeofday = Time.ns 2_000;
+    select_base = Time.ns 5_000;
+    select_per_fd = Time.ns 500;
+    ioctl = Time.ns 6_000;
+    tcp_proc = Time.ns 9_000;
+    udp_proc = Time.ns 6_000;
+    ip_proc = Time.ns 7_000;
+    intr_rx = Time.ns 10_000;
+    cm_op = Time.ns 300;
+    signal_delivery = Time.ns 12_000;
+  }
+
+let copy t n = t.copy_per_byte_ns * n
+let select t ~nfds = t.select_base + (t.select_per_fd * nfds)

@@ -1,0 +1,37 @@
+(** CPU cost profiles.
+
+    Named per-operation costs charged to a host's {!Cpu}.  The [pentium3]
+    profile is calibrated to the paper's 600 MHz Pentium III testbed
+    (§4: syscalls a few µs, copies ~3 ns/byte, protocol processing a few
+    µs per packet); [zero] disables CPU accounting entirely, which the
+    pure window-dynamics experiments use. *)
+
+open Cm_util
+
+type t = {
+  syscall : Time.span;  (** Base user/kernel boundary crossing. *)
+  copy_per_byte_ns : int;  (** Data copy cost, per byte, in ns. *)
+  gettimeofday : Time.span;  (** One clock read from user space. *)
+  select_base : Time.span;  (** [select()] fixed cost. *)
+  select_per_fd : Time.span;  (** [select()] per-descriptor scan cost. *)
+  ioctl : Time.span;  (** One ioctl on the CM control socket. *)
+  tcp_proc : Time.span;  (** Kernel TCP per-segment processing. *)
+  udp_proc : Time.span;  (** Kernel UDP per-datagram processing. *)
+  ip_proc : Time.span;  (** IP + driver output path per packet. *)
+  intr_rx : Time.span;  (** Receive interrupt + demux per packet. *)
+  cm_op : Time.span;  (** One in-kernel CM operation (request, notify, update, query or grant). *)
+  signal_delivery : Time.span;  (** Delivering a SIGIO to a process. *)
+}
+(** Per-operation costs. *)
+
+val zero : t
+(** All costs zero: CPU accounting off. *)
+
+val pentium3 : t
+(** Costs approximating the paper's 600 MHz PIII / Linux 2.2 testbed. *)
+
+val copy : t -> int -> Time.span
+(** [copy t n] is the cost of copying [n] bytes across the boundary. *)
+
+val select : t -> nfds:int -> Time.span
+(** Cost of one [select] over [nfds] descriptors. *)

@@ -1,0 +1,98 @@
+open Eventsim
+
+type handler = Packet.t -> unit
+
+type t = {
+  id : int;
+  engine : Engine.t;
+  cpu : Cpu.t;
+  costs : Costs.t;
+  mutable route : (Packet.t -> unit) option;
+  mutable tx_hooks : (Packet.t -> unit) list;
+  mutable rx_filters : (Packet.t -> Packet.t option) list;
+  listeners : (Addr.proto * int, handler) Hashtbl.t;
+  connected : handler Addr.Flow_table.t;
+  mutable next_port : int;
+  mutable unmatched : int;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+}
+
+let create engine ~id ?(costs = Costs.zero) () =
+  {
+    id;
+    engine;
+    cpu = Cpu.create engine;
+    costs;
+    route = None;
+    tx_hooks = [];
+    rx_filters = [];
+    listeners = Hashtbl.create 16;
+    connected = Addr.Flow_table.create 16;
+    next_port = 32768;
+    unmatched = 0;
+    tx_packets = 0;
+    tx_bytes = 0;
+  }
+
+let id t = t.id
+let engine t = t.engine
+let cpu t = t.cpu
+let costs t = t.costs
+let attach_route t out = t.route <- Some out
+let add_tx_hook t hook = t.tx_hooks <- t.tx_hooks @ [ hook ]
+let add_rx_filter t filter = t.rx_filters <- t.rx_filters @ [ filter ]
+
+let ip_output t pkt =
+  match t.route with
+  | None -> failwith (Format.asprintf "Host.ip_output: host %d has no route" t.id)
+  | Some out ->
+      List.iter (fun hook -> hook pkt) t.tx_hooks;
+      t.tx_packets <- t.tx_packets + 1;
+      t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
+      out pkt
+
+let demux t pkt =
+  (* demultiplexing ignores the service class: a peer may mark its
+     packets with any DSCP *)
+  let flow = Addr.strip_dscp pkt.Packet.flow in
+  match Addr.Flow_table.find_opt t.connected flow with
+  | Some handler -> handler pkt
+  | None -> (
+      match Hashtbl.find_opt t.listeners (flow.Addr.proto, flow.Addr.dst.Addr.port) with
+      | Some handler -> handler pkt
+      | None -> t.unmatched <- t.unmatched + 1)
+
+let deliver t pkt =
+  (* receive filters run before demultiplexing; a filter may rewrite the
+     packet (e.g. strip a CM header) or consume it outright *)
+  let rec run filters pkt =
+    match filters with
+    | [] -> demux t pkt
+    | f :: rest -> ( match f pkt with Some pkt -> run rest pkt | None -> ())
+  in
+  run t.rx_filters pkt
+
+let bind t proto ~port handler =
+  if Hashtbl.mem t.listeners (proto, port) then
+    invalid_arg (Printf.sprintf "Host.bind: port %d already bound on host %d" port t.id);
+  Hashtbl.replace t.listeners (proto, port) handler
+
+let unbind t proto ~port = Hashtbl.remove t.listeners (proto, port)
+
+let connect_demux t flow handler =
+  let flow = Addr.strip_dscp flow in
+  if Addr.Flow_table.mem t.connected flow then
+    invalid_arg (Format.asprintf "Host.connect_demux: %a already bound" Addr.pp_flow flow);
+  Addr.Flow_table.replace t.connected flow handler
+
+let disconnect_demux t flow = Addr.Flow_table.remove t.connected (Addr.strip_dscp flow)
+
+let alloc_port t =
+  let port = t.next_port in
+  t.next_port <- t.next_port + 1;
+  port
+
+let unmatched t = t.unmatched
+let tx_packets t = t.tx_packets
+let tx_bytes t = t.tx_bytes

@@ -1,0 +1,118 @@
+open Cm_util
+open Eventsim
+
+type stats = {
+  enqueued_pkts : int;
+  delivered_pkts : int;
+  delivered_bytes : int;
+  queue_drops : int;
+  channel_drops : int;
+  ecn_marks : int;
+}
+
+type t = {
+  engine : Engine.t;
+  mutable bandwidth_bps : float;
+  delay : Time.span;
+  qdisc : Queue_disc.t;
+  mutable loss_rate : float;
+  mutable reorder : (float * Time.span) option; (* probability, extra delay *)
+  rng : Rng.t option;
+  sink : Packet.t -> unit;
+  mutable busy : bool;
+  mutable enqueued_pkts : int;
+  mutable delivered_pkts : int;
+  mutable delivered_bytes : int;
+  mutable channel_drops : int;
+}
+
+let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~sink () =
+  if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if delay < 0 then invalid_arg "Link.create: negative delay";
+  if (loss_rate > 0. || reorder <> None) && rng = None then
+    invalid_arg "Link.create: loss_rate/reorder need an rng";
+  (match reorder with
+  | Some (p, extra) when p < 0. || p > 1. || extra <= 0 ->
+      invalid_arg "Link.create: reorder needs 0 <= p <= 1 and a positive extra delay"
+  | _ -> ());
+  let qdisc = match qdisc with Some q -> q | None -> Queue_disc.droptail ~limit_pkts:100 () in
+  {
+    engine;
+    bandwidth_bps;
+    delay;
+    qdisc;
+    loss_rate;
+    reorder;
+    rng;
+    sink;
+    busy = false;
+    enqueued_pkts = 0;
+    delivered_pkts = 0;
+    delivered_bytes = 0;
+    channel_drops = 0;
+  }
+
+let tx_time t (pkt : Packet.t) = Time.sec (float_of_int (pkt.size * 8) /. t.bandwidth_bps)
+
+let rec start_transmission t =
+  match t.qdisc.Queue_disc.dequeue () with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      let deliver () =
+        t.delivered_pkts <- t.delivered_pkts + 1;
+        t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+        t.sink pkt
+      in
+      let finish () =
+        (* Dummynet-style reordering: with probability p a packet takes a
+           detour of [extra] additional propagation delay, letting later
+           packets overtake it *)
+        let extra =
+          match (t.reorder, t.rng) with
+          | Some (p, extra), Some rng when Rng.bernoulli rng p -> extra
+          | _ -> 0
+        in
+        ignore (Engine.schedule_after t.engine (t.delay + extra) deliver);
+        start_transmission t
+      in
+      ignore (Engine.schedule_after t.engine (tx_time t pkt) finish)
+
+let send t pkt =
+  let lost =
+    t.loss_rate > 0.
+    && match t.rng with Some rng -> Rng.bernoulli rng t.loss_rate | None -> false
+  in
+  if lost then t.channel_drops <- t.channel_drops + 1
+  else begin
+    match t.qdisc.Queue_disc.enqueue pkt with
+    | Queue_disc.Dropped -> ()
+    | Queue_disc.Enqueued ->
+        t.enqueued_pkts <- t.enqueued_pkts + 1;
+        if not t.busy then start_transmission t
+  end
+
+let set_bandwidth t bw =
+  if bw <= 0. then invalid_arg "Link.set_bandwidth: bandwidth must be positive";
+  t.bandwidth_bps <- bw
+
+let bandwidth t = t.bandwidth_bps
+let delay t = t.delay
+
+let set_loss_rate t r =
+  if r > 0. && t.rng = None then invalid_arg "Link.set_loss_rate: loss needs an rng";
+  t.loss_rate <- r
+
+let qdisc t = t.qdisc
+
+let stats t =
+  {
+    enqueued_pkts = t.enqueued_pkts;
+    delivered_pkts = t.delivered_pkts;
+    delivered_bytes = t.delivered_bytes;
+    queue_drops = t.qdisc.Queue_disc.drops ();
+    channel_drops = t.channel_drops;
+    ecn_marks = t.qdisc.Queue_disc.marks ();
+  }
+
+let busy t = t.busy

@@ -1,0 +1,69 @@
+(** Unidirectional links.
+
+    A link serializes packets at its bandwidth, holds them in a queueing
+    discipline while the transmitter is busy, applies an optional random
+    channel loss (the Dummynet knob used throughout the paper's testbed),
+    and delivers each packet to its sink after a propagation delay.
+
+    Bandwidth may be changed at runtime ({!set_bandwidth}): this is how the
+    adaptation experiments (Figs. 8–10) emulate a wide-area path whose
+    available bandwidth varies over time. *)
+
+open Cm_util
+open Eventsim
+
+type t
+(** A link. *)
+
+type stats = {
+  enqueued_pkts : int;  (** Packets accepted into the queue. *)
+  delivered_pkts : int;  (** Packets handed to the sink. *)
+  delivered_bytes : int;  (** Bytes handed to the sink. *)
+  queue_drops : int;  (** Drops by the queueing discipline. *)
+  channel_drops : int;  (** Random (Dummynet-style) losses. *)
+  ecn_marks : int;  (** ECN marks applied by the discipline. *)
+}
+(** Cumulative counters. *)
+
+val create :
+  Engine.t ->
+  bandwidth_bps:float ->
+  delay:Time.span ->
+  ?qdisc:Queue_disc.t ->
+  ?loss_rate:float ->
+  ?reorder:float * Time.span ->
+  ?rng:Rng.t ->
+  sink:(Packet.t -> unit) ->
+  unit ->
+  t
+(** [create eng ~bandwidth_bps ~delay ~sink ()] is a link delivering to
+    [sink].  Default discipline: 100-packet drop-tail.  [loss_rate] (with
+    its [rng]) drops each packet independently with that probability before
+    queueing.  [reorder = (p, extra)] delays each packet by [extra]
+    additional propagation with probability [p], so later packets overtake
+    it (Dummynet-style reordering). *)
+
+val send : t -> Packet.t -> unit
+(** Offer a packet to the link (the device output path). *)
+
+val set_bandwidth : t -> float -> unit
+(** Change the serialization rate; takes effect for the next packet to
+    start transmission. *)
+
+val bandwidth : t -> float
+(** Current serialization rate in bits per second. *)
+
+val delay : t -> Time.span
+(** Propagation delay. *)
+
+val set_loss_rate : t -> float -> unit
+(** Change the random loss probability. *)
+
+val qdisc : t -> Queue_disc.t
+(** The attached queueing discipline. *)
+
+val stats : t -> stats
+(** Snapshot of the counters. *)
+
+val busy : t -> bool
+(** Whether a packet is currently being serialized. *)

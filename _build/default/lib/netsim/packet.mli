@@ -1,0 +1,40 @@
+(** Simulated packets.
+
+    A packet is metadata plus an extensible-variant payload, so transport
+    libraries can add their own segment types ([type Packet.payload += Tcp_seg
+    of …]) without creating a dependency from the network layer to the
+    transports.  Data contents are never materialized — only sizes. *)
+
+open Cm_util
+
+type payload = ..
+(** Extensible payload. *)
+
+type payload += Raw of int
+      (** Opaque application data of the given length (bytes). *)
+
+type t = {
+  id : int;  (** Globally unique (diagnostics, tracing). *)
+  flow : Addr.flow;  (** Transport 5-tuple of this packet. *)
+  size : int;  (** Wire size in bytes, headers included. *)
+  sent_at : Time.t;  (** Timestamp at first transmission onto a link. *)
+  mutable ecn_capable : bool;  (** ECT codepoint: sender supports ECN. *)
+  mutable ecn_marked : bool;  (** CE codepoint: router marked congestion. *)
+  payload : payload;
+}
+(** A packet in flight. *)
+
+val header_bytes : int
+(** Combined link + IP + transport header size charged on every packet
+    (Ethernet-era 40-byte IP+transport plus framing ≈ 58). *)
+
+val make :
+  now:Time.t -> flow:Addr.flow -> payload_bytes:int -> ?ecn_capable:bool -> payload -> t
+(** [make ~now ~flow ~payload_bytes p] is a packet whose wire size is
+    [payload_bytes + header_bytes]. *)
+
+val payload_bytes : t -> int
+(** Wire size minus {!header_bytes} (never negative). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line description for traces. *)

@@ -1,0 +1,129 @@
+open Cm_util
+
+type verdict = Enqueued | Dropped
+
+type t = {
+  name : string;
+  enqueue : Packet.t -> verdict;
+  dequeue : unit -> Packet.t option;
+  len : unit -> int;
+  bytes : unit -> int;
+  drops : unit -> int;
+  marks : unit -> int;
+}
+
+let droptail ?limit_bytes ~limit_pkts () =
+  if limit_pkts <= 0 then invalid_arg "Queue_disc.droptail: limit_pkts must be positive";
+  let q = Byte_queue.create () in
+  let drops = ref 0 in
+  let over_limit pkt =
+    Byte_queue.length q >= limit_pkts
+    || match limit_bytes with Some b -> Byte_queue.bytes q + pkt.Packet.size > b | None -> false
+  in
+  let enqueue pkt =
+    if over_limit pkt then begin
+      incr drops;
+      Dropped
+    end
+    else begin
+      Byte_queue.push q ~size:pkt.Packet.size pkt;
+      Enqueued
+    end
+  in
+  {
+    name = "droptail";
+    enqueue;
+    dequeue = (fun () -> Byte_queue.pop q);
+    len = (fun () -> Byte_queue.length q);
+    bytes = (fun () -> Byte_queue.bytes q);
+    drops = (fun () -> !drops);
+    marks = (fun () -> 0);
+  }
+
+let drop_from_head ~limit_pkts () =
+  if limit_pkts <= 0 then invalid_arg "Queue_disc.drop_from_head: limit_pkts must be positive";
+  let q = Byte_queue.create () in
+  let drops = ref 0 in
+  let enqueue pkt =
+    if Byte_queue.length q >= limit_pkts then begin
+      ignore (Byte_queue.drop_head q);
+      incr drops
+    end;
+    Byte_queue.push q ~size:pkt.Packet.size pkt;
+    Enqueued
+  in
+  {
+    name = "drop-from-head";
+    enqueue;
+    dequeue = (fun () -> Byte_queue.pop q);
+    len = (fun () -> Byte_queue.length q);
+    bytes = (fun () -> Byte_queue.bytes q);
+    drops = (fun () -> !drops);
+    marks = (fun () -> 0);
+  }
+
+let red ?(ecn = false) ?(wq = 0.002) ?(max_p = 0.1) ~min_th ~max_th ~limit_pkts ~rng () =
+  if min_th <= 0 || max_th <= min_th || limit_pkts < max_th then
+    invalid_arg "Queue_disc.red: need 0 < min_th < max_th <= limit_pkts";
+  let q = Byte_queue.create () in
+  let drops = ref 0 and marks = ref 0 in
+  let avg = ref 0. in
+  (* count of packets since last mark/drop, for the RED 1/(1 - count*pb)
+     spreading of marks *)
+  let count = ref (-1) in
+  let note_congestion pkt =
+    if ecn && pkt.Packet.ecn_capable then begin
+      pkt.Packet.ecn_marked <- true;
+      incr marks;
+      true (* still enqueue *)
+    end
+    else begin
+      incr drops;
+      false
+    end
+  in
+  let enqueue pkt =
+    avg := ((1. -. wq) *. !avg) +. (wq *. float_of_int (Byte_queue.length q));
+    let admit =
+      if Byte_queue.length q >= limit_pkts then begin
+        incr drops;
+        count := -1;
+        false
+      end
+      else if !avg < float_of_int min_th then begin
+        count := -1;
+        true
+      end
+      else if !avg >= float_of_int max_th then begin
+        count := -1;
+        note_congestion pkt
+      end
+      else begin
+        incr count;
+        let pb = max_p *. (!avg -. float_of_int min_th) /. float_of_int (max_th - min_th) in
+        let pa =
+          let denom = 1. -. (float_of_int !count *. pb) in
+          if denom <= 0. then 1. else pb /. denom
+        in
+        if Rng.bernoulli rng pa then begin
+          count := -1;
+          note_congestion pkt
+        end
+        else true
+      end
+    in
+    if admit then begin
+      Byte_queue.push q ~size:pkt.Packet.size pkt;
+      Enqueued
+    end
+    else Dropped
+  in
+  {
+    name = (if ecn then "red+ecn" else "red");
+    enqueue;
+    dequeue = (fun () -> Byte_queue.pop q);
+    len = (fun () -> Byte_queue.length q);
+    bytes = (fun () -> Byte_queue.bytes q);
+    drops = (fun () -> !drops);
+    marks = (fun () -> !marks);
+  }

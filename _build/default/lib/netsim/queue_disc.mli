@@ -1,0 +1,44 @@
+(** Router queueing disciplines.
+
+    Drop-tail FIFO (the "de-facto standard for kernel buffers and network
+    router buffers", paper §3.6), drop-from-head FIFO, and RED with
+    optional ECN marking (the paper's congestion-notification alternative,
+    §2.1.3 / RFC 2481). *)
+
+type verdict =
+  | Enqueued  (** Packet accepted (possibly ECN-marked). *)
+  | Dropped  (** Packet dropped at enqueue. *)
+
+type t = {
+  name : string;
+  enqueue : Packet.t -> verdict;
+  dequeue : unit -> Packet.t option;
+  len : unit -> int;  (** Packets queued. *)
+  bytes : unit -> int;  (** Bytes queued. *)
+  drops : unit -> int;  (** Cumulative drop count. *)
+  marks : unit -> int;  (** Cumulative ECN-mark count. *)
+}
+(** A queueing discipline as a record of operations. *)
+
+val droptail : ?limit_bytes:int -> limit_pkts:int -> unit -> t
+(** Classic FIFO: drop arrivals once [limit_pkts] packets (or, if given,
+    [limit_bytes] bytes) are queued. *)
+
+val drop_from_head : limit_pkts:int -> unit -> t
+(** FIFO that, when full, drops the *oldest* packet to admit the new one —
+    the behaviour vat wants for its application buffer. *)
+
+val red :
+  ?ecn:bool ->
+  ?wq:float ->
+  ?max_p:float ->
+  min_th:int ->
+  max_th:int ->
+  limit_pkts:int ->
+  rng:Cm_util.Rng.t ->
+  unit ->
+  t
+(** Random Early Detection (Floyd & Jacobson) on the queue length in
+    packets, with the standard EWMA average ([wq], default 0.002) and
+    marking probability ramp to [max_p] (default 0.1).  With [~ecn:true],
+    ECN-capable packets are marked instead of dropped below [max_th]. *)

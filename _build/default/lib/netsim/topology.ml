@@ -1,0 +1,86 @@
+open Eventsim
+
+type pipe = { a : Host.t; b : Host.t; ab : Link.t; ba : Link.t }
+
+let pipe engine ~bandwidth_bps ~delay ?(loss_rate = 0.) ?(qdisc_limit = 100)
+    ?(reverse_qdisc_limit = 1000) ?rng ?costs () =
+  let a = Host.create engine ~id:0 ?costs () in
+  let b = Host.create engine ~id:1 ?costs () in
+  let ab =
+    Link.create engine ~bandwidth_bps ~delay
+      ~qdisc:(Queue_disc.droptail ~limit_pkts:qdisc_limit ())
+      ~loss_rate ?rng
+      ~sink:(fun pkt -> Host.deliver b pkt)
+      ()
+  in
+  let ba =
+    Link.create engine ~bandwidth_bps ~delay
+      ~qdisc:(Queue_disc.droptail ~limit_pkts:reverse_qdisc_limit ())
+      ~sink:(fun pkt -> Host.deliver a pkt)
+      ()
+  in
+  Host.attach_route a (Link.send ab);
+  Host.attach_route b (Link.send ba);
+  { a; b; ab; ba }
+
+type star = {
+  server : Host.t;
+  clients : Host.t array;
+  up : Link.t array;
+  down : Link.t array;
+  to_server : Link.t;
+  from_server : Link.t;
+}
+
+let star engine ~n_clients ~access_bps ~access_delay ~bottleneck_bps ~bottleneck_delay
+    ?(loss_rate = 0.) ?(qdisc_limit = 100) ?rng ?costs () =
+  if n_clients <= 0 then invalid_arg "Topology.star: need at least one client";
+  let server = Host.create engine ~id:0 ?costs () in
+  let clients = Array.init n_clients (fun i -> Host.create engine ~id:(i + 1) ?costs ()) in
+  let core = Router.create () in
+  (* Shared bottleneck, both directions, hanging off the core router. *)
+  let to_server =
+    Link.create engine ~bandwidth_bps:bottleneck_bps ~delay:bottleneck_delay
+      ~qdisc:(Queue_disc.droptail ~limit_pkts:qdisc_limit ())
+      ~sink:(fun pkt -> Host.deliver server pkt)
+      ()
+  in
+  let client_side = Router.create () in
+  let from_server =
+    Link.create engine ~bandwidth_bps:bottleneck_bps ~delay:bottleneck_delay
+      ~qdisc:(Queue_disc.droptail ~limit_pkts:qdisc_limit ())
+      ~loss_rate ?rng
+      ~sink:(fun pkt -> Router.forward client_side pkt)
+      ()
+  in
+  let up =
+    Array.map
+      (fun client ->
+        let link =
+          Link.create engine ~bandwidth_bps:access_bps ~delay:access_delay
+            ~sink:(fun pkt -> Router.forward core pkt)
+            ()
+        in
+        Host.attach_route client (Link.send link);
+        link)
+      clients
+  in
+  let down =
+    Array.map
+      (fun client ->
+        Link.create engine ~bandwidth_bps:access_bps ~delay:access_delay
+          ~sink:(fun pkt -> Host.deliver client pkt)
+          ())
+      clients
+  in
+  Router.add_route core ~dst:0 (Link.send to_server);
+  Array.iteri (fun i _ -> Router.add_route client_side ~dst:(i + 1) (Link.send down.(i))) clients;
+  Host.attach_route server (Link.send from_server);
+  { server; clients; up; down; to_server; from_server }
+
+let apply_bandwidth_schedule engine link sched =
+  let apply (when_, bw) =
+    if when_ <= Engine.now engine then Link.set_bandwidth link bw
+    else ignore (Engine.schedule_at engine when_ (fun () -> Link.set_bandwidth link bw))
+  in
+  List.iter apply sched

@@ -1,0 +1,68 @@
+(** Canned topologies for experiments.
+
+    Two builders cover every evaluation in the paper: a point-to-point
+    Dummynet-style pipe between two hosts (Figs. 3–6, 8–10) and a star of
+    clients behind one shared bottleneck to a server (Fig. 7, sharing and
+    fairness experiments). *)
+
+open Cm_util
+open Eventsim
+
+type pipe = {
+  a : Host.t;  (** Host with id 0 ("sender" side). *)
+  b : Host.t;  (** Host with id 1 ("receiver" side). *)
+  ab : Link.t;  (** Forward direction a → b. *)
+  ba : Link.t;  (** Reverse direction b → a. *)
+}
+(** A two-host path. *)
+
+val pipe :
+  Engine.t ->
+  bandwidth_bps:float ->
+  delay:Time.span ->
+  ?loss_rate:float ->
+  ?qdisc_limit:int ->
+  ?reverse_qdisc_limit:int ->
+  ?rng:Rng.t ->
+  ?costs:Costs.t ->
+  unit ->
+  pipe
+(** [pipe eng ~bandwidth_bps ~delay ()] connects two fresh hosts with
+    symmetric links.  [delay] is the one-way propagation delay (RTT is
+    [2 × delay] plus serialization).  [loss_rate] applies to the forward
+    (a → b) direction only, like the paper's Dummynet configuration.
+    [qdisc_limit] sizes the forward drop-tail queue (default 100 pkts). *)
+
+type star = {
+  server : Host.t;  (** Host id 0. *)
+  clients : Host.t array;  (** Hosts 1..n. *)
+  up : Link.t array;  (** Client i → router access links. *)
+  down : Link.t array;  (** Router → client i access links. *)
+  to_server : Link.t;  (** Shared bottleneck towards the server. *)
+  from_server : Link.t;  (** Shared bottleneck from the server. *)
+}
+(** Clients behind a common bottleneck to one server. *)
+
+val star :
+  Engine.t ->
+  n_clients:int ->
+  access_bps:float ->
+  access_delay:Time.span ->
+  bottleneck_bps:float ->
+  bottleneck_delay:Time.span ->
+  ?loss_rate:float ->
+  ?qdisc_limit:int ->
+  ?rng:Rng.t ->
+  ?costs:Costs.t ->
+  unit ->
+  star
+(** Builds clients—router—server.  All traffic between any client and the
+    server crosses the shared bottleneck in both directions; [loss_rate]
+    applies on the server → clients direction (data direction for a
+    downloading client). *)
+
+val apply_bandwidth_schedule : Engine.t -> Link.t -> (Time.t * float) list -> unit
+(** [apply_bandwidth_schedule eng link sched] arranges for the link's
+    bandwidth to change to each listed value at the listed times — the
+    time-varying available-bandwidth substitute for the paper's vBNS path
+    (see DESIGN.md). *)

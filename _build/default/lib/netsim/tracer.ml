@@ -1,0 +1,79 @@
+open Cm_util
+open Eventsim
+
+type direction = Tx | Rx | Drop
+
+type event = {
+  at : Time.t;
+  direction : direction;
+  point : string;
+  flow : Addr.flow;
+  size : int;
+  packet_id : int;
+}
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  filter : Packet.t -> bool;
+  ring : event option array;
+  mutable next : int; (* next slot to write *)
+  mutable total : int;
+}
+
+let create engine ?(capacity = 10_000) ?(filter = fun _ -> true) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { engine; capacity; filter; ring = Array.make capacity None; next = 0; total = 0 }
+
+let observe t ~name direction (pkt : Packet.t) =
+  if t.filter pkt then begin
+    t.ring.(t.next mod t.capacity) <-
+      Some
+        {
+          at = Engine.now t.engine;
+          direction;
+          point = name;
+          flow = pkt.Packet.flow;
+          size = pkt.Packet.size;
+          packet_id = pkt.Packet.id;
+        };
+    t.next <- t.next + 1;
+    t.total <- t.total + 1
+  end
+
+let probe_host t ~name host =
+  Host.add_tx_hook host (fun pkt -> observe t ~name Tx pkt)
+
+let probe_sink t ~name sink pkt =
+  observe t ~name Rx pkt;
+  sink pkt
+
+let events t =
+  let n = Stdlib.min t.total t.capacity in
+  let start = t.next - n in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let count t = Stdlib.min t.total t.capacity
+let total_observed t = t.total
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let find t pred = List.find_opt pred (events t)
+
+let pp_direction fmt = function
+  | Tx -> Format.pp_print_string fmt "tx"
+  | Rx -> Format.pp_print_string fmt "rx"
+  | Drop -> Format.pp_print_string fmt "drop"
+
+let pp_event fmt e =
+  Format.fprintf fmt "%a %a %-12s %a %dB #%d" Time.pp e.at pp_direction e.direction e.point
+    Addr.pp_flow e.flow e.size e.packet_id
+
+let dump fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)

@@ -1,0 +1,63 @@
+(** Packet tracing.
+
+    A lightweight observability layer: wrap link sinks and host transmit
+    paths to record timestamped packet events (the simulator's analogue of
+    tcpdump).  Traces are bounded ring buffers, filterable at record time,
+    and renderable for debugging failed experiments or tests. *)
+
+open Cm_util
+open Eventsim
+
+type direction =
+  | Tx  (** Packet leaving a host's IP layer. *)
+  | Rx  (** Packet delivered by a link. *)
+  | Drop  (** Packet rejected by a queueing discipline or channel. *)
+
+type event = {
+  at : Time.t;
+  direction : direction;
+  point : string;  (** Where the event was observed (probe name). *)
+  flow : Addr.flow;
+  size : int;  (** Wire bytes. *)
+  packet_id : int;
+}
+(** One observed packet event. *)
+
+type t
+(** A trace (bounded ring buffer of events). *)
+
+val create : Engine.t -> ?capacity:int -> ?filter:(Packet.t -> bool) -> unit -> t
+(** [create eng ()] holds the most recent [capacity] events (default
+    10 000), timestamped from the engine's clock; [filter] selects which
+    packets are recorded (default: all). *)
+
+val observe : t -> name:string -> direction -> Packet.t -> unit
+(** Record one event (the primitive the probes are built on). *)
+
+val probe_host : t -> name:string -> Host.t -> unit
+(** Record a [Tx] event for every packet the host transmits. *)
+
+val probe_sink : t -> name:string -> (Packet.t -> unit) -> Packet.t -> unit
+(** [probe_sink t ~name sink] is a sink that records an [Rx] event and
+    forwards to [sink] — use it as a link's sink. *)
+
+val events : t -> event list
+(** Recorded events, oldest first. *)
+
+val count : t -> int
+(** Events currently held. *)
+
+val total_observed : t -> int
+(** Events observed since creation (including ones evicted). *)
+
+val clear : t -> unit
+(** Drop all recorded events. *)
+
+val find : t -> (event -> bool) -> event option
+(** First matching event, oldest first. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** Render one line: time, direction, probe, flow, size. *)
+
+val dump : Format.formatter -> t -> unit
+(** Render the whole trace. *)

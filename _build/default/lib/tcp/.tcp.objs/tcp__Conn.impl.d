@@ -1,0 +1,1 @@
+lib/tcp/conn.ml: Addr Cm Cm_util Costs Cpu Engine Eventsim Host List Logs Netsim Packet Rto Segment Stdlib Time Timer

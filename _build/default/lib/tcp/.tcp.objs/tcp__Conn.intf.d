@@ -1,0 +1,1 @@
+lib/tcp/conn.mli: Addr Cm Cm_util Host Netsim Time

@@ -1,0 +1,1 @@
+lib/tcp/rto.ml: Cm_util Float Stdlib Time

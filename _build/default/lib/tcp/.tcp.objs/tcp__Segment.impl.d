@@ -1,0 +1,1 @@
+lib/tcp/segment.ml: Cm_util Format List Netsim Printf String Time

@@ -1,0 +1,33 @@
+open Cm_util
+
+type t = {
+  seq : int;
+  len : int;
+  syn : bool;
+  fin : bool;
+  ack : bool;
+  ack_seq : int;
+  wnd : int;
+  ts_val : Time.t;
+  ts_ecr : Time.t;
+  ece : bool;
+  sacks : (int * int) list;
+}
+
+type Netsim.Packet.payload += Tcp_seg of t
+
+let seg_end s = s.seq + s.len + (if s.syn then 1 else 0) + if s.fin then 1 else 0
+
+let pp fmt s =
+  Format.fprintf fmt "seq=%d len=%d%s%s%s%s wnd=%d%s" s.seq s.len
+    (if s.syn then " SYN" else "")
+    (if s.fin then " FIN" else "")
+    (if s.ack then Printf.sprintf " ack=%d" s.ack_seq else "")
+    (if s.ece then " ECE" else "")
+    s.wnd
+    (match s.sacks with
+    | [] -> ""
+    | blocks ->
+        " sack="
+        ^ String.concat ","
+            (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) blocks))

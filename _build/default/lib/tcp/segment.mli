@@ -1,0 +1,35 @@
+(** TCP segments.
+
+    The wire format carried in {!Netsim.Packet} payloads: sequence/ack
+    numbers, flags, advertised window, RFC 1323 timestamps, and the ECN
+    echo bit.  Data is represented by its length only; sequence-number
+    arithmetic is exact. *)
+
+open Cm_util
+
+type t = {
+  seq : int;  (** Sequence number of the first payload byte (or of SYN/FIN). *)
+  len : int;  (** Payload length in bytes. *)
+  syn : bool;
+  fin : bool;
+  ack : bool;
+  ack_seq : int;  (** Cumulative acknowledgment (valid when [ack]). *)
+  wnd : int;  (** Advertised receive window, bytes. *)
+  ts_val : Time.t;  (** Sender timestamp (RFC 1323 TSval); 0 if unused. *)
+  ts_ecr : Time.t;  (** Echoed peer timestamp (TSecr); 0 if none. *)
+  ece : bool;  (** ECN-echo: receiver saw a CE mark. *)
+  sacks : (int * int) list;
+      (** SACK blocks (RFC 2018): up to three [start, stop) ranges of
+          out-of-order data the receiver holds. *)
+}
+(** One TCP segment. *)
+
+type Netsim.Packet.payload += Tcp_seg of t
+      (** Extensible payload constructor registered with the network layer. *)
+
+val seg_end : t -> int
+(** [seg_end s] is the sequence number just past this segment, counting
+    SYN and FIN as one unit each. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact rendering like [seq=4344 len=1448 ack=1 A] for traces. *)

@@ -1,0 +1,1 @@
+lib/udp/udp.ml: Cc_socket Feedback Socket

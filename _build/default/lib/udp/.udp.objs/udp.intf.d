@@ -1,0 +1,1 @@
+lib/udp/udp.mli: Cc_socket Feedback Socket

@@ -1,0 +1,1 @@
+lib/udp/cc_socket.ml: Addr Byte_queue Cm Cm_util Eventsim Feedback Host Lazy Netsim Packet Printf Socket Stdlib

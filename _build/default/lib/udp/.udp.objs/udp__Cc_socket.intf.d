@@ -1,0 +1,1 @@
+lib/udp/cc_socket.mli: Addr Cm Cm_util Feedback Host Netsim

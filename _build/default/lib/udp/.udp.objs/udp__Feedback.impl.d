@@ -1,0 +1,1 @@
+lib/udp/feedback.ml: Cm Cm_util Engine Eventsim Hashtbl Netsim Stdlib Time Timer

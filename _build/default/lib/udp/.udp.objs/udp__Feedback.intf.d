@@ -1,0 +1,1 @@
+lib/udp/feedback.mli: Cm Cm_util Engine Eventsim Netsim Time

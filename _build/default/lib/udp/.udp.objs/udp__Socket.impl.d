@@ -1,0 +1,1 @@
+lib/udp/socket.ml: Addr Engine Eventsim Host Netsim Packet

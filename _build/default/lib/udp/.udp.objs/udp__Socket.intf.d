@@ -1,0 +1,1 @@
+lib/udp/socket.mli: Addr Host Netsim Packet

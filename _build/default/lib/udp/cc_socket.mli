@@ -1,0 +1,63 @@
+(** Congestion-controlled UDP sockets (the paper's buffered-send API).
+
+    "They provide the same functionality as standard Berkeley UDP sockets,
+    but … the buffered socket implementation schedules its packet output
+    via CM callbacks" (§3.3).  Datagrams queue in a kernel buffer; each
+    CM grant transmits one; the integrated {!Feedback.Sender} converts the
+    receiver's application-level acks into [cm_update] calls, so the whole
+    paper loop — request, grant, notify, update — runs without the
+    application doing anything beyond [send].
+
+    The host must have the CM's IP hook installed ([Cm.attach cm host]),
+    which performs the [cm_notify] charging. *)
+
+open Netsim
+
+type t
+(** A congestion-controlled UDP socket bound to one destination. *)
+
+val create :
+  Host.t ->
+  cm:Cm.t ->
+  dst:Addr.endpoint ->
+  ?dscp:int ->
+  ?port:int ->
+  ?queue_limit_pkts:int ->
+  unit ->
+  t
+(** [create host ~cm ~dst ()] opens a CM flow to [dst] and a UDP socket.
+    [dscp] marks the flow's service class (and, under
+    [By_destination_and_dscp] aggregation, selects its macroflow).  The
+    kernel buffer holds [queue_limit_pkts] datagrams (default 128); sends
+    beyond that are dropped and counted. *)
+
+val send : t -> int -> unit
+(** Queue one datagram of the given payload size (≤ the CM MTU; larger
+    raises [Invalid_argument]).  Transmission happens when the CM grants. *)
+
+val queued : t -> int
+(** Datagrams waiting in the kernel buffer. *)
+
+val unresolved_packets : t -> int
+(** Transmitted datagrams whose feedback has not yet arrived. *)
+
+val queue_drops : t -> int
+(** Datagrams dropped because the buffer was full. *)
+
+val packets_sent : t -> int
+(** Datagrams actually transmitted. *)
+
+val bytes_sent : t -> int
+(** Payload bytes actually transmitted. *)
+
+val flow : t -> Cm.Cm_types.flow_id
+(** The CM flow backing this socket. *)
+
+val close : t -> unit
+(** Close the CM flow and the socket; queued datagrams are discarded. *)
+
+val run_echo_receiver : Host.t -> port:int -> ?batch:int * Cm_util.Time.span -> unit -> Feedback.Receiver.t
+(** Convenience for the remote end: bind [port] and acknowledge every
+    {!Feedback.Data} datagram (optionally batched).  This is the
+    unmodified-receiver role of the paper: a few lines of application
+    code, no kernel changes. *)

@@ -1,0 +1,208 @@
+open Cm_util
+open Eventsim
+
+type Netsim.Packet.payload += Data of { seq : int; bytes : int; ts : Time.t }
+type Netsim.Packet.payload += Ack of { max_seq : int; count : int; bytes : int; ts_echo : Time.t }
+
+module Receiver = struct
+  type t = {
+    engine : Engine.t;
+    send_ack : max_seq:int -> count:int -> bytes:int -> ts_echo:Time.t -> unit;
+    batch : (int * Time.span) option;
+    timer : Timer.t option ref;
+    mutable pending_count : int;
+    mutable pending_bytes : int;
+    mutable pending_max_seq : int;
+    mutable pending_ts : Time.t;
+    mutable total_packets : int;
+    mutable total_bytes : int;
+  }
+
+  let flush t =
+    if t.pending_count > 0 then begin
+      t.send_ack ~max_seq:t.pending_max_seq ~count:t.pending_count ~bytes:t.pending_bytes
+        ~ts_echo:t.pending_ts;
+      t.pending_count <- 0;
+      t.pending_bytes <- 0;
+      match !(t.timer) with Some timer -> Timer.stop timer | None -> ()
+    end
+
+  let create engine ~send_ack ?batch () =
+    let t =
+      {
+        engine;
+        send_ack;
+        batch;
+        timer = ref None;
+        pending_count = 0;
+        pending_bytes = 0;
+        pending_max_seq = -1;
+        pending_ts = 0;
+        total_packets = 0;
+        total_bytes = 0;
+      }
+    in
+    (match batch with
+    | Some _ -> t.timer := Some (Timer.create engine ~callback:(fun () -> flush t))
+    | None -> ());
+    t
+
+  let on_data t ~seq ~bytes ~ts =
+    t.total_packets <- t.total_packets + 1;
+    t.total_bytes <- t.total_bytes + bytes;
+    t.pending_count <- t.pending_count + 1;
+    t.pending_bytes <- t.pending_bytes + bytes;
+    if seq > t.pending_max_seq then t.pending_max_seq <- seq;
+    t.pending_ts <- ts;
+    match t.batch with
+    | None -> flush t
+    | Some (max_count, max_wait) ->
+        if t.pending_count >= max_count then flush t
+        else begin
+          match !(t.timer) with
+          | Some timer when not (Timer.is_running timer) -> Timer.start timer max_wait
+          | _ -> ()
+        end
+
+  let packets_received t = t.total_packets
+  let bytes_received t = t.total_bytes
+end
+
+type report = {
+  nsent : int;
+  nrecd : int;
+  loss : Cm.Cm_types.loss_mode;
+  rtt : Time.span option;
+}
+
+module Sender = struct
+  type entry = { bytes : int; sent_at : Time.t }
+
+  type t = {
+    engine : Engine.t;
+    on_report : report -> unit;
+    timeout_floor : Time.span;
+    outstanding : (int, entry) Hashtbl.t; (* seq -> entry *)
+    mutable next_seq : int;
+    mutable lowest_unresolved : int;
+    mutable recover_seq : int; (* gate: one Transient per window *)
+    mutable srtt : float;
+    mutable srtt_valid : bool;
+    mutable last_feedback : Time.t;
+    timer : Timer.t option ref;
+  }
+
+  let srtt t = if t.srtt_valid then Some (int_of_float t.srtt) else None
+
+  let observe_rtt t sample =
+    if sample > 0 then begin
+      let s = float_of_int sample in
+      if t.srtt_valid then t.srtt <- (0.875 *. t.srtt) +. (0.125 *. s)
+      else begin
+        t.srtt <- s;
+        t.srtt_valid <- true
+      end
+    end
+
+  (* resolve every outstanding packet with seq <= upto; returns (packets,
+     bytes) resolved *)
+  let resolve_upto t upto =
+    let resolved = ref 0 and bytes = ref 0 in
+    for seq = t.lowest_unresolved to upto do
+      match Hashtbl.find_opt t.outstanding seq with
+      | Some e ->
+          incr resolved;
+          bytes := !bytes + e.bytes;
+          Hashtbl.remove t.outstanding seq
+      | None -> ()
+    done;
+    if upto >= t.lowest_unresolved then t.lowest_unresolved <- upto + 1;
+    (!resolved, !bytes)
+
+  let maintenance t () =
+    (* nothing heard for a long time while data is outstanding: persistent
+       congestion (the UDP analogue of a TCP timeout) *)
+    if Hashtbl.length t.outstanding > 0 then begin
+      let now = Engine.now t.engine in
+      let limit =
+        Stdlib.max t.timeout_floor
+          (if t.srtt_valid then 2 * int_of_float t.srtt else t.timeout_floor)
+      in
+      if Time.diff now t.last_feedback > limit then begin
+        let bytes = Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.outstanding 0 in
+        Hashtbl.reset t.outstanding;
+        t.lowest_unresolved <- t.next_seq;
+        t.recover_seq <- t.next_seq;
+        t.last_feedback <- now;
+        t.on_report { nsent = bytes; nrecd = 0; loss = Cm.Cm_types.Persistent; rtt = None }
+      end
+    end
+
+  let create engine ~on_report ?(timeout_floor = Time.ms 500) () =
+    let t =
+      {
+        engine;
+        on_report;
+        timeout_floor;
+        outstanding = Hashtbl.create 64;
+        next_seq = 0;
+        lowest_unresolved = 0;
+        recover_seq = 0;
+        srtt = 0.;
+        srtt_valid = false;
+        last_feedback = Engine.now engine;
+        timer = ref None;
+      }
+    in
+    let timer = Timer.create engine ~callback:(maintenance t) in
+    Timer.start_periodic timer (Time.ms 100);
+    t.timer := Some timer;
+    t
+
+  let next_seq t = t.next_seq
+
+  let on_transmit t ~bytes =
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.replace t.outstanding seq { bytes; sent_at = Engine.now t.engine };
+    seq
+
+  let on_ack t ~max_seq ~count ~bytes ~ts_echo =
+    t.last_feedback <- Engine.now t.engine;
+    let rtt =
+      if ts_echo > 0 then begin
+        let sample = Time.diff (Engine.now t.engine) ts_echo in
+        observe_rtt t sample;
+        if sample > 0 then Some sample else None
+      end
+      else None
+    in
+    let resolved_pkts, resolved_bytes = resolve_upto t max_seq in
+    if resolved_pkts = 0 then begin
+      (* feedback carried no new resolution; still deliver the rtt *)
+      if rtt <> None then t.on_report { nsent = 0; nrecd = 0; loss = Cm.Cm_types.No_loss; rtt }
+    end
+    else begin
+      let recd_bytes = Stdlib.min bytes resolved_bytes in
+      let lost_pkts = resolved_pkts - Stdlib.min count resolved_pkts in
+      let loss =
+        if lost_pkts > 0 && max_seq >= t.recover_seq then begin
+          t.recover_seq <- t.next_seq;
+          Cm.Cm_types.Transient
+        end
+        else Cm.Cm_types.No_loss
+      in
+      let nrecd = if lost_pkts > 0 then recd_bytes else resolved_bytes in
+      t.on_report { nsent = resolved_bytes; nrecd; loss; rtt }
+    end
+
+  let outstanding_packets t = Hashtbl.length t.outstanding
+  let outstanding_bytes t = Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.outstanding 0
+
+  let shutdown t =
+    match !(t.timer) with
+    | Some timer ->
+        Timer.stop timer;
+        t.timer := None
+    | None -> ()
+end

@@ -1,0 +1,66 @@
+open Eventsim
+open Netsim
+
+type t = {
+  host : Host.t;
+  dscp : int;
+  local : Addr.endpoint;
+  mutable peer : Addr.endpoint option;
+  mutable recv_cb : Packet.t -> unit;
+  mutable open_ : bool;
+  mutable sent : int;
+  mutable received : int;
+}
+
+let create host ?(dscp = 0) ?port () =
+  let port = match port with Some p -> p | None -> Host.alloc_port host in
+  let local = Addr.endpoint ~host:(Host.id host) ~port in
+  let t =
+    { host; dscp; local; peer = None; recv_cb = (fun _ -> ()); open_ = false; sent = 0; received = 0 }
+  in
+  Host.bind host Addr.Udp ~port (fun pkt ->
+      t.received <- t.received + 1;
+      t.recv_cb pkt);
+  t.open_ <- true;
+  t
+
+let connect t dst =
+  t.peer <- Some dst;
+  (* exact-match demux for the return path, so a busy port can host both a
+     listener and connected sockets *)
+  let in_flow = Addr.flow ~src:dst ~dst:t.local ~proto:Addr.Udp () in
+  Host.connect_demux t.host in_flow (fun pkt ->
+      t.received <- t.received + 1;
+      t.recv_cb pkt)
+
+let sendto t ~dst ~payload_bytes payload =
+  if not t.open_ then invalid_arg "Socket.sendto: socket closed";
+  let flow = Addr.flow ~src:t.local ~dst ~proto:Addr.Udp () in
+  let pkt =
+    Packet.make ~now:(Engine.now (Host.engine t.host)) ~flow ~payload_bytes payload
+  in
+  t.sent <- t.sent + 1;
+  Host.ip_output t.host pkt
+
+let send t ~payload_bytes payload =
+  match t.peer with
+  | Some dst -> sendto t ~dst ~payload_bytes payload
+  | None -> invalid_arg "Socket.send: socket not connected"
+
+let on_receive t cb = t.recv_cb <- cb
+let local t = t.local
+let peer t = t.peer
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    Host.unbind t.host Addr.Udp ~port:t.local.Addr.port;
+    match t.peer with
+    | Some dst ->
+        Host.disconnect_demux t.host (Addr.flow ~src:dst ~dst:t.local ~proto:Addr.Udp ())
+    | None -> ()
+  end
+
+let dscp t = t.dscp
+let packets_sent t = t.sent
+let packets_received t = t.received

@@ -1,0 +1,48 @@
+(** UDP sockets.
+
+    Thin datagram sockets over the simulated IP layer: bind, optional
+    connect, sendto with an arbitrary payload, and a receive callback.
+    Everything CM-related (pacing, feedback) is layered above — see
+    {!Feedback} and {!Udp_cc}. *)
+
+open Netsim
+
+type t
+(** A UDP socket. *)
+
+val create : Host.t -> ?dscp:int -> ?port:int -> unit -> t
+(** [create host ()] binds an ephemeral port ([?port] to choose one).
+    [dscp] marks every outgoing datagram's service class (default 0).
+    Raises [Invalid_argument] if the port is taken. *)
+
+val connect : t -> Addr.endpoint -> unit
+(** Set the default destination (for {!send}) and install an exact-match
+    demux entry for the return path, like a connected UDP socket. *)
+
+val sendto : t -> dst:Addr.endpoint -> payload_bytes:int -> Packet.payload -> unit
+(** Transmit one datagram of [payload_bytes] to [dst]. *)
+
+val send : t -> payload_bytes:int -> Packet.payload -> unit
+(** Transmit to the connected destination.  Raises [Invalid_argument] if
+    the socket is not connected. *)
+
+val on_receive : t -> (Packet.t -> unit) -> unit
+(** Receive callback (raw packets, so protocols can read their payload). *)
+
+val local : t -> Addr.endpoint
+(** The bound endpoint. *)
+
+val dscp : t -> int
+(** The socket's differentiated-services codepoint. *)
+
+val peer : t -> Addr.endpoint option
+(** The connected destination, if any. *)
+
+val close : t -> unit
+(** Release the port and demux entries. *)
+
+val packets_sent : t -> int
+(** Datagrams transmitted. *)
+
+val packets_received : t -> int
+(** Datagrams delivered to the receive callback. *)

@@ -1,0 +1,5 @@
+(* Library root: the UDP substrate's public face. *)
+
+module Socket = Socket
+module Feedback = Feedback
+module Cc_socket = Cc_socket

@@ -1,0 +1,11 @@
+(** UDP substrate: plain sockets, the CM feedback protocol, and
+    congestion-controlled (buffered) UDP sockets. *)
+
+module Socket : module type of Socket
+(** Plain UDP sockets. *)
+
+module Feedback : module type of Feedback
+(** Application-level acknowledgments for CM clients. *)
+
+module Cc_socket : module type of Cc_socket
+(** Congestion-controlled UDP sockets (the paper's buffered API). *)

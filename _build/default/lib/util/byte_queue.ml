@@ -1,0 +1,33 @@
+type 'a item = { value : 'a; size : int }
+type 'a t = { q : 'a item Queue.t; mutable bytes : int }
+
+let create () = { q = Queue.create (); bytes = 0 }
+
+let push t ~size value =
+  Queue.push { value; size } t.q;
+  t.bytes <- t.bytes + size
+
+let pop t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some item ->
+      t.bytes <- t.bytes - item.size;
+      Some item.value
+
+let peek t = Option.map (fun item -> item.value) (Queue.peek_opt t.q)
+
+let drop_head t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some item ->
+      t.bytes <- t.bytes - item.size;
+      Some (item.value, item.size)
+
+let length t = Queue.length t.q
+let bytes t = t.bytes
+let is_empty t = Queue.is_empty t.q
+let iter f t = Queue.iter (fun item -> f item.value) t.q
+
+let clear t =
+  Queue.clear t.q;
+  t.bytes <- 0

@@ -1,0 +1,41 @@
+(** FIFO queue with byte accounting.
+
+    Backs router queues and application packet buffers.  Each element
+    carries a size in bytes; the queue tracks the total so capacity checks
+    are O(1).  Supports both tail insertion with head removal (FIFO) and
+    drop-from-head (for the vat application buffer, paper §3.6). *)
+
+type 'a t
+(** A queue of ['a] elements with sizes. *)
+
+val create : unit -> 'a t
+(** Empty queue. *)
+
+val push : 'a t -> size:int -> 'a -> unit
+(** Append at the tail. *)
+
+val pop : 'a t -> 'a option
+(** Remove the head element; [None] if empty. *)
+
+val peek : 'a t -> 'a option
+(** Head element without removing it. *)
+
+val drop_head : 'a t -> ('a * int) option
+(** Remove and return the head element and its size (alias of {!pop} that
+    also reports the size — used when implementing drop-from-head
+    policies). *)
+
+val length : 'a t -> int
+(** Number of elements. *)
+
+val bytes : 'a t -> int
+(** Sum of element sizes. *)
+
+val is_empty : 'a t -> bool
+(** Whether the queue holds no elements. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate head to tail. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)

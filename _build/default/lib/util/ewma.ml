@@ -1,0 +1,19 @@
+type t = { gain : float; mutable value : float; mutable initialized : bool }
+
+let create ~gain =
+  if gain <= 0. || gain > 1. then invalid_arg "Ewma.create: gain must be in (0,1]";
+  { gain; value = nan; initialized = false }
+
+let update t x =
+  if t.initialized then t.value <- ((1. -. t.gain) *. t.value) +. (t.gain *. x)
+  else begin
+    t.value <- x;
+    t.initialized <- true
+  end
+
+let value t = if t.initialized then t.value else nan
+let initialized t = t.initialized
+
+let reset t =
+  t.value <- nan;
+  t.initialized <- false

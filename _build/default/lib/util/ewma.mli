@@ -1,0 +1,23 @@
+(** Exponentially weighted moving average.
+
+    Used for smoothed RTT and rate estimates, following the TCP
+    [srtt = (1-g)·srtt + g·sample] form. *)
+
+type t
+(** Mutable EWMA state. *)
+
+val create : gain:float -> t
+(** [create ~gain] builds an empty estimator; the first sample initializes
+    the average directly.  [gain] must be in (0, 1]. *)
+
+val update : t -> float -> unit
+(** Fold one sample into the average. *)
+
+val value : t -> float
+(** Current estimate; [nan] before any sample. *)
+
+val initialized : t -> bool
+(** Whether at least one sample has been folded in. *)
+
+val reset : t -> unit
+(** Forget all samples. *)

@@ -1,0 +1,111 @@
+type 'a entry = {
+  prio : int;
+  seq : int; (* tie-break: FIFO among equal priorities *)
+  value : 'a;
+  mutable pos : int; (* index in [arr]; -1 once removed *)
+}
+
+type 'a handle = 'a entry
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = Array.make 16 None; len = 0; next_seq = 0 }
+let size h = h.len
+let is_empty h = h.len = 0
+
+let entry_at h i =
+  match h.arr.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let set h i e =
+  h.arr.(i) <- Some e;
+  e.pos <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let e = entry_at h i and p = entry_at h parent in
+    if less e p then begin
+      set h parent e;
+      set h i p;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && less (entry_at h l) (entry_at h !smallest) then smallest := l;
+  if r < h.len && less (entry_at h r) (entry_at h !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let a = entry_at h i and b = entry_at h !smallest in
+    set h i b;
+    set h !smallest a;
+    sift_down h !smallest
+  end
+
+let grow h =
+  if h.len = Array.length h.arr then begin
+    let bigger = Array.make (2 * Array.length h.arr) None in
+    Array.blit h.arr 0 bigger 0 h.len;
+    h.arr <- bigger
+  end
+
+let insert h ~prio value =
+  grow h;
+  let e = { prio; seq = h.next_seq; value; pos = h.len } in
+  h.next_seq <- h.next_seq + 1;
+  h.arr.(h.len) <- Some e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1);
+  e
+
+let min_elt h = if h.len = 0 then None else Some ((entry_at h 0).prio, (entry_at h 0).value)
+
+let delete_at h i =
+  let last = h.len - 1 in
+  let victim = entry_at h i in
+  victim.pos <- -1;
+  if i = last then begin
+    h.arr.(last) <- None;
+    h.len <- last
+  end
+  else begin
+    let moved = entry_at h last in
+    h.arr.(last) <- None;
+    h.len <- last;
+    set h i moved;
+    sift_down h i;
+    sift_up h i
+  end;
+  victim
+
+let extract_min h =
+  if h.len = 0 then None
+  else begin
+    let e = delete_at h 0 in
+    Some (e.prio, e.value)
+  end
+
+let mem _h (hd : 'a handle) = hd.pos >= 0
+
+let remove h hd =
+  if hd.pos < 0 then false
+  else begin
+    ignore (delete_at h hd.pos);
+    true
+  end
+
+let clear h =
+  for i = 0 to h.len - 1 do
+    (entry_at h i).pos <- -1;
+    h.arr.(i) <- None
+  done;
+  h.len <- 0

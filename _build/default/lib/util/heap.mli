@@ -1,0 +1,42 @@
+(** Removable binary min-heap.
+
+    Backs the event queue: O(log n) insert and extract-min, O(log n)
+    removal of an arbitrary element through its handle.  Elements are
+    ordered by a priority supplied at insertion plus an insertion sequence
+    number, so equal priorities pop in FIFO order (stable). *)
+
+type 'a t
+(** A heap of values of type ['a] keyed by integer priority. *)
+
+type 'a handle
+(** Identifies an inserted element; valid until the element is removed or
+    extracted. *)
+
+val create : unit -> 'a t
+(** An empty heap. *)
+
+val size : 'a t -> int
+(** Number of live elements. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [size h = 0]. *)
+
+val insert : 'a t -> prio:int -> 'a -> 'a handle
+(** [insert h ~prio v] adds [v] with priority [prio] and returns its
+    handle. *)
+
+val min_elt : 'a t -> (int * 'a) option
+(** Smallest (priority, value) without removing it. *)
+
+val extract_min : 'a t -> (int * 'a) option
+(** Remove and return the smallest (priority, value); [None] if empty. *)
+
+val remove : 'a t -> 'a handle -> bool
+(** [remove h hd] deletes the element behind [hd]; returns [false] if it
+    was already extracted or removed. *)
+
+val mem : 'a t -> 'a handle -> bool
+(** Whether the handle still designates a live element. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)

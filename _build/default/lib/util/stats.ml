@@ -1,0 +1,75 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sum : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min_v = nan; max_v = nan; sum = 0. }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.n = 1 then begin
+    t.min_v <- x;
+    t.max_v <- x
+  end
+  else begin
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min_value t = t.min_v
+let max_value t = t.max_v
+let sum t = t.sum
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+    let m2 =
+      a.m2 +. b.m2 +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+    in
+    {
+      n;
+      mean;
+      m2;
+      min_v = Stdlib.min a.min_v b.min_v;
+      max_v = Stdlib.max a.max_v b.max_v;
+      sum = a.sum +. b.sum;
+    }
+  end
+
+let percentile samples p =
+  let n = Array.length samples in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort Float.compare sorted;
+    if n = 1 then sorted.(0)
+    else begin
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.of_int (int_of_float rank)) in
+      let lo = Stdlib.max 0 (Stdlib.min (n - 2) lo) in
+      let frac = rank -. float_of_int lo in
+      sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
+    end
+  end
+
+let median s = percentile s 50.
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t) (stddev t) t.min_v
+    t.max_v

@@ -1,0 +1,45 @@
+(** Online and batch statistics used by experiments and tests. *)
+
+type t
+(** A running accumulator (Welford's algorithm): count, mean, variance,
+    min, max.  O(1) space regardless of sample count. *)
+
+val create : unit -> t
+(** Fresh accumulator. *)
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val count : t -> int
+(** Number of samples recorded. *)
+
+val mean : t -> float
+(** Sample mean; [nan] if no samples. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
+val min_value : t -> float
+(** Smallest sample; [nan] if none. *)
+
+val max_value : t -> float
+(** Largest sample; [nan] if none. *)
+
+val sum : t -> float
+(** Sum of all samples. *)
+
+val merge : t -> t -> t
+(** [merge a b] is an accumulator equivalent to having seen both streams. *)
+
+val percentile : float array -> float -> float
+(** [percentile samples p] is the [p]-th percentile ([0. <= p <= 100.]) by
+    linear interpolation.  Sorts a copy; [nan] on an empty array. *)
+
+val median : float array -> float
+(** [median s] is [percentile s 50.]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as [n=… mean=… sd=… min=… max=…]. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Addr Alcotest Cm Cm_apps Cm_util Engine Eventsim Libcm List Netsim Stats Tcp Time Timeline Topology Udp

@@ -1,0 +1,1 @@
+test/test_cm.ml: Addr Alcotest Cm Cm_types Cm_util Controller Engine Eventsim Float Format Fun Host List Macroflow Netsim Packet Printf QCheck QCheck_alcotest Scheduler Stdlib String Time Topology

@@ -1,0 +1,1 @@
+test/test_cmproto.ml: Addr Alcotest Cm Cm_util Cmproto Engine Eventsim List Netsim Packet Printf Rng Time Timer Topology Udp

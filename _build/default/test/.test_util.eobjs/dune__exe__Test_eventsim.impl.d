@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest Cm_util Engine Eventsim Format List Logs Printf QCheck QCheck_alcotest Sim_log Stdlib Time Timer Unix

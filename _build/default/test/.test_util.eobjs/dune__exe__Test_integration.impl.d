@@ -1,0 +1,1 @@
+test/test_integration.ml: Addr Alcotest Array Cm Cm_apps Cm_util Engine Eventsim Experiments Float Host Link List Netsim Queue_disc Rng Stdlib Tcp Time Timer Topology Udp

@@ -1,0 +1,1 @@
+test/test_libcm.ml: Addr Alcotest Cm Cm_util Costs Cpu Engine Eventsim Host Libcm List Netsim Time Topology

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Addr Alcotest Array Background Cm_util Cpu Engine Eventsim Float Host Link List Netsim Packet Queue_disc Rng Router Stdlib Time Topology Tracer

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Addr Alcotest Array Cm Cm_util Engine Eventsim Host Link Netsim Packet QCheck QCheck_alcotest Queue_disc Rng Stdlib Tcp Time Topology

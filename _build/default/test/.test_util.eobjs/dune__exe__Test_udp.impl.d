@@ -1,0 +1,1 @@
+test/test_udp.ml: Addr Alcotest Cm Cm_util Engine Eventsim List Netsim Packet QCheck QCheck_alcotest Rng Time Topology Udp

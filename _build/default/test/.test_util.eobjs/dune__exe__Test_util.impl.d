@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Byte_queue Cm_util Ewma Float Format Fun Heap List QCheck QCheck_alcotest Rng Stats Stdlib Time Timeline

@@ -1,0 +1,633 @@
+(* Tests for the CM core: controllers, schedulers, macroflow window
+   accounting, and the public API. *)
+
+open Cm_util
+open Eventsim
+open Netsim
+open Cm
+
+let mtu = 1000
+
+let make_env () =
+  let engine = Engine.create () in
+  let cm = Cm.create engine ~mtu () in
+  (engine, cm)
+
+let flow_key ?(sport = 100) ?(dport = 200) ?(dst = 1) () =
+  Addr.flow
+    ~src:(Addr.endpoint ~host:0 ~port:sport)
+    ~dst:(Addr.endpoint ~host:dst ~port:dport)
+    ~proto:Addr.Udp ()
+
+(* ------------------------------------------------------------------ *)
+(* Controller tests *)
+
+let test_aimd_slow_start () =
+  let c = Controller.aimd () ~mtu in
+  Alcotest.(check int) "initial window is one mtu" mtu (c.Controller.cwnd ());
+  Alcotest.(check bool) "starts in slow start" true (c.Controller.in_slow_start ());
+  c.Controller.on_ack ~nbytes:mtu;
+  Alcotest.(check int) "doubles per window acked" (2 * mtu) (c.Controller.cwnd ());
+  c.Controller.on_ack ~nbytes:(2 * mtu);
+  Alcotest.(check int) "pure byte counting" (4 * mtu) (c.Controller.cwnd ());
+  c.Controller.on_ack ~nbytes:(4 * mtu);
+  (* a large batched feedback event opens the window in one step *)
+  Alcotest.(check int) "batched feedback opens fully" (8 * mtu) (c.Controller.cwnd ())
+
+let test_aimd_transient_halves () =
+  let c = Controller.aimd () ~mtu in
+  for _ = 1 to 10 do
+    c.Controller.on_ack ~nbytes:mtu
+  done;
+  let before = c.Controller.cwnd () in
+  c.Controller.on_loss Cm_types.Transient;
+  Alcotest.(check int) "halved" (Stdlib.max (before / 2) (2 * mtu)) (c.Controller.cwnd ());
+  Alcotest.(check bool) "no longer in slow start" false (c.Controller.in_slow_start ())
+
+let test_aimd_persistent_collapses () =
+  let c = Controller.aimd () ~mtu in
+  for _ = 1 to 10 do
+    c.Controller.on_ack ~nbytes:mtu
+  done;
+  c.Controller.on_loss Cm_types.Persistent;
+  Alcotest.(check int) "back to one mtu" mtu (c.Controller.cwnd ());
+  Alcotest.(check bool) "slow start restarts" true (c.Controller.in_slow_start ())
+
+let test_aimd_congestion_avoidance_linear () =
+  let c = Controller.aimd () ~mtu in
+  c.Controller.on_ack ~nbytes:mtu;
+  c.Controller.on_loss Cm_types.Transient;
+  (* now in congestion avoidance at ssthresh *)
+  let w0 = c.Controller.cwnd () in
+  (* acking one full window grows the window by exactly one mtu *)
+  let rec ack_window remaining =
+    if remaining > 0 then begin
+      let chunk = Stdlib.min remaining mtu in
+      c.Controller.on_ack ~nbytes:chunk;
+      ack_window (remaining - chunk)
+    end
+  in
+  ack_window w0;
+  Alcotest.(check int) "one mtu per window" (w0 + mtu) (c.Controller.cwnd ())
+
+let test_aimd_floor_and_reset () =
+  let c = Controller.aimd () ~mtu in
+  for _ = 1 to 5 do
+    c.Controller.on_loss Cm_types.Persistent
+  done;
+  Alcotest.(check bool) "never below one mtu" true (c.Controller.cwnd () >= mtu);
+  for _ = 1 to 20 do
+    c.Controller.on_ack ~nbytes:mtu
+  done;
+  c.Controller.reset ();
+  Alcotest.(check int) "reset restores initial window" mtu (c.Controller.cwnd ())
+
+let test_aimd_ecn_like_transient () =
+  let c1 = Controller.aimd () ~mtu and c2 = Controller.aimd () ~mtu in
+  for _ = 1 to 8 do
+    c1.Controller.on_ack ~nbytes:mtu;
+    c2.Controller.on_ack ~nbytes:mtu
+  done;
+  c1.Controller.on_loss Cm_types.Transient;
+  c2.Controller.on_loss Cm_types.Ecn_echo;
+  Alcotest.(check int) "ecn reduces like transient" (c1.Controller.cwnd ())
+    (c2.Controller.cwnd ())
+
+let test_binomial_aimd_equivalence () =
+  (* (k=0, l=1) must behave as AIMD: halve on loss *)
+  let c = Controller.binomial ~k:0. ~l:1. () ~mtu in
+  for _ = 1 to 16 do
+    c.Controller.on_ack ~nbytes:mtu
+  done;
+  let before = c.Controller.cwnd () in
+  c.Controller.on_loss Cm_types.Transient;
+  let after = c.Controller.cwnd () in
+  Alcotest.(check bool)
+    (Printf.sprintf "halves on loss (%d -> %d)" before after)
+    true
+    (abs (after - (before / 2)) <= mtu)
+
+let test_binomial_sqrt_gentler () =
+  (* SQRT decreases less than AIMD from the same window *)
+  let a = Controller.binomial ~k:0. ~l:1. () ~mtu in
+  let s = Controller.binomial ~k:0.5 ~l:0.5 () ~mtu in
+  for _ = 1 to 20 do
+    a.Controller.on_ack ~nbytes:mtu;
+    s.Controller.on_ack ~nbytes:mtu
+  done;
+  let wa = a.Controller.cwnd () and ws = s.Controller.cwnd () in
+  a.Controller.on_loss Cm_types.Transient;
+  s.Controller.on_loss Cm_types.Transient;
+  let da = wa - a.Controller.cwnd () and ds = ws - s.Controller.cwnd () in
+  Alcotest.(check bool)
+    (Printf.sprintf "sqrt decrease %d < aimd decrease %d" ds da)
+    true (ds < da)
+
+
+let test_equation_slow_starts_then_tracks_loss_rate () =
+  let c = Controller.equation () ~mtu in
+  Alcotest.(check bool) "slow start before first loss" true (c.Controller.in_slow_start ());
+  for _ = 1 to 10 do
+    c.Controller.on_ack ~nbytes:mtu
+  done;
+  Alcotest.(check bool) "window grew" true (c.Controller.cwnd () > 5 * mtu);
+  (* a loss event every 50 mtu of acked data: p = 1/50, W = mtu*sqrt(75) ~ 8.6 mtu *)
+  for _ = 1 to 10 do
+    for _ = 1 to 50 do
+      c.Controller.on_ack ~nbytes:mtu
+    done;
+    c.Controller.on_loss Cm_types.Transient
+  done;
+  let w = c.Controller.cwnd () in
+  Alcotest.(check bool)
+    (Printf.sprintf "window near equation value (%d)" w)
+    true
+    (w > 6 * mtu && w < 12 * mtu)
+
+let test_equation_smoother_than_aimd () =
+  (* after a steady loss pattern, one more loss barely moves the equation
+     window while AIMD halves *)
+  let e = Controller.equation () ~mtu and a = Controller.aimd () ~mtu in
+  for _ = 1 to 10 do
+    for _ = 1 to 50 do
+      e.Controller.on_ack ~nbytes:mtu;
+      a.Controller.on_ack ~nbytes:mtu
+    done;
+    e.Controller.on_loss Cm_types.Transient;
+    a.Controller.on_loss Cm_types.Transient
+  done;
+  let we0 = e.Controller.cwnd () and wa0 = a.Controller.cwnd () in
+  for _ = 1 to 50 do
+    e.Controller.on_ack ~nbytes:mtu;
+    a.Controller.on_ack ~nbytes:mtu
+  done;
+  e.Controller.on_loss Cm_types.Transient;
+  a.Controller.on_loss Cm_types.Transient;
+  let de = abs (e.Controller.cwnd () - we0) and da = abs (a.Controller.cwnd () - wa0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "equation moved %d vs aimd %d" de da)
+    true (de * 2 < da)
+
+let test_equation_reset () =
+  let c = Controller.equation () ~mtu in
+  for _ = 1 to 100 do
+    c.Controller.on_ack ~nbytes:mtu
+  done;
+  c.Controller.on_loss Cm_types.Transient;
+  c.Controller.reset ();
+  Alcotest.(check int) "initial window restored" mtu (c.Controller.cwnd ());
+  Alcotest.(check bool) "back in slow start" true (c.Controller.in_slow_start ())
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler tests *)
+
+let drain sched n =
+  List.init n (fun _ -> sched.Scheduler.dequeue ()) |> List.filter_map Fun.id
+
+let test_rr_alternates () =
+  let s = Scheduler.round_robin () in
+  s.Scheduler.enqueue 1;
+  s.Scheduler.enqueue 1;
+  s.Scheduler.enqueue 2;
+  s.Scheduler.enqueue 2;
+  Alcotest.(check (list int)) "alternates flows" [ 1; 2; 1; 2 ] (drain s 4);
+  Alcotest.(check (option int)) "then empty" None (s.Scheduler.dequeue ())
+
+let test_rr_remove_purges () =
+  let s = Scheduler.round_robin () in
+  s.Scheduler.enqueue 1;
+  s.Scheduler.enqueue 2;
+  s.Scheduler.enqueue 1;
+  s.Scheduler.remove 1;
+  Alcotest.(check (list int)) "only flow 2 remains" [ 2 ] (drain s 3);
+  Alcotest.(check int) "pending zero" 0 (s.Scheduler.pending ())
+
+let test_rr_pending_counts () =
+  let s = Scheduler.round_robin () in
+  for _ = 1 to 5 do
+    s.Scheduler.enqueue 7
+  done;
+  s.Scheduler.enqueue 9;
+  Alcotest.(check int) "pending total" 6 (s.Scheduler.pending ());
+  Alcotest.(check int) "pending for 7" 5 (s.Scheduler.pending_for 7);
+  Alcotest.(check int) "pending for 9" 1 (s.Scheduler.pending_for 9)
+
+let test_weighted_proportional () =
+  let s = Scheduler.weighted () in
+  s.Scheduler.set_weight 1 3.0;
+  s.Scheduler.set_weight 2 1.0;
+  for _ = 1 to 40 do
+    s.Scheduler.enqueue 1;
+    s.Scheduler.enqueue 2
+  done;
+  let grants = drain s 40 in
+  let n1 = List.length (List.filter (( = ) 1) grants) in
+  let n2 = List.length (List.filter (( = ) 2) grants) in
+  Alcotest.(check bool)
+    (Printf.sprintf "3:1 split (%d vs %d)" n1 n2)
+    true
+    (n1 >= 27 && n1 <= 33 && n1 + n2 = 40)
+
+(* ------------------------------------------------------------------ *)
+(* CM API tests *)
+
+let test_open_close () =
+  let _engine, cm = make_env () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  Alcotest.(check int) "mtu exposed" mtu (Cm.mtu cm fid);
+  Alcotest.(check (option int)) "lookup finds flow" (Some fid) (Cm.lookup cm (flow_key ()));
+  Cm.close_flow cm fid;
+  Alcotest.(check (option int)) "lookup after close" None (Cm.lookup cm (flow_key ()));
+  Alcotest.check_raises "double close rejected" (Invalid_argument "Cm: unknown or closed flow 1")
+    (fun () -> Cm.close_flow cm fid)
+
+let test_duplicate_open_rejected () =
+  let _engine, cm = make_env () in
+  let _fid = Cm.open_flow cm (flow_key ()) in
+  Alcotest.(check bool) "duplicate open raises" true
+    (try
+       ignore (Cm.open_flow cm (flow_key ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_same_dst_shares_macroflow () =
+  let _engine, cm = make_env () in
+  let f1 = Cm.open_flow cm (flow_key ~sport:100 ()) in
+  let f2 = Cm.open_flow cm (flow_key ~sport:101 ()) in
+  let f3 = Cm.open_flow cm (flow_key ~sport:102 ~dst:2 ()) in
+  Alcotest.(check int) "same destination, same macroflow" (Cm.macroflow_id cm f1)
+    (Cm.macroflow_id cm f2);
+  Alcotest.(check bool) "different destination, different macroflow" true
+    (Cm.macroflow_id cm f1 <> Cm.macroflow_id cm f3)
+
+let test_request_grant_cycle () =
+  let engine, cm = make_env () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  let grants = ref 0 in
+  Cm.register_send cm fid (fun g ->
+      Alcotest.(check int) "grant names the flow" fid g;
+      incr grants;
+      (* client transmits a full mtu; notify is what the IP hook would do *)
+      Cm.notify cm fid ~nbytes:mtu);
+  Cm.request cm fid;
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "one grant delivered" 1 !grants;
+  let mf = Cm.macroflow_of cm fid in
+  Alcotest.(check int) "window fully outstanding" mtu (Macroflow.outstanding mf);
+  (* second request must stall: window is full *)
+  Cm.request cm fid;
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "no grant while window closed" 1 !grants;
+  (* feedback opens the window and releases the pending request *)
+  Cm.update cm fid ~nsent:mtu ~nrecd:mtu ~loss:Cm_types.No_loss ~rtt:(Time.ms 10) ();
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "pending grant released by update" 2 !grants
+
+let test_grant_declined_passes_on () =
+  let engine, cm = make_env () in
+  let f1 = Cm.open_flow cm (flow_key ~sport:100 ()) in
+  let f2 = Cm.open_flow cm (flow_key ~sport:101 ()) in
+  let f2_grants = ref 0 in
+  (* f1 declines its grant: cm_notify(0) *)
+  Cm.register_send cm f1 (fun _ -> Cm.notify cm f1 ~nbytes:0);
+  Cm.register_send cm f2 (fun _ ->
+      incr f2_grants;
+      Cm.notify cm f2 ~nbytes:mtu);
+  Cm.request cm f1;
+  Cm.request cm f2;
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "declined grant reaches the other flow" 1 !f2_grants
+
+let test_query_reports_rtt_and_rate () =
+  let engine, cm = make_env () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  let st0 = Cm.query cm fid in
+  Alcotest.(check (option int)) "no srtt before feedback" None st0.Cm_types.srtt;
+  Cm.update cm fid ~nsent:0 ~nrecd:0 ~loss:Cm_types.No_loss ~rtt:(Time.ms 100) ();
+  Engine.run_for engine (Time.ms 1);
+  let st = Cm.query cm fid in
+  (match st.Cm_types.srtt with
+  | Some srtt -> Alcotest.(check int) "first sample becomes srtt" (Time.ms 100) srtt
+  | None -> Alcotest.fail "expected srtt");
+  (* rate = cwnd / srtt = 1000 B / 0.1 s = 80_000 bps *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rate near 80kbps (%f)" st.Cm_types.rate_bps)
+    true
+    (Float.abs (st.Cm_types.rate_bps -. 80_000.) < 1.)
+
+let test_rate_callback_fires_on_change () =
+  let engine, cm = make_env () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  let reported = ref [] in
+  Cm.register_update cm fid (fun st -> reported := st.Cm_types.rate_bps :: !reported);
+  Cm.set_thresh cm fid ~down:0.9 ~up:1.1;
+  Cm.update cm fid ~nsent:0 ~nrecd:0 ~loss:Cm_types.No_loss ~rtt:(Time.ms 100) ();
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "first estimate reported" 1 (List.length !reported);
+  (* massive growth: slow-start doubling should cross the 1.1x threshold *)
+  Cm.update cm fid ~nsent:mtu ~nrecd:mtu ~loss:Cm_types.No_loss ();
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "growth reported" 2 (List.length !reported);
+  (* tiny change: no callback *)
+  Cm.update cm fid ~nsent:0 ~nrecd:0 ~loss:Cm_types.No_loss ~rtt:(Time.ms 100) ();
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "small change suppressed" 2 (List.length !reported)
+
+let test_split_and_merge () =
+  let _engine, cm = make_env () in
+  let f1 = Cm.open_flow cm (flow_key ~sport:100 ()) in
+  let f2 = Cm.open_flow cm (flow_key ~sport:101 ()) in
+  Alcotest.(check int) "start together" (Cm.macroflow_id cm f1) (Cm.macroflow_id cm f2);
+  Cm.split cm f1;
+  Alcotest.(check bool) "split separates" true (Cm.macroflow_id cm f1 <> Cm.macroflow_id cm f2);
+  Cm.merge cm f1 ~into:f2;
+  Alcotest.(check int) "merge rejoins" (Cm.macroflow_id cm f1) (Cm.macroflow_id cm f2)
+
+let test_attach_charges_outstanding () =
+  let engine = Engine.create () in
+  let net = Topology.pipe engine ~bandwidth_bps:1e7 ~delay:(Time.ms 5) () in
+  let cm = Cm.create engine ~mtu () in
+  Cm.attach cm net.Topology.a;
+  let key =
+    Addr.flow
+      ~src:(Addr.endpoint ~host:0 ~port:100)
+      ~dst:(Addr.endpoint ~host:1 ~port:200)
+      ~proto:Addr.Udp ()
+  in
+  let fid = Cm.open_flow cm key in
+  let pkt = Packet.make ~now:(Engine.now engine) ~flow:key ~payload_bytes:500 (Packet.Raw 500) in
+  Host.ip_output net.Topology.a pkt;
+  let mf = Cm.macroflow_of cm fid in
+  Alcotest.(check int) "ip hook charged the payload" 500 (Macroflow.outstanding mf)
+
+let test_persistent_resets_outstanding () =
+  let engine, cm = make_env () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  Cm.notify cm fid ~nbytes:(3 * mtu);
+  let mf = Cm.macroflow_of cm fid in
+  Alcotest.(check int) "charged" (3 * mtu) (Macroflow.outstanding mf);
+  Cm.update cm fid ~nsent:0 ~nrecd:0 ~loss:Cm_types.Persistent ();
+  ignore engine;
+  Alcotest.(check int) "persistent congestion clears outstanding" 0 (Macroflow.outstanding mf)
+
+let test_grant_reclaim () =
+  let engine = Engine.create () in
+  let cm = Cm.create engine ~mtu ~grant_reclaim_after:(Time.ms 200) () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  (* client takes the grant but never transmits nor declines *)
+  Cm.register_send cm fid (fun _ -> ());
+  Cm.request cm fid;
+  Engine.run_for engine (Time.ms 50);
+  let mf = Cm.macroflow_of cm fid in
+  Alcotest.(check int) "grant outstanding" mtu (Macroflow.granted mf);
+  Engine.run_for engine (Time.ms 500);
+  Alcotest.(check int) "grant reclaimed by maintenance" 0 (Macroflow.granted mf);
+  Alcotest.(check bool) "reclaim counted" true (Macroflow.grants_reclaimed mf >= 1)
+
+let test_counters () =
+  let engine, cm = make_env () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  Cm.register_send cm fid (fun _ -> Cm.notify cm fid ~nbytes:mtu);
+  Cm.request cm fid;
+  Engine.run_for engine (Time.ms 1);
+  let c = Cm.counters cm in
+  Alcotest.(check int) "opens" 1 c.Cm.opens;
+  Alcotest.(check int) "requests" 1 c.Cm.requests;
+  Alcotest.(check int) "grants" 1 c.Cm.grants;
+  Alcotest.(check int) "notifies" 1 c.Cm.notifies
+
+let test_bulk_calls () =
+  let engine, cm = make_env () in
+  let f1 = Cm.open_flow cm (flow_key ~sport:100 ()) in
+  let f2 = Cm.open_flow cm (flow_key ~sport:101 ()) in
+  let got = ref [] in
+  Cm.register_send cm f1 (fun g ->
+      got := g :: !got;
+      Cm.notify cm f1 ~nbytes:mtu);
+  Cm.register_send cm f2 (fun g ->
+      got := g :: !got;
+      Cm.notify cm f2 ~nbytes:mtu);
+  (* open the window first so both grants fit *)
+  Cm.bulk_update cm [ (f1, 2 * mtu, 2 * mtu, Cm_types.No_loss, Some (Time.ms 10)) ];
+  Cm.bulk_request cm [ f1; f2 ];
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "both flows granted" 2 (List.length !got)
+
+
+let test_macroflow_state_persists_across_flows () =
+  (* the Fig. 7 mechanism: close the only flow to a destination, open a
+     new one, and inherit the macroflow's congestion state *)
+  let engine, cm = make_env () in
+  let f1 = Cm.open_flow cm (flow_key ~sport:100 ()) in
+  let mf1 = Cm.macroflow_id cm f1 in
+  (* grow the window well past the initial one *)
+  for _ = 1 to 20 do
+    Cm.update cm f1 ~nsent:mtu ~nrecd:mtu ~loss:Cm_types.No_loss ~rtt:(Time.ms 50) ()
+  done;
+  let grown = (Cm.query cm f1).Cm_types.cwnd in
+  Cm.close_flow cm f1;
+  Engine.run_for engine (Time.ms 10);
+  let f2 = Cm.open_flow cm (flow_key ~sport:101 ()) in
+  Alcotest.(check int) "same macroflow reused" mf1 (Cm.macroflow_id cm f2);
+  Alcotest.(check int) "window inherited" grown ((Cm.query cm f2).Cm_types.cwnd);
+  (match (Cm.query cm f2).Cm_types.srtt with
+  | Some _ -> ()
+  | None -> Alcotest.fail "srtt should persist")
+
+let test_split_macroflow_dies_when_empty () =
+  let _engine, cm = make_env () in
+  let f1 = Cm.open_flow cm (flow_key ~sport:100 ()) in
+  Cm.split cm f1;
+  let split_id = Cm.macroflow_id cm f1 in
+  Cm.close_flow cm f1;
+  (* a fresh flow to the same destination lands in the (persistent)
+     default macroflow, not the discarded split one *)
+  let f2 = Cm.open_flow cm (flow_key ~sport:101 ()) in
+  Alcotest.(check bool) "split macroflow not reused" true
+    (Cm.macroflow_id cm f2 <> split_id)
+
+
+let test_dscp_aggregation_modes () =
+  (* §5: under diffserv, flows to the same host with different service
+     classes should not share congestion state *)
+  let engine = Engine.create () in
+  let dst = Addr.endpoint ~host:1 ~port:200 in
+  let mk ?dscp sport = Addr.flow ?dscp ~src:(Addr.endpoint ~host:0 ~port:sport) ~dst ~proto:Addr.Udp () in
+  (* default: DSCP is ignored for aggregation *)
+  let cm = Cm.create engine ~mtu () in
+  let f1 = Cm.open_flow cm (mk 100) in
+  let f2 = Cm.open_flow cm (mk ~dscp:46 101) in
+  Alcotest.(check int) "default mode ignores dscp" (Cm.macroflow_id cm f1)
+    (Cm.macroflow_id cm f2);
+  (* diffserv-aware: distinct DSCPs get distinct macroflows *)
+  let cm2 = Cm.create engine ~mtu ~aggregation:Cm.By_destination_and_dscp () in
+  let g1 = Cm.open_flow cm2 (mk 100) in
+  let g2 = Cm.open_flow cm2 (mk ~dscp:46 101) in
+  let g3 = Cm.open_flow cm2 (mk ~dscp:46 102) in
+  Alcotest.(check bool) "different dscp, different macroflow" true
+    (Cm.macroflow_id cm2 g1 <> Cm.macroflow_id cm2 g2);
+  Alcotest.(check int) "same dscp still shares" (Cm.macroflow_id cm2 g2)
+    (Cm.macroflow_id cm2 g3)
+
+let test_dscp_rejected_out_of_range () =
+  let dst = Addr.endpoint ~host:1 ~port:200 in
+  Alcotest.(check bool) "dscp > 63 rejected" true
+    (try
+       ignore (Addr.flow ~dscp:64 ~src:(Addr.endpoint ~host:0 ~port:1) ~dst ~proto:Addr.Udp ());
+       false
+     with Invalid_argument _ -> true)
+
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  nl = 0 || at 0
+
+let test_pp_summary_renders () =
+  let engine, cm = make_env () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  Cm.update cm fid ~nsent:mtu ~nrecd:mtu ~loss:Cm_types.No_loss ~rtt:(Time.ms 10) ();
+  Engine.run_for engine (Time.ms 1);
+  let s = Format.asprintf "%a" Cm.pp_summary cm in
+  Alcotest.(check bool) "mentions the flow" true (contains s "flow 1");
+  Alcotest.(check bool) "mentions counters" true (contains s "updates")
+
+
+let test_idle_restart_resets_window () =
+  let engine = Engine.create () in
+  let cm = Cm.create engine ~mtu ~idle_restart:(Time.sec 1.) () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  Cm.register_send cm fid (fun _ -> Cm.notify cm fid ~nbytes:mtu);
+  for _ = 1 to 10 do
+    Cm.request cm fid;
+    Engine.run_for engine (Time.ms 1);
+    Cm.update cm fid ~nsent:mtu ~nrecd:mtu ~loss:Cm_types.No_loss ~rtt:(Time.ms 10) ()
+  done;
+  let grown = (Cm.query cm fid).Cm_types.cwnd in
+  (* a stop-and-wait client is bounded by window validation at ~4 MTU *)
+  Alcotest.(check bool) "window grew" true (grown > mtu);
+  (* idle past the threshold, then a fresh request *)
+  Engine.run_for engine (Time.sec 3.);
+  Cm.request cm fid;
+  Alcotest.(check int) "slow-start restart" mtu (Cm.query cm fid).Cm_types.cwnd;
+  (* without the option, state persists (covered by the fig7 test) *)
+  ignore grown
+
+(* window conservation under a random client, as a qcheck property *)
+let prop_window_conservation =
+  QCheck.Test.make ~name:"macroflow never exceeds cwnd" ~count:50
+    QCheck.(small_list (int_bound 2))
+    (fun actions ->
+      let engine = Engine.create () in
+      let cm = Cm.create engine ~mtu () in
+      let fid = Cm.open_flow cm (flow_key ()) in
+      let mf = Cm.macroflow_of cm fid in
+      let ok = ref true in
+      let check () =
+        if Macroflow.outstanding mf + Macroflow.granted mf > Macroflow.cwnd mf + mtu then
+          ok := false
+      in
+      Cm.register_send cm fid (fun _ ->
+          Cm.notify cm fid ~nbytes:mtu;
+          check ());
+      List.iter
+        (fun a ->
+          (match a with
+          | 0 -> Cm.request cm fid
+          | 1 -> Cm.update cm fid ~nsent:mtu ~nrecd:mtu ~loss:Cm_types.No_loss ~rtt:(Time.ms 5) ()
+          | _ -> Cm.update cm fid ~nsent:mtu ~nrecd:0 ~loss:Cm_types.Transient ());
+          Engine.run_for engine (Time.us 100);
+          check ())
+        actions;
+      !ok)
+
+
+(* every controller, under any event sequence: window stays within
+   [mtu, max]; reset restores the initial window *)
+let prop_controller_invariants =
+  let factories =
+    [
+      ("aimd", Controller.aimd ());
+      ("iiad", Controller.iiad ());
+      ("sqrt", Controller.sqrt_ctl ());
+      ("equation", Controller.equation ());
+      ("binomial(0,1)", Controller.binomial ~k:0. ~l:1. ());
+    ]
+  in
+  QCheck.Test.make ~name:"controllers keep cwnd within bounds" ~count:100
+    QCheck.(pair (int_bound (List.length factories - 1)) (small_list (int_bound 3)))
+    (fun (which, ops) ->
+      let _, factory = List.nth factories which in
+      let c = factory ~mtu in
+      let ok = ref true in
+      let check () =
+        let w = c.Controller.cwnd () in
+        if w < mtu || w > 4 * 1024 * 1024 then ok := false
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | 0 -> c.Controller.on_ack ~nbytes:mtu
+          | 1 -> c.Controller.on_ack ~nbytes:(10 * mtu)
+          | 2 -> c.Controller.on_loss Cm_types.Transient
+          | _ -> c.Controller.on_loss Cm_types.Persistent);
+          check ())
+        ops;
+      c.Controller.reset ();
+      !ok && c.Controller.cwnd () = mtu)
+
+let () =
+  Alcotest.run "cm"
+    [
+      ( "controller",
+        [
+          Alcotest.test_case "aimd slow start" `Quick test_aimd_slow_start;
+          Alcotest.test_case "aimd transient halves" `Quick test_aimd_transient_halves;
+          Alcotest.test_case "aimd persistent collapses" `Quick test_aimd_persistent_collapses;
+          Alcotest.test_case "aimd linear growth in CA" `Quick test_aimd_congestion_avoidance_linear;
+          Alcotest.test_case "aimd floor and reset" `Quick test_aimd_floor_and_reset;
+          Alcotest.test_case "ecn acts like transient" `Quick test_aimd_ecn_like_transient;
+          Alcotest.test_case "binomial(0,1) = aimd" `Quick test_binomial_aimd_equivalence;
+          Alcotest.test_case "sqrt decreases more gently" `Quick test_binomial_sqrt_gentler;
+          Alcotest.test_case "equation tracks loss rate" `Quick
+            test_equation_slow_starts_then_tracks_loss_rate;
+          Alcotest.test_case "equation smoother than aimd" `Quick test_equation_smoother_than_aimd;
+          Alcotest.test_case "equation reset" `Quick test_equation_reset;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "round robin alternates" `Quick test_rr_alternates;
+          Alcotest.test_case "remove purges requests" `Quick test_rr_remove_purges;
+          Alcotest.test_case "pending counts" `Quick test_rr_pending_counts;
+          Alcotest.test_case "weighted is proportional" `Quick test_weighted_proportional;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "open/close/lookup" `Quick test_open_close;
+          Alcotest.test_case "duplicate open rejected" `Quick test_duplicate_open_rejected;
+          Alcotest.test_case "per-destination aggregation" `Quick test_same_dst_shares_macroflow;
+          Alcotest.test_case "request/grant cycle" `Quick test_request_grant_cycle;
+          Alcotest.test_case "declined grant passes on" `Quick test_grant_declined_passes_on;
+          Alcotest.test_case "query rtt and rate" `Quick test_query_reports_rtt_and_rate;
+          Alcotest.test_case "rate callbacks with thresholds" `Quick test_rate_callback_fires_on_change;
+          Alcotest.test_case "split and merge" `Quick test_split_and_merge;
+          Alcotest.test_case "ip hook charges macroflow" `Quick test_attach_charges_outstanding;
+          Alcotest.test_case "persistent clears outstanding" `Quick test_persistent_resets_outstanding;
+          Alcotest.test_case "grant reclaim" `Quick test_grant_reclaim;
+          Alcotest.test_case "api counters" `Quick test_counters;
+          Alcotest.test_case "bulk request/update" `Quick test_bulk_calls;
+          Alcotest.test_case "macroflow state persists (fig7)" `Quick
+            test_macroflow_state_persists_across_flows;
+          Alcotest.test_case "split macroflow dies when empty" `Quick
+            test_split_macroflow_dies_when_empty;
+          Alcotest.test_case "dscp aggregation modes" `Quick test_dscp_aggregation_modes;
+          Alcotest.test_case "dscp range check" `Quick test_dscp_rejected_out_of_range;
+          Alcotest.test_case "summary dump renders" `Quick test_pp_summary_renders;
+          Alcotest.test_case "idle restart option" `Quick test_idle_restart_resets_window;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_window_conservation;
+          QCheck_alcotest.to_alcotest prop_controller_invariants;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the CM protocol: receiver-side CM feedback (the paper's §5
+   "remains to be studied" extension). *)
+
+open Cm_util
+open Eventsim
+open Netsim
+
+let ( => ) name cond = Alcotest.(check bool) name true cond
+
+let make ?(bandwidth = 1e7) ?(delay = Time.ms 10) ?(loss = 0.) ?(seed = 1) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let net = Topology.pipe engine ~bandwidth_bps:bandwidth ~delay ~loss_rate:loss ~rng () in
+  let cm = Cm.create engine ~mtu:1000 () in
+  Cm.attach cm net.Topology.a;
+  let sender_agent = Cmproto.Sender_agent.install net.Topology.a cm in
+  let receiver_agent = Cmproto.Receiver_agent.install net.Topology.b () in
+  (engine, net, cm, sender_agent, receiver_agent)
+
+let test_unwrap () =
+  let inner = Packet.Raw 42 in
+  let wrapped = Cmproto.Data { seq = 7; ts = 9; inner } in
+  "unwrap strips the header" => (Cmproto.unwrap wrapped == inner);
+  "unwrap passes plain payloads" => (Cmproto.unwrap inner == inner)
+
+let test_receiver_strips_header_for_app () =
+  let engine, net, cm, agent, _r = make () in
+  let got = ref [] in
+  let server = Udp.Socket.create net.Topology.b ~port:7000 () in
+  Udp.Socket.on_receive server (fun pkt -> got := pkt.Packet.payload :: !got);
+  let session =
+    Cmproto.Session.create agent ~host:net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  Cmproto.Session.send session 500;
+  Engine.run_for engine (Time.ms 100);
+  (match !got with
+  | [ Packet.Raw 500 ] -> ()
+  | [ _ ] -> Alcotest.fail "application saw a wrapped payload"
+  | l -> Alcotest.fail (Printf.sprintf "expected exactly one packet, got %d" (List.length l)));
+  "app never acknowledges anything" => (Udp.Socket.packets_sent server = 0)
+
+let test_feedback_closes_the_loop () =
+  let engine, _net, cm, agent, receiver = make () in
+  let session =
+    Cmproto.Session.create agent ~host:_net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  (* note: no application socket at all on the receiver — the agent still
+     acknowledges *)
+  for _ = 1 to 20 do
+    Cmproto.Session.send session 500
+  done;
+  Engine.run_for engine (Time.sec 2.);
+  Alcotest.(check int) "all datagrams transmitted" 20 (Cmproto.Session.packets_sent session);
+  Alcotest.(check int) "all resolved by kernel feedback" 0
+    (Cmproto.Session.unresolved_packets session);
+  "receiver agent saw the data" => (Cmproto.Receiver_agent.data_seen receiver = 20);
+  "feedback flowed" => (Cmproto.Receiver_agent.feedback_sent receiver > 0);
+  "sender consumed it" => (Cmproto.Sender_agent.feedback_received agent > 0)
+
+let test_feedback_batches () =
+  let engine, _net, cm, agent, receiver = make () in
+  let session =
+    Cmproto.Session.create agent ~host:_net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  for _ = 1 to 40 do
+    Cmproto.Session.send session 500
+  done;
+  Engine.run_for engine (Time.sec 3.);
+  let fb = Cmproto.Receiver_agent.feedback_sent receiver in
+  (* ack_every = 2: roughly one feedback per two data packets *)
+  "feedback batched like delayed acks" => (fb <= 25 && fb >= 15);
+  ignore engine
+
+let test_window_opens_and_paces () =
+  (* a 1 Mbit/s link: 100 KB must take >= ~0.8 s; the CM window must be
+     driven purely by kernel feedback *)
+  let engine, _net, cm, agent, _r = make ~bandwidth:1e6 () in
+  let session =
+    Cmproto.Session.create agent ~host:_net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  for _ = 1 to 100 do
+    Cmproto.Session.send session (1000 - Cmproto.header_bytes)
+  done;
+  Engine.run_for engine (Time.ms 500);
+  "not everything can have been sent yet" => (Cmproto.Session.packets_sent session < 100);
+  Engine.run_for engine (Time.sec 10.);
+  Alcotest.(check int) "all sent eventually" 100 (Cmproto.Session.packets_sent session);
+  Alcotest.(check int) "all resolved" 0 (Cmproto.Session.unresolved_packets session)
+
+let test_loss_detected_via_gaps () =
+  let engine, _net, cm, agent, _r = make ~loss:0.05 ~seed:9 () in
+  let session =
+    Cmproto.Session.create agent ~host:_net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  let feeder = Timer.create engine ~callback:(fun () ->
+      for _ = 1 to 10 do
+        if Cmproto.Session.queued session < 64 then Cmproto.Session.send session 500
+      done)
+  in
+  Timer.start_periodic feeder (Time.ms 20);
+  Engine.run_for engine (Time.sec 10.);
+  Timer.stop feeder;
+  let mf = Cm.macroflow_of cm (Cmproto.Session.flow session) in
+  "losses fed the loss estimate" => (Cm.Macroflow.loss_rate mf > 0.001);
+  "window stayed sane" => (Cm.Macroflow.cwnd mf < 1_000_000)
+
+let test_rtt_reaches_cm () =
+  let engine, _net, cm, agent, _r = make ~delay:(Time.ms 25) () in
+  let session =
+    Cmproto.Session.create agent ~host:_net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  for _ = 1 to 10 do
+    Cmproto.Session.send session 500
+  done;
+  Engine.run_for engine (Time.sec 2.);
+  match (Cm.query cm (Cmproto.Session.flow session)).Cm.Cm_types.srtt with
+  | Some srtt -> "srtt near the 50 ms path rtt" => (srtt > Time.ms 45 && srtt < Time.ms 150)
+  | None -> Alcotest.fail "no rtt reached the CM"
+
+let test_plain_traffic_untouched () =
+  (* non-CM-protocol packets must pass both agents unmodified *)
+  let engine, net, _cm, _agent, _r = make () in
+  let got = ref 0 in
+  let server = Udp.Socket.create net.Topology.b ~port:7777 () in
+  Udp.Socket.on_receive server (fun pkt -> got := Packet.payload_bytes pkt);
+  let plain = Udp.Socket.create net.Topology.a () in
+  Udp.Socket.sendto plain ~dst:(Addr.endpoint ~host:1 ~port:7777) ~payload_bytes:123
+    (Packet.Raw 123);
+  Engine.run_for engine (Time.ms 100);
+  Alcotest.(check int) "plain packet delivered unchanged" 123 !got
+
+let test_orphan_feedback_counted () =
+  let engine, _net, cm, agent, _r = make () in
+  let session =
+    Cmproto.Session.create agent ~host:_net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  Cmproto.Session.send session 500;
+  Engine.run_for engine (Time.ms 20);
+  (* close before the feedback returns *)
+  Cmproto.Session.close session;
+  Engine.run_for engine (Time.sec 1.);
+  "late feedback counted as orphan" => (Cmproto.Sender_agent.orphan_feedback agent >= 1)
+
+let test_session_close_releases () =
+  let engine, _net, cm, agent, _r = make () in
+  let session =
+    Cmproto.Session.create agent ~host:_net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  Engine.run_for engine (Time.ms 10);
+  Cmproto.Session.close session;
+  Alcotest.(check (list int)) "cm flow released" [] (Cm.flows cm);
+  "send after close raises"
+  => (try
+        Cmproto.Session.send session 100;
+        false
+      with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "cmproto"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "unwrap" `Quick test_unwrap;
+          Alcotest.test_case "receiver strips header" `Quick test_receiver_strips_header_for_app;
+          Alcotest.test_case "plain traffic untouched" `Quick test_plain_traffic_untouched;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "closes the loop without app code" `Quick
+            test_feedback_closes_the_loop;
+          Alcotest.test_case "batches like delayed acks" `Quick test_feedback_batches;
+          Alcotest.test_case "rtt reaches the cm" `Quick test_rtt_reaches_cm;
+          Alcotest.test_case "orphan feedback counted" `Quick test_orphan_feedback_counted;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "window paces transmissions" `Quick test_window_opens_and_paces;
+          Alcotest.test_case "loss via sequence gaps" `Quick test_loss_detected_via_gaps;
+          Alcotest.test_case "close releases resources" `Quick test_session_close_releases;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* Tests for the discrete-event engine and timers. *)
+
+open Cm_util
+open Eventsim
+
+let ( => ) name cond = Alcotest.(check bool) name true cond
+
+let test_runs_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_at e (Time.ms 30) (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule_at e (Time.ms 10) (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule_at e (Time.ms 20) (fun () -> log := 2 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_fifo_at_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at e (Time.ms 10) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order at equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  ignore (Engine.schedule_at e (Time.ms 10) (fun () -> seen := Engine.now e :: !seen));
+  ignore (Engine.schedule_at e (Time.ms 25) (fun () -> seen := Engine.now e :: !seen));
+  Engine.run e;
+  Alcotest.(check (list int)) "now equals event times" [ Time.ms 10; Time.ms 25 ] (List.rev !seen)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule_at e (Time.ms 10) (fun () -> incr fired));
+  ignore (Engine.schedule_at e (Time.ms 50) (fun () -> incr fired));
+  Engine.run ~until:(Time.ms 20) e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check int) "clock at limit" (Time.ms 20) (Engine.now e);
+  Alcotest.(check int) "second pending" 1 (Engine.pending e)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e (Time.ms 10) (fun () -> fired := true) in
+  "cancel returns true" => Engine.cancel e h;
+  "double cancel returns false" => not (Engine.cancel e h);
+  Engine.run e;
+  "cancelled event did not fire" => not !fired
+
+let test_schedule_in_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e (Time.ms 10) (fun () -> ()));
+  Engine.run e;
+  "scheduling in the past raises"
+  => (try
+        ignore (Engine.schedule_at e (Time.ms 5) (fun () -> ()));
+        false
+      with Invalid_argument _ -> true)
+
+let test_events_schedule_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then begin
+      incr count;
+      ignore (Engine.schedule_after e (Time.ms 1) (fun () -> chain (n - 1)))
+    end
+  in
+  ignore (Engine.schedule_after e 0 (fun () -> chain 10));
+  Engine.run e;
+  Alcotest.(check int) "chained events all ran" 10 !count;
+  Alcotest.(check int) "clock advanced by chain" (Time.ms 10) (Engine.now e)
+
+let test_step_and_counters () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_after e (Time.ms 1) (fun () -> ()));
+  ignore (Engine.schedule_after e (Time.ms 2) (fun () -> ()));
+  "step executes one" => Engine.step e;
+  Alcotest.(check int) "one pending left" 1 (Engine.pending e);
+  "step executes the other" => Engine.step e;
+  "step on empty returns false" => not (Engine.step e);
+  Alcotest.(check int) "executed count" 2 (Engine.events_executed e)
+
+let test_run_for () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule_at e (Time.ms 100) (fun () -> incr fired));
+  Engine.run_for e (Time.ms 50);
+  Alcotest.(check int) "not yet" 0 !fired;
+  Engine.run_for e (Time.ms 60);
+  Alcotest.(check int) "fired in second window" 1 !fired
+
+(* ---- Timer ---------------------------------------------------------- *)
+
+let test_timer_fires_once () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let t = Timer.create e ~callback:(fun () -> incr fired) in
+  Timer.start t (Time.ms 5);
+  "running" => Timer.is_running t;
+  Engine.run e;
+  Alcotest.(check int) "fired once" 1 !fired;
+  "stopped after expiry" => not (Timer.is_running t)
+
+let test_timer_restart_replaces () =
+  let e = Engine.create () in
+  let fired_at = ref [] in
+  let t = Timer.create e ~callback:(fun () -> fired_at := Engine.now e :: !fired_at) in
+  Timer.start t (Time.ms 5);
+  Timer.start t (Time.ms 20);
+  Engine.run e;
+  Alcotest.(check (list int)) "only the re-armed expiry fired" [ Time.ms 20 ] !fired_at
+
+let test_timer_stop () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let t = Timer.create e ~callback:(fun () -> fired := true) in
+  Timer.start t (Time.ms 5);
+  Timer.stop t;
+  Engine.run e;
+  "stopped timer silent" => not !fired
+
+let test_timer_periodic () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let t = Timer.create e ~callback:(fun () -> incr count) in
+  Timer.start_periodic t (Time.ms 10);
+  Engine.run ~until:(Time.ms 55) e;
+  Alcotest.(check int) "five ticks in 55ms" 5 !count;
+  Timer.stop t;
+  Engine.run ~until:(Time.ms 200) e;
+  Alcotest.(check int) "no ticks after stop" 5 !count
+
+let test_timer_callback_can_rearm () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let t_ref = ref None in
+  let t =
+    Timer.create e ~callback:(fun () ->
+        incr count;
+        if !count < 3 then
+          match !t_ref with Some t -> Timer.start t (Time.ms 1) | None -> ())
+  in
+  t_ref := Some t;
+  Timer.start t (Time.ms 1);
+  Engine.run e;
+  Alcotest.(check int) "self-rearming chain" 3 !count
+
+let test_timer_expiry_visible () =
+  let e = Engine.create () in
+  let t = Timer.create e ~callback:(fun () -> ()) in
+  "no expiry when idle" => (Timer.expiry t = None);
+  Timer.start t (Time.ms 7);
+  Alcotest.(check (option int)) "expiry time" (Some (Time.ms 7)) (Timer.expiry t)
+
+
+(* ---- Sim_log --------------------------------------------------------- *)
+
+let test_sim_log_stamps_virtual_time () =
+  let e = Engine.create () in
+  Sim_log.setup e ~level:Logs.Debug ();
+  (* capture through a custom reporter stacked on top *)
+  let captured = ref [] in
+  let report _src _lvl ~over k msgf =
+    let k _ = over (); k () in
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        Format.kasprintf
+          (fun s ->
+            captured := (Engine.now e, s) :: !captured;
+            k "")
+          fmt)
+  in
+  Logs.set_reporter { Logs.report };
+  let src = Sim_log.src "test" in
+  ignore (Engine.schedule_at e (Time.ms 250) (fun () ->
+      Logs.debug ~src (fun m -> m "hello at %d" 250)));
+  Engine.run e;
+  (match !captured with
+  | [ (at, msg) ] ->
+      Alcotest.(check int) "captured at virtual time" (Time.ms 250) at;
+      Alcotest.(check string) "message body" "hello at 250" msg
+  | l -> Alcotest.fail (Printf.sprintf "expected one message, got %d" (List.length l)));
+  Logs.set_reporter Logs.nop_reporter
+
+let test_sim_log_src_memoized () =
+  "same source returned" => (Sim_log.src "cm" == Sim_log.src "cm");
+  "different names differ" => (Sim_log.src "cm" != Sim_log.src "tcp")
+
+(* ---- stress ----------------------------------------------------------- *)
+
+let test_engine_million_events () =
+  let e = Engine.create () in
+  let rng = Cm_util.Rng.create ~seed:1 in
+  let count = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 1_000_000 do
+    ignore
+      (Engine.schedule_at e (Cm_util.Rng.int rng 1_000_000_000) (fun () -> incr count))
+  done;
+  Engine.run e;
+  let wall = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "all ran" 1_000_000 !count;
+  Alcotest.(check int) "executed counter" 1_000_000 (Engine.events_executed e);
+  "a million events under 10s wall" => (wall < 10.)
+
+let prop_engine_order =
+  QCheck.Test.make ~name:"engine executes any schedule in sorted order" ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun delays ->
+      let e = Engine.create () in
+      let out = ref [] in
+      List.iter
+        (fun d -> ignore (Engine.schedule_at e (Time.us d) (fun () -> out := d :: !out)))
+        delays;
+      Engine.run e;
+      List.rev !out = List.stable_sort Stdlib.compare delays)
+
+let () =
+  Alcotest.run "eventsim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_runs_in_time_order;
+          Alcotest.test_case "fifo ties" `Quick test_fifo_at_same_time;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "past rejected" `Quick test_schedule_in_past_rejected;
+          Alcotest.test_case "events schedule events" `Quick test_events_schedule_events;
+          Alcotest.test_case "step and counters" `Quick test_step_and_counters;
+          Alcotest.test_case "run_for windows" `Quick test_run_for;
+          QCheck_alcotest.to_alcotest prop_engine_order;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "fires once" `Quick test_timer_fires_once;
+          Alcotest.test_case "restart replaces" `Quick test_timer_restart_replaces;
+          Alcotest.test_case "stop" `Quick test_timer_stop;
+          Alcotest.test_case "periodic" `Quick test_timer_periodic;
+          Alcotest.test_case "callback can re-arm" `Quick test_timer_callback_can_rearm;
+          Alcotest.test_case "expiry visible" `Quick test_timer_expiry_visible;
+        ] );
+      ( "sim_log",
+        [
+          Alcotest.test_case "virtual-time stamps" `Quick test_sim_log_stamps_virtual_time;
+          Alcotest.test_case "memoized sources" `Quick test_sim_log_src_memoized;
+        ] );
+      ( "stress",
+        [ Alcotest.test_case "a million events" `Slow test_engine_million_events ]);
+    ]

@@ -1,0 +1,520 @@
+(* Tests for the network substrate: queues, links, hosts, routers,
+   topologies, CPU resource, background traffic. *)
+
+open Cm_util
+open Eventsim
+open Netsim
+
+let ( => ) name cond = Alcotest.(check bool) name true cond
+
+let mk_flow ?(src = 0) ?(dst = 1) ?(sport = 10) ?(dport = 20) ?(proto = Addr.Udp) () =
+  Addr.flow
+    ~src:(Addr.endpoint ~host:src ~port:sport)
+    ~dst:(Addr.endpoint ~host:dst ~port:dport)
+    ~proto ()
+
+let mk_pkt ?(bytes = 1000) ?flow () =
+  let flow = match flow with Some f -> f | None -> mk_flow () in
+  Packet.make ~now:0 ~flow ~payload_bytes:bytes (Packet.Raw bytes)
+
+(* ---- Addr ------------------------------------------------------------ *)
+
+let test_addr_reverse () =
+  let f = mk_flow () in
+  let r = Addr.reverse f in
+  "src/dst swapped" => (Addr.equal_endpoint r.Addr.src f.Addr.dst && Addr.equal_endpoint r.Addr.dst f.Addr.src);
+  "double reverse identity" => Addr.equal_flow f (Addr.reverse r)
+
+let test_addr_equality () =
+  "equal flows" => Addr.equal_flow (mk_flow ()) (mk_flow ());
+  "different port differs" => not (Addr.equal_flow (mk_flow ()) (mk_flow ~sport:11 ()));
+  "different proto differs" => not (Addr.equal_flow (mk_flow ()) (mk_flow ~proto:Addr.Tcp ()))
+
+(* ---- Packet ----------------------------------------------------------- *)
+
+let test_packet_sizes () =
+  let p = mk_pkt ~bytes:100 () in
+  Alcotest.(check int) "wire size includes headers" (100 + Packet.header_bytes) p.Packet.size;
+  Alcotest.(check int) "payload recoverable" 100 (Packet.payload_bytes p);
+  let ids = List.init 10 (fun _ -> (mk_pkt ()).Packet.id) in
+  Alcotest.(check int) "ids unique" 10 (List.length (List.sort_uniq Stdlib.compare ids))
+
+(* ---- Queue_disc -------------------------------------------------------- *)
+
+let test_droptail_limit () =
+  let q = Queue_disc.droptail ~limit_pkts:3 () in
+  let verdicts = List.init 5 (fun _ -> q.Queue_disc.enqueue (mk_pkt ())) in
+  let accepted = List.length (List.filter (( = ) Queue_disc.Enqueued) verdicts) in
+  Alcotest.(check int) "three accepted" 3 accepted;
+  Alcotest.(check int) "two dropped" 2 (q.Queue_disc.drops ());
+  Alcotest.(check int) "len" 3 (q.Queue_disc.len ())
+
+let test_droptail_byte_limit () =
+  let q = Queue_disc.droptail ~limit_bytes:2500 ~limit_pkts:100 () in
+  let p () = mk_pkt ~bytes:(1000 - Packet.header_bytes) () in
+  ignore (q.Queue_disc.enqueue (p ()));
+  ignore (q.Queue_disc.enqueue (p ()));
+  let v = q.Queue_disc.enqueue (p ()) in
+  "third rejected over byte limit" => (v = Queue_disc.Dropped)
+
+let test_droptail_fifo () =
+  let q = Queue_disc.droptail ~limit_pkts:10 () in
+  let p1 = mk_pkt () and p2 = mk_pkt () in
+  ignore (q.Queue_disc.enqueue p1);
+  ignore (q.Queue_disc.enqueue p2);
+  (match q.Queue_disc.dequeue () with
+  | Some p -> Alcotest.(check int) "fifo order" p1.Packet.id p.Packet.id
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "bytes tracked" p2.Packet.size (q.Queue_disc.bytes ())
+
+let test_drop_from_head () =
+  let q = Queue_disc.drop_from_head ~limit_pkts:2 () in
+  let p1 = mk_pkt () and p2 = mk_pkt () and p3 = mk_pkt () in
+  ignore (q.Queue_disc.enqueue p1);
+  ignore (q.Queue_disc.enqueue p2);
+  let v = q.Queue_disc.enqueue p3 in
+  "new packet admitted" => (v = Queue_disc.Enqueued);
+  Alcotest.(check int) "oldest dropped" 1 (q.Queue_disc.drops ());
+  match q.Queue_disc.dequeue () with
+  | Some p -> Alcotest.(check int) "head is p2 now" p2.Packet.id p.Packet.id
+  | None -> Alcotest.fail "empty"
+
+let test_red_marks_ecn () =
+  let rng = Rng.create ~seed:1 in
+  let q = Queue_disc.red ~ecn:true ~min_th:2 ~max_th:6 ~limit_pkts:10 ~rng () in
+  (* hold a standing queue so the EWMA average climbs over min_th *)
+  let marked = ref 0 and dropped = ref 0 in
+  for _ = 1 to 500 do
+    let p = mk_pkt () in
+    p.Packet.ecn_capable <- true;
+    (match q.Queue_disc.enqueue p with
+    | Queue_disc.Enqueued -> if p.Packet.ecn_marked then incr marked
+    | Queue_disc.Dropped -> incr dropped);
+    (* drain slowly: keep ~5 in queue *)
+    if q.Queue_disc.len () > 5 then ignore (q.Queue_disc.dequeue ())
+  done;
+  "RED marked ECN-capable packets" => (!marked > 0);
+  Alcotest.(check int) "ECN avoided early drops below max_th" !marked (q.Queue_disc.marks ())
+
+let test_red_drops_non_ect () =
+  let rng = Rng.create ~seed:2 in
+  let q = Queue_disc.red ~ecn:true ~min_th:2 ~max_th:6 ~limit_pkts:10 ~rng () in
+  let dropped = ref 0 in
+  for _ = 1 to 500 do
+    (match q.Queue_disc.enqueue (mk_pkt ()) with
+    | Queue_disc.Dropped -> incr dropped
+    | Queue_disc.Enqueued -> ());
+    if q.Queue_disc.len () > 5 then ignore (q.Queue_disc.dequeue ())
+  done;
+  "non-ECT packets get dropped instead" => (!dropped > 0)
+
+(* ---- Link --------------------------------------------------------------- *)
+
+let test_link_serialization_rate () =
+  let e = Engine.create () in
+  let arrivals = ref [] in
+  let link =
+    Link.create e ~bandwidth_bps:8e6 ~delay:0 ~sink:(fun _ -> arrivals := Engine.now e :: !arrivals) ()
+  in
+  (* 1000-byte packets at 8 Mbps: 1 ms serialization each *)
+  let wire = 1000 in
+  for _ = 1 to 3 do
+    Link.send link (mk_pkt ~bytes:(wire - Packet.header_bytes) ())
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "back-to-back serialization"
+    [ Time.ms 1; Time.ms 2; Time.ms 3 ]
+    (List.rev !arrivals)
+
+let test_link_propagation_delay () =
+  let e = Engine.create () in
+  let arrival = ref None in
+  let link =
+    Link.create e ~bandwidth_bps:8e6 ~delay:(Time.ms 10)
+      ~sink:(fun _ -> arrival := Some (Engine.now e))
+      ()
+  in
+  Link.send link (mk_pkt ~bytes:(1000 - Packet.header_bytes) ());
+  Engine.run e;
+  Alcotest.(check (option int)) "tx time + prop delay" (Some (Time.ms 11)) !arrival
+
+let test_link_no_reorder () =
+  let e = Engine.create () in
+  let rng = Rng.create ~seed:3 in
+  let order = ref [] in
+  let link =
+    Link.create e ~bandwidth_bps:1e7 ~delay:(Time.ms 5)
+      ~sink:(fun p -> order := p.Packet.id :: !order)
+      ()
+  in
+  let sent = ref [] in
+  for i = 0 to 49 do
+    ignore
+      (Engine.schedule_at e (Time.us (i * 137)) (fun () ->
+           let p = mk_pkt ~bytes:(100 + Rng.int rng 1000) () in
+           sent := p.Packet.id :: !sent;
+           Link.send link p))
+  done;
+  Engine.run e;
+  let delivered = List.rev !order in
+  let sent = List.rev !sent in
+  let delivered_subset = List.filter (fun id -> List.mem id delivered) sent in
+  Alcotest.(check (list int)) "FIFO delivery" delivered_subset delivered
+
+let test_link_loss_rate () =
+  let e = Engine.create () in
+  let rng = Rng.create ~seed:4 in
+  let got = ref 0 in
+  let link =
+    Link.create e ~bandwidth_bps:1e9 ~delay:0 ~loss_rate:0.3 ~rng ~sink:(fun _ -> incr got) ()
+  in
+  let n = 20_000 in
+  for _ = 1 to n do
+    Link.send link (mk_pkt ~bytes:42 ())
+  done;
+  Engine.run e;
+  let stats = Link.stats link in
+  Alcotest.(check int) "conservation" n
+    (!got + stats.Link.channel_drops + stats.Link.queue_drops);
+  let loss = float_of_int stats.Link.channel_drops /. float_of_int n in
+  "empirical loss near 30%" => (Float.abs (loss -. 0.3) < 0.02)
+
+let test_link_bandwidth_change () =
+  let e = Engine.create () in
+  let arrivals = ref [] in
+  let link =
+    Link.create e ~bandwidth_bps:8e6 ~delay:0 ~sink:(fun _ -> arrivals := Engine.now e :: !arrivals) ()
+  in
+  Link.send link (mk_pkt ~bytes:(1000 - Packet.header_bytes) ());
+  Engine.run e;
+  Link.set_bandwidth link 4e6;
+  Link.send link (mk_pkt ~bytes:(1000 - Packet.header_bytes) ());
+  Engine.run e;
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+      Alcotest.(check int) "first at old rate" (Time.ms 1) t1;
+      Alcotest.(check int) "second takes twice as long" (Time.ms 3) t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+
+let test_link_reordering () =
+  let e = Engine.create () in
+  let rng = Rng.create ~seed:17 in
+  let order = ref [] in
+  let link =
+    Link.create e ~bandwidth_bps:1e8 ~delay:(Time.ms 1) ~reorder:(0.2, Time.ms 5) ~rng
+      ~sink:(fun p -> order := p.Packet.id :: !order)
+      ()
+  in
+  let sent = ref [] in
+  for i = 0 to 99 do
+    ignore
+      (Engine.schedule_at e (Time.us (i * 200)) (fun () ->
+           let p = mk_pkt ~bytes:100 () in
+           sent := p.Packet.id :: !sent;
+           Link.send link p))
+  done;
+  Engine.run e;
+  let delivered = List.rev !order in
+  Alcotest.(check int) "all delivered" 100 (List.length delivered);
+  "some packets overtook others" => (delivered <> List.sort Stdlib.compare delivered)
+
+(* ---- Cpu ------------------------------------------------------------------ *)
+
+let test_cpu_serializes () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e in
+  let done_at = ref [] in
+  Cpu.run cpu ~cost:(Time.us 10) (fun () -> done_at := Engine.now e :: !done_at);
+  Cpu.run cpu ~cost:(Time.us 5) (fun () -> done_at := Engine.now e :: !done_at);
+  Engine.run e;
+  Alcotest.(check (list int)) "work serialized" [ Time.us 10; Time.us 15 ] (List.rev !done_at);
+  Alcotest.(check int) "busy total" (Time.us 15) (Cpu.total_busy cpu)
+
+let test_cpu_zero_cost_is_immediate () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e in
+  let ran = ref false in
+  Cpu.run cpu ~cost:0 (fun () -> ran := true);
+  "zero-cost work ran synchronously" => !ran
+
+let test_cpu_utilization () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e in
+  let busy0 = Cpu.total_busy cpu and t0 = Engine.now e in
+  Cpu.charge cpu (Time.ms 10);
+  ignore (Engine.schedule_at e (Time.ms 100) (fun () -> ()));
+  Engine.run e;
+  let u = Cpu.utilization cpu ~since_busy:busy0 ~since_time:t0 in
+  Alcotest.(check (float 1e-9)) "10% busy" 0.1 u
+
+(* ---- Host / Router ---------------------------------------------------------- *)
+
+let test_host_demux_priority () =
+  let e = Engine.create () in
+  let h = Host.create e ~id:1 () in
+  let port_hits = ref 0 and conn_hits = ref 0 in
+  Host.bind h Addr.Udp ~port:20 (fun _ -> incr port_hits);
+  Host.deliver h (mk_pkt ());
+  Alcotest.(check int) "listener got it" 1 !port_hits;
+  Host.connect_demux h (mk_flow ()) (fun _ -> incr conn_hits);
+  Host.deliver h (mk_pkt ());
+  Alcotest.(check int) "exact match wins" 1 !conn_hits;
+  Alcotest.(check int) "listener bypassed" 1 !port_hits;
+  Host.disconnect_demux h (mk_flow ());
+  Host.deliver h (mk_pkt ());
+  Alcotest.(check int) "listener again after disconnect" 2 !port_hits
+
+let test_host_unmatched_counted () =
+  let e = Engine.create () in
+  let h = Host.create e ~id:1 () in
+  Host.deliver h (mk_pkt ());
+  Alcotest.(check int) "unmatched counted" 1 (Host.unmatched h)
+
+let test_host_tx_hooks_order () =
+  let e = Engine.create () in
+  let h = Host.create e ~id:0 () in
+  let log = ref [] in
+  Host.attach_route h (fun _ -> log := "route" :: !log);
+  Host.add_tx_hook h (fun _ -> log := "hook1" :: !log);
+  Host.add_tx_hook h (fun _ -> log := "hook2" :: !log);
+  Host.ip_output h (mk_pkt ());
+  Alcotest.(check (list string)) "hooks before route, in order" [ "hook1"; "hook2"; "route" ]
+    (List.rev !log);
+  Alcotest.(check int) "tx counted" 1 (Host.tx_packets h)
+
+let test_host_ports_unique () =
+  let e = Engine.create () in
+  let h = Host.create e ~id:0 () in
+  let p1 = Host.alloc_port h and p2 = Host.alloc_port h in
+  "ephemeral ports distinct" => (p1 <> p2);
+  Host.bind h Addr.Udp ~port:99 (fun _ -> ());
+  "double bind rejected"
+  => (try
+        Host.bind h Addr.Udp ~port:99 (fun _ -> ());
+        false
+      with Invalid_argument _ -> true)
+
+let test_router_forwarding () =
+  let r = Router.create () in
+  let to1 = ref 0 and def = ref 0 in
+  Router.add_route r ~dst:1 (fun _ -> incr to1);
+  Router.forward r (mk_pkt ());
+  Alcotest.(check int) "routed" 1 !to1;
+  Router.forward r (mk_pkt ~flow:(mk_flow ~dst:9 ()) ());
+  Alcotest.(check int) "no route drop counted" 1 (Router.no_route_drops r);
+  Router.set_default r (fun _ -> incr def);
+  Router.forward r (mk_pkt ~flow:(mk_flow ~dst:9 ()) ());
+  Alcotest.(check int) "default route used" 1 !def
+
+(* ---- Topology ----------------------------------------------------------------- *)
+
+let test_pipe_roundtrip () =
+  let e = Engine.create () in
+  let net = Topology.pipe e ~bandwidth_bps:1e7 ~delay:(Time.ms 5) () in
+  let got_b = ref false and got_a = ref false in
+  Host.bind net.Topology.b Addr.Udp ~port:20 (fun _ -> got_b := true);
+  Host.bind net.Topology.a Addr.Udp ~port:10 (fun _ -> got_a := true);
+  Host.ip_output net.Topology.a (mk_pkt ());
+  Host.ip_output net.Topology.b (mk_pkt ~flow:(Addr.reverse (mk_flow ())) ());
+  Engine.run e;
+  "a -> b delivered" => !got_b;
+  "b -> a delivered" => !got_a
+
+let test_star_connectivity () =
+  let e = Engine.create () in
+  let net =
+    Topology.star e ~n_clients:3 ~access_bps:1e8 ~access_delay:(Time.ms 1) ~bottleneck_bps:1e7
+      ~bottleneck_delay:(Time.ms 10) ()
+  in
+  let server_got = ref 0 in
+  let client_got = Array.make 3 0 in
+  Host.bind net.Topology.server Addr.Udp ~port:80 (fun _ -> incr server_got);
+  Array.iteri
+    (fun i c -> Host.bind c Addr.Udp ~port:80 (fun _ -> client_got.(i) <- client_got.(i) + 1))
+    net.Topology.clients;
+  (* every client to server, server to every client *)
+  Array.iteri
+    (fun i c ->
+      Host.ip_output c
+        (mk_pkt ~flow:(mk_flow ~src:(i + 1) ~dst:0 ~sport:80 ~dport:80 ()) ());
+      Host.ip_output net.Topology.server
+        (mk_pkt ~flow:(mk_flow ~src:0 ~dst:(i + 1) ~sport:80 ~dport:80 ()) ()))
+    net.Topology.clients;
+  Engine.run e;
+  Alcotest.(check int) "server received all" 3 !server_got;
+  Alcotest.(check (array int)) "clients each received one" [| 1; 1; 1 |] client_got
+
+let test_bandwidth_schedule () =
+  let e = Engine.create () in
+  let net = Topology.pipe e ~bandwidth_bps:1e7 ~delay:0 () in
+  Topology.apply_bandwidth_schedule e net.Topology.ab
+    [ (Time.sec 1., 5e6); (Time.sec 2., 2e6) ];
+  Engine.run ~until:(Time.ms 1500) e;
+  Alcotest.(check (float 1.)) "first change applied" 5e6 (Link.bandwidth net.Topology.ab);
+  Engine.run ~until:(Time.sec 3.) e;
+  Alcotest.(check (float 1.)) "second change applied" 2e6 (Link.bandwidth net.Topology.ab)
+
+(* ---- Background traffic ----------------------------------------------------------- *)
+
+let test_cbr_rate () =
+  let e = Engine.create () in
+  let net = Topology.pipe e ~bandwidth_bps:1e8 ~delay:0 () in
+  let got = ref 0 in
+  Host.bind net.Topology.b Addr.Udp ~port:9 (fun _ -> incr got);
+  let src =
+    Background.cbr e ~host:net.Topology.a
+      ~dst:(Addr.endpoint ~host:1 ~port:9)
+      ~rate_bps:800_000. ~packet_bytes:1000 ~stop:(Time.sec 10.) ()
+  in
+  Engine.run ~until:(Time.sec 11.) e;
+  (* 800 kbps / 8000 bits per packet = 100 pps for 10 s *)
+  "close to 1000 packets" => (abs (!got - 1000) <= 2);
+  "generator counted them" => (abs (Background.packets_sent src - 1000) <= 2)
+
+let test_on_off_bursts () =
+  let e = Engine.create () in
+  let net = Topology.pipe e ~bandwidth_bps:1e8 ~delay:0 () in
+  let rng = Rng.create ~seed:11 in
+  let got = ref 0 in
+  Host.bind net.Topology.b Addr.Udp ~port:9 (fun _ -> incr got);
+  let _src =
+    Background.on_off e ~host:net.Topology.a
+      ~dst:(Addr.endpoint ~host:1 ~port:9)
+      ~rate_bps:1e6 ~packet_bytes:500 ~mean_on:(Time.ms 100) ~mean_off:(Time.ms 100) ~rng
+      ~stop:(Time.sec 10.) ()
+  in
+  Engine.run ~until:(Time.sec 11.) e;
+  let full_rate_count = 10. *. 1e6 /. (500. *. 8.) in
+  "sent something" => (!got > 0);
+  "duty cycle below 100%" => (float_of_int !got < 0.8 *. full_rate_count)
+
+let test_poisson_mean_rate () =
+  let e = Engine.create () in
+  let net = Topology.pipe e ~bandwidth_bps:1e9 ~delay:0 () in
+  let rng = Rng.create ~seed:12 in
+  let got = ref 0 in
+  Host.bind net.Topology.b Addr.Udp ~port:9 (fun _ -> incr got);
+  let _src =
+    Background.poisson e ~host:net.Topology.a
+      ~dst:(Addr.endpoint ~host:1 ~port:9)
+      ~rate_bps:8e5 ~packet_bytes:1000 ~rng ~stop:(Time.sec 20.) ()
+  in
+  Engine.run ~until:(Time.sec 21.) e;
+  (* mean 100 pps over 20 s = 2000 *)
+  "poisson mean within 10%" => (abs (!got - 2000) < 200)
+
+
+(* ---- Tracer ------------------------------------------------------------- *)
+
+let test_tracer_records_tx_and_rx () =
+  let e = Engine.create () in
+  let tr = Tracer.create e () in
+  let a = Host.create e ~id:0 () in
+  let b = Host.create e ~id:1 () in
+  let link =
+    Link.create e ~bandwidth_bps:1e7 ~delay:(Time.ms 5)
+      ~sink:(Tracer.probe_sink tr ~name:"link-b" (fun p -> Host.deliver b p))
+      ()
+  in
+  Host.attach_route a (Link.send link);
+  Tracer.probe_host tr ~name:"host-a" a;
+  Host.bind b Addr.Udp ~port:20 (fun _ -> ());
+  Host.ip_output a (mk_pkt ());
+  Engine.run e;
+  let evs = Tracer.events tr in
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  (match evs with
+  | [ tx; rx ] ->
+      "tx first" => (tx.Tracer.direction = Tracer.Tx && tx.Tracer.point = "host-a");
+      "rx second" => (rx.Tracer.direction = Tracer.Rx && rx.Tracer.point = "link-b");
+      "same packet" => (tx.Tracer.packet_id = rx.Tracer.packet_id);
+      "rx later than tx" => (rx.Tracer.at > tx.Tracer.at)
+  | _ -> Alcotest.fail "unexpected events");
+  Alcotest.(check int) "total observed" 2 (Tracer.total_observed tr)
+
+let test_tracer_ring_bounds () =
+  let e = Engine.create () in
+  let tr = Tracer.create e ~capacity:5 () in
+  for _ = 1 to 12 do
+    Tracer.observe tr ~name:"p" Tracer.Tx (mk_pkt ())
+  done;
+  Alcotest.(check int) "holds capacity" 5 (Tracer.count tr);
+  Alcotest.(check int) "saw all" 12 (Tracer.total_observed tr);
+  let ids = List.map (fun ev -> ev.Tracer.packet_id) (Tracer.events tr) in
+  "oldest first, newest kept" => (List.sort Stdlib.compare ids = ids);
+  Tracer.clear tr;
+  Alcotest.(check int) "cleared" 0 (Tracer.count tr)
+
+let test_tracer_filter () =
+  let e = Engine.create () in
+  let tr =
+    Tracer.create e ~filter:(fun pkt -> pkt.Packet.flow.Addr.proto = Addr.Tcp) ()
+  in
+  Tracer.observe tr ~name:"p" Tracer.Tx (mk_pkt ());
+  Tracer.observe tr ~name:"p" Tracer.Tx (mk_pkt ~flow:(mk_flow ~proto:Addr.Tcp ()) ());
+  Alcotest.(check int) "only tcp recorded" 1 (Tracer.count tr);
+  match Tracer.find tr (fun ev -> ev.Tracer.direction = Tracer.Tx) with
+  | Some ev -> "found the tcp event" => (ev.Tracer.flow.Addr.proto = Addr.Tcp)
+  | None -> Alcotest.fail "expected an event"
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "addr+packet",
+        [
+          Alcotest.test_case "reverse" `Quick test_addr_reverse;
+          Alcotest.test_case "equality" `Quick test_addr_equality;
+          Alcotest.test_case "packet sizes and ids" `Quick test_packet_sizes;
+        ] );
+      ( "qdisc",
+        [
+          Alcotest.test_case "droptail packet limit" `Quick test_droptail_limit;
+          Alcotest.test_case "droptail byte limit" `Quick test_droptail_byte_limit;
+          Alcotest.test_case "droptail fifo" `Quick test_droptail_fifo;
+          Alcotest.test_case "drop-from-head" `Quick test_drop_from_head;
+          Alcotest.test_case "red marks ecn" `Quick test_red_marks_ecn;
+          Alcotest.test_case "red drops non-ect" `Quick test_red_drops_non_ect;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "serialization rate" `Quick test_link_serialization_rate;
+          Alcotest.test_case "propagation delay" `Quick test_link_propagation_delay;
+          Alcotest.test_case "fifo (no reordering)" `Quick test_link_no_reorder;
+          Alcotest.test_case "random loss" `Quick test_link_loss_rate;
+          Alcotest.test_case "bandwidth change" `Quick test_link_bandwidth_change;
+          Alcotest.test_case "reordering" `Quick test_link_reordering;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "serializes work" `Quick test_cpu_serializes;
+          Alcotest.test_case "zero cost immediate" `Quick test_cpu_zero_cost_is_immediate;
+          Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+        ] );
+      ( "host+router",
+        [
+          Alcotest.test_case "demux priority" `Quick test_host_demux_priority;
+          Alcotest.test_case "unmatched counted" `Quick test_host_unmatched_counted;
+          Alcotest.test_case "tx hooks order" `Quick test_host_tx_hooks_order;
+          Alcotest.test_case "port allocation" `Quick test_host_ports_unique;
+          Alcotest.test_case "router forwarding" `Quick test_router_forwarding;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "pipe roundtrip" `Quick test_pipe_roundtrip;
+          Alcotest.test_case "star connectivity" `Quick test_star_connectivity;
+          Alcotest.test_case "bandwidth schedule" `Quick test_bandwidth_schedule;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "records tx and rx" `Quick test_tracer_records_tx_and_rx;
+          Alcotest.test_case "ring bounds" `Quick test_tracer_ring_bounds;
+          Alcotest.test_case "filter" `Quick test_tracer_filter;
+        ] );
+      ( "background",
+        [
+          Alcotest.test_case "cbr rate" `Quick test_cbr_rate;
+          Alcotest.test_case "on/off duty cycle" `Quick test_on_off_bursts;
+          Alcotest.test_case "poisson mean" `Quick test_poisson_mean_rate;
+        ] );
+    ]

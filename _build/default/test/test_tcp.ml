@@ -1,0 +1,622 @@
+(* TCP correctness tests: handshake, transfer, loss recovery, teardown,
+   both congestion-control drivers. *)
+
+open Cm_util
+open Eventsim
+open Netsim
+
+let ( => ) name cond = Alcotest.(check bool) name true cond
+
+type harness = {
+  engine : Engine.t;
+  net : Topology.pipe;
+  mutable server_conn : Tcp.Conn.t option;
+  mutable delivered : int;
+  mutable server_closed : bool;
+}
+
+(* Build a pipe and a listening server that records delivered bytes. *)
+let make ?(bandwidth = 1e7) ?(delay = Time.ms 10) ?(loss = 0.) ?(seed = 1)
+    ?(config = Tcp.Conn.default_config) ?(server_driver = Tcp.Conn.Native) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let net = Topology.pipe engine ~bandwidth_bps:bandwidth ~delay ~loss_rate:loss ~rng () in
+  let h = { engine; net; server_conn = None; delivered = 0; server_closed = false } in
+  let _listener =
+    Tcp.Conn.listen net.Topology.b ~port:80 ~driver:server_driver
+      ~config
+      ~on_accept:(fun conn ->
+        h.server_conn <- Some conn;
+        Tcp.Conn.on_receive conn (fun n -> h.delivered <- h.delivered + n);
+        Tcp.Conn.on_closed conn (fun () -> h.server_closed <- true))
+      ()
+  in
+  h
+
+let dst = Addr.endpoint ~host:1 ~port:80
+
+let test_handshake () =
+  let h = make () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  let established = ref false in
+  Tcp.Conn.on_established c (fun () -> established := true);
+  Engine.run_for h.engine (Time.ms 100);
+  "client established" => !established;
+  (match h.server_conn with
+  | Some s -> "server established" => (Tcp.Conn.state s = Tcp.Conn.Established)
+  | None -> Alcotest.fail "no server connection");
+  "client in established" => (Tcp.Conn.state c = Tcp.Conn.Established)
+
+let test_lossless_transfer () =
+  let h = make () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  Tcp.Conn.send c 100_000;
+  Engine.run_for h.engine (Time.sec 5.);
+  Alcotest.(check int) "every byte delivered exactly once" 100_000 h.delivered;
+  let st = Tcp.Conn.stats c in
+  Alcotest.(check int) "no retransmissions" 0 st.Tcp.Conn.retransmits;
+  Alcotest.(check int) "all bytes acked" 100_000 st.Tcp.Conn.bytes_acked
+
+let test_transfer_with_loss () =
+  let h = make ~loss:0.02 ~seed:7 () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  Tcp.Conn.send c 300_000;
+  Engine.run_for h.engine (Time.sec 60.);
+  Alcotest.(check int) "all bytes delivered despite loss" 300_000 h.delivered;
+  let st = Tcp.Conn.stats c in
+  "loss caused retransmissions" => (st.Tcp.Conn.retransmits > 0)
+
+let test_cm_transfer_with_loss () =
+  let engine_probe = ref None in
+  ignore engine_probe;
+  let h = make ~loss:0.02 ~seed:11 () in
+  let cm = Cm.create h.engine ~mtu:Tcp.Conn.default_config.Tcp.Conn.mss () in
+  Cm.attach cm h.net.Topology.a;
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst ~driver:(Tcp.Conn.Cm_driven cm) () in
+  Tcp.Conn.send c 300_000;
+  Engine.run_for h.engine (Time.sec 60.);
+  Alcotest.(check int) "TCP/CM delivers everything" 300_000 h.delivered;
+  "used the CM (grants issued)" => ((Cm.counters cm).Cm.grants > 100)
+
+let test_fast_retransmit () =
+  (* lossy enough to trigger triple-dupack recovery on a long transfer *)
+  let h = make ~loss:0.01 ~seed:3 () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  Tcp.Conn.send c 500_000;
+  Engine.run_for h.engine (Time.sec 60.);
+  let st = Tcp.Conn.stats c in
+  Alcotest.(check int) "delivered" 500_000 h.delivered;
+  "fast retransmit was used" => (st.Tcp.Conn.fast_retransmits > 0)
+
+let test_rto_on_blackout () =
+  let h = make () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  Engine.run_for h.engine (Time.ms 100);
+  (* black out the forward path mid-transfer *)
+  Tcp.Conn.send c 50_000;
+  Link.set_loss_rate h.net.Topology.ab 0.;
+  Engine.run_for h.engine (Time.ms 1);
+  (* drop everything for a second *)
+  let rng = Rng.create ~seed:5 in
+  let lossy =
+    Link.create h.engine ~bandwidth_bps:1e7 ~delay:(Time.ms 10) ~loss_rate:1.0 ~rng
+      ~sink:(fun pkt -> Host.deliver h.net.Topology.b pkt)
+      ()
+  in
+  Host.attach_route h.net.Topology.a (Link.send lossy);
+  Engine.run_for h.engine (Time.sec 2.);
+  (* restore *)
+  Host.attach_route h.net.Topology.a (Link.send h.net.Topology.ab);
+  Engine.run_for h.engine (Time.sec 30.);
+  let st = Tcp.Conn.stats c in
+  "timeout occurred" => (st.Tcp.Conn.timeouts > 0);
+  Alcotest.(check int) "recovered after blackout" 50_000 h.delivered
+
+let test_fin_teardown () =
+  let h = make () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  let client_closed = ref false in
+  Tcp.Conn.on_closed c (fun () -> client_closed := true);
+  Tcp.Conn.send c 10_000;
+  Engine.run_for h.engine (Time.ms 500);
+  Tcp.Conn.close c;
+  Engine.run_for h.engine (Time.ms 500);
+  (* server sees FIN, closes its side *)
+  (match h.server_conn with
+  | Some s ->
+      "server in close-wait" => (Tcp.Conn.state s = Tcp.Conn.Close_wait);
+      Tcp.Conn.close s
+  | None -> Alcotest.fail "no server conn");
+  Engine.run_for h.engine (Time.sec 5.);
+  "client closed (after time-wait)" => !client_closed;
+  "server closed" => h.server_closed;
+  Alcotest.(check int) "all data arrived before FIN" 10_000 h.delivered
+
+let test_delayed_acks_halve_acks () =
+  let run delayed =
+    let config = { Tcp.Conn.default_config with Tcp.Conn.delayed_acks = delayed } in
+    let h = make ~config () in
+    let c = Tcp.Conn.connect h.net.Topology.a ~dst ~config () in
+    Tcp.Conn.send c 200_000;
+    Engine.run_for h.engine (Time.sec 10.);
+    Alcotest.(check int) "delivered" 200_000 h.delivered;
+    match h.server_conn with
+    | Some s -> (Tcp.Conn.stats s).Tcp.Conn.acks_out
+    | None -> Alcotest.fail "no server"
+  in
+  let with_delack = run true and without = run false in
+  "delayed acks send fewer acks"
+  => (float_of_int with_delack < 0.7 *. float_of_int without)
+
+let test_srtt_close_to_path_rtt () =
+  let h = make ~delay:(Time.ms 30) () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  Tcp.Conn.send c 200_000;
+  Engine.run_for h.engine (Time.sec 10.);
+  match Tcp.Conn.srtt c with
+  | Some srtt ->
+      (* path RTT is 60 ms + serialization/queueing *)
+      "srtt in [60ms, 200ms)" => (srtt >= Time.ms 60 && srtt < Time.ms 200)
+  | None -> Alcotest.fail "no rtt samples"
+
+let test_karn_mode_works () =
+  let config = { Tcp.Conn.default_config with Tcp.Conn.timestamps = false } in
+  let h = make ~loss:0.01 ~seed:9 ~config () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst ~config () in
+  Tcp.Conn.send c 200_000;
+  Engine.run_for h.engine (Time.sec 60.);
+  Alcotest.(check int) "delivered without timestamps" 200_000 h.delivered;
+  "rtt estimated via Karn" => ((Tcp.Conn.stats c).Tcp.Conn.rtt_samples > 0)
+
+let test_native_throughput_saturates_link () =
+  (* 10 Mbps, 20 ms RTT: TCP should achieve near link rate.  (Slow start
+     legitimately overflows the drop-tail queue once, so a few
+     retransmissions are expected.) *)
+  let h = make ~bandwidth:1e7 ~delay:(Time.ms 10) () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  Tcp.Conn.send c 2_000_000;
+  Engine.run_for h.engine (Time.sec 4.);
+  Alcotest.(check int) "delivered within ~1.3x ideal time" 2_000_000 h.delivered;
+  let st = Tcp.Conn.stats c in
+  let total = st.Tcp.Conn.segments_out in
+  "retransmissions below 5%" => (st.Tcp.Conn.retransmits * 20 < total)
+
+let test_two_flows_share_fairly () =
+  let h = make ~bandwidth:1e7 ~delay:(Time.ms 10) () in
+  (* second listener on another port *)
+  let delivered2 = ref 0 in
+  let _l2 =
+    Tcp.Conn.listen h.net.Topology.b ~port:81
+      ~on_accept:(fun conn -> Tcp.Conn.on_receive conn (fun n -> delivered2 := !delivered2 + n))
+      ()
+  in
+  let c1 = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  let c2 = Tcp.Conn.connect h.net.Topology.a ~dst:(Addr.endpoint ~host:1 ~port:81) () in
+  Tcp.Conn.send c1 10_000_000;
+  Tcp.Conn.send c2 10_000_000;
+  Engine.run_for h.engine (Time.sec 10.);
+  let d1 = h.delivered and d2 = !delivered2 in
+  let ratio = float_of_int (Stdlib.max d1 d2) /. float_of_int (Stdlib.max 1 (Stdlib.min d1 d2)) in
+  "both flows progressed" => (d1 > 500_000 && d2 > 500_000);
+  "rough fairness (ratio < 2.5)" => (ratio < 2.5)
+
+let test_cm_flows_share_macroflow () =
+  let h = make () in
+  let cm = Cm.create h.engine ~mtu:1448 () in
+  Cm.attach cm h.net.Topology.a;
+  let delivered2 = ref 0 in
+  let _l2 =
+    Tcp.Conn.listen h.net.Topology.b ~port:81
+      ~on_accept:(fun conn -> Tcp.Conn.on_receive conn (fun n -> delivered2 := !delivered2 + n))
+      ()
+  in
+  let c1 = Tcp.Conn.connect h.net.Topology.a ~dst ~driver:(Tcp.Conn.Cm_driven cm) () in
+  let c2 =
+    Tcp.Conn.connect h.net.Topology.a
+      ~dst:(Addr.endpoint ~host:1 ~port:81)
+      ~driver:(Tcp.Conn.Cm_driven cm) ()
+  in
+  (match (Tcp.Conn.cm_flow c1, Tcp.Conn.cm_flow c2) with
+  | Some f1, Some f2 ->
+      Alcotest.(check int) "same macroflow" (Cm.macroflow_id cm f1) (Cm.macroflow_id cm f2)
+  | _ -> Alcotest.fail "cm flows not open");
+  Tcp.Conn.send c1 500_000;
+  Tcp.Conn.send c2 500_000;
+  Engine.run_for h.engine (Time.sec 10.);
+  "both progressed" => (h.delivered > 100_000 && !delivered2 > 100_000)
+
+let test_ecn_reduces_without_drops () =
+  (* RED+ECN bottleneck: ECN-enabled TCP should see marks and still deliver *)
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:21 in
+  let a = Host.create engine ~id:0 () in
+  let b = Host.create engine ~id:1 () in
+  let qdisc = Queue_disc.red ~ecn:true ~min_th:5 ~max_th:15 ~limit_pkts:50 ~rng () in
+  let ab =
+    Link.create engine ~bandwidth_bps:2e6 ~delay:(Time.ms 10) ~qdisc
+      ~sink:(fun p -> Host.deliver b p)
+      ()
+  in
+  let ba =
+    Link.create engine ~bandwidth_bps:2e6 ~delay:(Time.ms 10) ~sink:(fun p -> Host.deliver a p) ()
+  in
+  Host.attach_route a (Link.send ab);
+  Host.attach_route b (Link.send ba);
+  let config = { Tcp.Conn.default_config with Tcp.Conn.ecn = true } in
+  let delivered = ref 0 in
+  let _l =
+    Tcp.Conn.listen b ~port:80 ~config
+      ~on_accept:(fun conn -> Tcp.Conn.on_receive conn (fun n -> delivered := !delivered + n))
+      ()
+  in
+  let c = Tcp.Conn.connect a ~dst ~config () in
+  Tcp.Conn.send c 2_000_000;
+  Engine.run_for engine (Time.sec 30.);
+  Alcotest.(check int) "delivered under ECN" 2_000_000 !delivered;
+  "ECN marks were applied" => ((Link.stats ab).Link.ecn_marks > 0)
+
+let test_nagle_coalesces () =
+  let config = { Tcp.Conn.default_config with Tcp.Conn.nagle = true } in
+  let h = make ~config () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst ~config () in
+  Engine.run_for h.engine (Time.ms 100);
+  (* many tiny writes while un-acked data exists *)
+  for _ = 1 to 50 do
+    Tcp.Conn.send c 10
+  done;
+  Engine.run_for h.engine (Time.sec 2.);
+  Alcotest.(check int) "all bytes arrive" 500 h.delivered;
+  let st = Tcp.Conn.stats c in
+  "far fewer segments than writes" => (st.Tcp.Conn.segments_out < 25)
+
+let test_rtt_sample_counting () =
+  let h = make () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  Tcp.Conn.send c 100_000;
+  Engine.run_for h.engine (Time.sec 5.);
+  "multiple rtt samples" => ((Tcp.Conn.stats c).Tcp.Conn.rtt_samples > 5)
+
+let test_cm_initial_window_is_one () =
+  (* the paper: CM starts at 1 MTU, Linux at 2 — check the first flight *)
+  let h = make ~delay:(Time.ms 50) () in
+  let cm = Cm.create h.engine ~mtu:1448 () in
+  Cm.attach cm h.net.Topology.a;
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst ~driver:(Tcp.Conn.Cm_driven cm) () in
+  Tcp.Conn.send c 100_000;
+  (* run just past the handshake: one RTT (100 ms) + epsilon *)
+  Engine.run_for h.engine (Time.ms 130);
+  let st = Tcp.Conn.stats c in
+  (* after handshake completes (~100ms) the CM window allows one segment *)
+  "first flight limited to 1 segment"
+  => (st.Tcp.Conn.bytes_sent <= 1448)
+
+
+
+let test_transfer_with_reordering () =
+  (* a path that reorders 10% of packets by 5 ms: dupacks without loss;
+     TCP must neither lose nor duplicate data, and spurious fast
+     retransmits must stay rare *)
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:23 in
+  let a = Host.create engine ~id:0 () in
+  let b = Host.create engine ~id:1 () in
+  let ab =
+    Link.create engine ~bandwidth_bps:1e7 ~delay:(Time.ms 10) ~reorder:(0.1, Time.ms 5) ~rng
+      ~sink:(fun p -> Host.deliver b p)
+      ()
+  in
+  let ba =
+    Link.create engine ~bandwidth_bps:1e7 ~delay:(Time.ms 10)
+      ~sink:(fun p -> Host.deliver a p)
+      ()
+  in
+  Host.attach_route a (Link.send ab);
+  Host.attach_route b (Link.send ba);
+  let delivered = ref 0 in
+  let _l =
+    Tcp.Conn.listen b ~port:80
+      ~on_accept:(fun c -> Tcp.Conn.on_receive c (fun n -> delivered := !delivered + n))
+      ()
+  in
+  let c = Tcp.Conn.connect a ~dst () in
+  Tcp.Conn.send c 500_000;
+  Engine.run_for engine (Time.sec 20.);
+  Alcotest.(check int) "exactly once despite reordering" 500_000 !delivered
+
+
+
+let test_sack_beats_newreno_on_burst_loss () =
+  (* drop a burst of 5 packets from one window: SACK repairs them in about
+     one RTT; NewReno needs one RTT per hole (or an RTO) *)
+  let run sack =
+    let engine = Engine.create () in
+    let config = { Tcp.Conn.default_config with Tcp.Conn.sack } in
+    let a = Host.create engine ~id:0 () in
+    let b = Host.create engine ~id:1 () in
+    let count = ref 0 in
+    let qdisc =
+      let inner = Queue_disc.droptail ~limit_pkts:200 () in
+      let enqueue pkt =
+        if Packet.payload_bytes pkt > 500 then begin
+          incr count;
+          if !count >= 60 && !count < 65 then Queue_disc.Dropped
+          else inner.Queue_disc.enqueue pkt
+        end
+        else inner.Queue_disc.enqueue pkt
+      in
+      { inner with Queue_disc.enqueue }
+    in
+    let ab =
+      Link.create engine ~bandwidth_bps:1e7 ~delay:(Time.ms 25) ~qdisc
+        ~sink:(fun p -> Host.deliver b p)
+        ()
+    in
+    let ba =
+      Link.create engine ~bandwidth_bps:1e7 ~delay:(Time.ms 25)
+        ~sink:(fun p -> Host.deliver a p)
+        ()
+    in
+    Host.attach_route a (Link.send ab);
+    Host.attach_route b (Link.send ba);
+    let delivered = ref 0 in
+    let done_at = ref None in
+    let total = 300_000 in
+    let _l =
+      Tcp.Conn.listen b ~port:80 ~config
+        ~on_accept:(fun c ->
+          Tcp.Conn.on_receive c (fun n ->
+              delivered := !delivered + n;
+              if !delivered >= total && !done_at = None then
+                done_at := Some (Engine.now engine)))
+        ()
+    in
+    let c = Tcp.Conn.connect a ~dst ~config () in
+    Tcp.Conn.send c total;
+    Engine.run_for engine (Time.sec 30.);
+    let st = Tcp.Conn.stats c in
+    ( (match !done_at with Some t -> Time.to_float_ms t | None -> infinity),
+      st.Tcp.Conn.timeouts,
+      !delivered )
+  in
+  let sack_ms, sack_rto, sack_del = run true in
+  let nr_ms, _nr_rto, nr_del = run false in
+  Alcotest.(check int) "sack delivered all" 300_000 sack_del;
+  Alcotest.(check int) "newreno delivered all" 300_000 nr_del;
+  Alcotest.(check int) "sack avoided timeouts" 0 sack_rto;
+  "sack completes sooner" => (sack_ms < nr_ms)
+
+let test_sack_blocks_advertised () =
+  (* receiver advertises its out-of-order ranges *)
+  let h = make () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+  Engine.run_for h.engine (Time.ms 100);
+  (* watch acks leaving the server for SACK blocks *)
+  let saw_sack = ref false in
+  Host.add_tx_hook h.net.Topology.b (fun pkt ->
+      match pkt.Packet.payload with
+      | Tcp.Segment.Tcp_seg seg -> if seg.Tcp.Segment.sacks <> [] then saw_sack := true
+      | _ -> ());
+  (* inject one out-of-order segment well beyond rcv_nxt *)
+  let flow =
+    Addr.flow ~src:(Tcp.Conn.local c) ~dst:(Tcp.Conn.remote c) ~proto:Addr.Tcp ()
+  in
+  let seg =
+    {
+      Tcp.Segment.seq = 50_001;
+      len = 1000;
+      syn = false;
+      fin = false;
+      ack = true;
+      ack_seq = 1;
+      wnd = 1 lsl 20;
+      ts_val = Engine.now h.engine;
+      ts_ecr = 0;
+      ece = false;
+      sacks = [];
+    }
+  in
+  Host.deliver h.net.Topology.b
+    (Packet.make ~now:(Engine.now h.engine) ~flow ~payload_bytes:1000
+       (Tcp.Segment.Tcp_seg seg));
+  Engine.run_for h.engine (Time.ms 50);
+  "dupack carried a SACK block" => !saw_sack
+
+(* ---- flow control ---------------------------------------------------- *)
+
+let test_slow_consumer_throttles_sender () =
+  (* a 20 KB/s reader behind a 10 Mbit/s pipe: the advertised window, not
+     congestion, must pace the transfer *)
+  let config = { Tcp.Conn.default_config with Tcp.Conn.rwnd = 32_000 } in
+  let h = make ~config () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst ~config () in
+  Engine.run_for h.engine (Time.ms 200);
+  (match h.server_conn with
+  | Some s -> Tcp.Conn.set_consume_rate s (Some 20_000.)
+  | None -> Alcotest.fail "no server conn");
+  Tcp.Conn.send c 300_000;
+  Engine.run_for h.engine (Time.sec 5.);
+  (* ~32KB buffer + 5s * 20KB/s = ~130KB ceiling; far below what the
+     congestion window would allow *)
+  "delivery paced by the reader" => (h.delivered > 60_000 && h.delivered < 160_000);
+  Engine.run_for h.engine (Time.sec 20.);
+  Alcotest.(check int) "everything eventually delivered" 300_000 h.delivered
+
+let test_zero_window_and_persist () =
+  let config = { Tcp.Conn.default_config with Tcp.Conn.rwnd = 20_000 } in
+  let h = make ~config () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst ~config () in
+  Engine.run_for h.engine (Time.ms 200);
+  let server = match h.server_conn with Some s -> s | None -> Alcotest.fail "no server" in
+  (* a reader that consumes nothing: the window must slam shut *)
+  Tcp.Conn.set_consume_rate server (Some 0.);
+  Tcp.Conn.send c 100_000;
+  Engine.run_for h.engine (Time.sec 10.);
+  "receive buffer filled to the window" => (Tcp.Conn.receive_buffered server >= 19_000);
+  "sender stalled" => (Tcp.Conn.bytes_unacked c <= Tcp.Conn.default_config.Tcp.Conn.mss);
+  Alcotest.(check int) "nothing delivered to the app" 0 h.delivered;
+  (* open the tap: persist probes / window updates must resume transfer *)
+  Tcp.Conn.set_consume_rate server (Some 1e6);
+  Engine.run_for h.engine (Time.sec 20.);
+  Alcotest.(check int) "transfer completed after reopening" 100_000 h.delivered
+
+let test_consume_rate_none_flushes () =
+  let config = { Tcp.Conn.default_config with Tcp.Conn.rwnd = 50_000 } in
+  let h = make ~config () in
+  let c = Tcp.Conn.connect h.net.Topology.a ~dst ~config () in
+  Engine.run_for h.engine (Time.ms 200);
+  let server = match h.server_conn with Some s -> s | None -> Alcotest.fail "no server" in
+  Tcp.Conn.set_consume_rate server (Some 0.);
+  Tcp.Conn.send c 30_000;
+  Engine.run_for h.engine (Time.sec 3.);
+  "data parked in the buffer" => (Tcp.Conn.receive_buffered server > 0);
+  Tcp.Conn.set_consume_rate server None;
+  Alcotest.(check int) "switching to infinite consumer flushes" 0
+    (Tcp.Conn.receive_buffered server);
+  Engine.run_for h.engine (Time.sec 5.);
+  Alcotest.(check int) "whole transfer done" 30_000 h.delivered
+
+(* ------------------------------------------------------------------ *)
+(* Property tests *)
+
+(* Exactly-once in-order delivery under arbitrary random loss. *)
+let prop_delivery_exact_under_loss =
+  QCheck.Test.make ~name:"tcp delivers exactly once under random loss" ~count:25
+    QCheck.(pair (int_range 1 1000) (int_range 10_000 300_000))
+    (fun (seed, bytes) ->
+      let h = make ~loss:0.02 ~seed () in
+      let c = Tcp.Conn.connect h.net.Topology.a ~dst () in
+      Tcp.Conn.send c bytes;
+      Engine.run_for h.engine (Time.sec 120.);
+      h.delivered = bytes)
+
+(* Same, for the CM driver. *)
+let prop_cm_delivery_exact_under_loss =
+  QCheck.Test.make ~name:"tcp/cm delivers exactly once under random loss" ~count:15
+    QCheck.(pair (int_range 1 1000) (int_range 10_000 200_000))
+    (fun (seed, bytes) ->
+      let h = make ~loss:0.02 ~seed () in
+      let cm = Cm.create h.engine () in
+      Cm.attach cm h.net.Topology.a;
+      let c = Tcp.Conn.connect h.net.Topology.a ~dst ~driver:(Tcp.Conn.Cm_driven cm) () in
+      Tcp.Conn.send c bytes;
+      Engine.run_for h.engine (Time.sec 120.);
+      h.delivered = bytes)
+
+(* Receiver reassembly: inject data segments for [1, N] in a random
+   permutation of random-sized chunks (with one duplicate), directly into
+   the receiving connection; every byte must be delivered once, in order. *)
+let prop_reassembly_any_order =
+  QCheck.Test.make ~name:"receiver reassembles any segment arrival order" ~count:50
+    QCheck.(pair (int_range 1 1000) (int_range 2 30))
+    (fun (seed, nchunks) ->
+      let rng = Rng.create ~seed in
+      let engine = Engine.create () in
+      let net = Topology.pipe engine ~bandwidth_bps:1e8 ~delay:(Time.us 100) () in
+      let delivered = ref 0 in
+      let server_conn = ref None in
+      let _l =
+        Tcp.Conn.listen net.Topology.b ~port:80
+          ~on_accept:(fun conn ->
+            server_conn := Some conn;
+            Tcp.Conn.on_receive conn (fun n -> delivered := !delivered + n))
+          ()
+      in
+      let client = Tcp.Conn.connect net.Topology.a ~dst () in
+      Engine.run_for engine (Time.ms 50);
+      ignore client;
+      (* build random chunk boundaries over [1, total+1) *)
+      let sizes = Array.init nchunks (fun _ -> 1 + Rng.int rng 1400) in
+      let total = Array.fold_left ( + ) 0 sizes in
+      let chunks = ref [] in
+      let seq = ref 1 in
+      Array.iter
+        (fun len ->
+          chunks := (!seq, len) :: !chunks;
+          seq := !seq + len)
+        sizes;
+      let chunks = Array.of_list !chunks in
+      Rng.shuffle rng chunks;
+      (* duplicate one chunk to exercise the stale-duplicate path *)
+      let dup = chunks.(Rng.int rng (Array.length chunks)) in
+      let inject (seq, len) =
+        let flow =
+          Addr.flow
+            ~src:(Tcp.Conn.local client)
+            ~dst:(Tcp.Conn.remote client)
+            ~proto:Addr.Tcp ()
+        in
+        let seg =
+          {
+            Tcp.Segment.seq;
+            len;
+            syn = false;
+            fin = false;
+            ack = true;
+            ack_seq = 1;
+            wnd = 1 lsl 20;
+            ts_val = Engine.now engine;
+            ts_ecr = 0;
+            ece = false;
+            sacks = [];
+          }
+        in
+        let pkt =
+          Packet.make ~now:(Engine.now engine) ~flow ~payload_bytes:len
+            (Tcp.Segment.Tcp_seg seg)
+        in
+        Host.deliver net.Topology.b pkt
+      in
+      Array.iter inject chunks;
+      inject dup;
+      Engine.run_for engine (Time.ms 10);
+      !delivered = total)
+
+let () =
+  Alcotest.run "tcp"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "three-way handshake" `Quick test_handshake;
+          Alcotest.test_case "lossless transfer" `Quick test_lossless_transfer;
+          Alcotest.test_case "fin teardown" `Quick test_fin_teardown;
+          Alcotest.test_case "srtt tracks path rtt" `Quick test_srtt_close_to_path_rtt;
+          Alcotest.test_case "rtt samples counted" `Quick test_rtt_sample_counting;
+          Alcotest.test_case "nagle coalesces tiny writes" `Quick test_nagle_coalesces;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "recovers from random loss" `Quick test_transfer_with_loss;
+          Alcotest.test_case "fast retransmit" `Quick test_fast_retransmit;
+          Alcotest.test_case "rto after blackout" `Quick test_rto_on_blackout;
+          Alcotest.test_case "karn mode (no timestamps)" `Quick test_karn_mode_works;
+          Alcotest.test_case "reordering tolerated" `Quick test_transfer_with_reordering;
+          Alcotest.test_case "sack beats newreno on burst loss" `Quick
+            test_sack_beats_newreno_on_burst_loss;
+          Alcotest.test_case "sack blocks advertised" `Quick test_sack_blocks_advertised;
+        ] );
+      ( "behavior",
+        [
+          Alcotest.test_case "delayed acks" `Quick test_delayed_acks_halve_acks;
+          Alcotest.test_case "saturates clean link" `Quick test_native_throughput_saturates_link;
+          Alcotest.test_case "two native flows fair" `Quick test_two_flows_share_fairly;
+          Alcotest.test_case "ecn marks, no drops" `Quick test_ecn_reduces_without_drops;
+        ] );
+      ( "flow-control",
+        [
+          Alcotest.test_case "slow consumer throttles" `Quick test_slow_consumer_throttles_sender;
+          Alcotest.test_case "zero window + persist" `Quick test_zero_window_and_persist;
+          Alcotest.test_case "infinite consumer flushes" `Quick test_consume_rate_none_flushes;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_delivery_exact_under_loss;
+          QCheck_alcotest.to_alcotest prop_cm_delivery_exact_under_loss;
+          QCheck_alcotest.to_alcotest prop_reassembly_any_order;
+        ] );
+      ( "tcp/cm",
+        [
+          Alcotest.test_case "cm transfer with loss" `Quick test_cm_transfer_with_loss;
+          Alcotest.test_case "cm flows share macroflow" `Quick test_cm_flows_share_macroflow;
+          Alcotest.test_case "cm initial window = 1" `Quick test_cm_initial_window_is_one;
+        ] );
+    ]

@@ -1,0 +1,331 @@
+(* Tests for cm_util: time, rng, heap, stats, ewma, timeline, byte_queue. *)
+
+open Cm_util
+
+let ( => ) name cond = Alcotest.(check bool) name true cond
+
+(* ---- Time ---------------------------------------------------------- *)
+
+let test_time_units () =
+  Alcotest.(check int) "us" 1_000 (Time.us 1);
+  Alcotest.(check int) "ms" 1_000_000 (Time.ms 1);
+  Alcotest.(check int) "sec" 1_000_000_000 (Time.sec 1.);
+  Alcotest.(check int) "minutes" (60 * 1_000_000_000) (Time.minutes 1.);
+  Alcotest.(check (float 1e-9)) "to_float_s" 1.5 (Time.to_float_s (Time.sec 1.5));
+  Alcotest.(check (float 1e-9)) "to_float_ms" 2. (Time.to_float_ms (Time.ms 2))
+
+let test_time_arith () =
+  let t = Time.add Time.zero (Time.ms 5) in
+  Alcotest.(check int) "add" (Time.ms 5) t;
+  Alcotest.(check int) "diff" (Time.ms 3) (Time.diff (Time.ms 5) (Time.ms 2));
+  Alcotest.(check int) "min" (Time.ms 2) (Time.min (Time.ms 5) (Time.ms 2));
+  Alcotest.(check int) "max" (Time.ms 5) (Time.max (Time.ms 5) (Time.ms 2))
+
+let test_time_pp () =
+  let s v = Format.asprintf "%a" Time.pp v in
+  "ns rendering" => (s 12 = "12ns");
+  "us rendering" => (s (Time.us 3) = "3.00us");
+  "ms rendering" => (s (Time.ms 7) = "7.000ms");
+  "s rendering" => (s (Time.sec 2.) = "2.0000s")
+
+(* ---- Rng ------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let xs = List.init 100 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_seed_matters () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1_000_000) in
+  "different seeds diverge" => (xs <> ys)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done;
+  for _ = 1 to 10_000 do
+    let f = Rng.float r 2.5 in
+    if f < 0. || f >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_rng_bernoulli_frequency () =
+  let r = Rng.create ~seed:4 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  "bernoulli(0.3) frequency within 1%" => (Float.abs (freq -. 0.3) < 0.01)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:5 in
+  let sum = ref 0. in
+  let n = 100_000 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  "exponential mean within 3%" => (Float.abs (mean -. 4.0) < 0.12)
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:6 in
+  let a = Rng.split r and b = Rng.split r in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  "split streams differ" => (xs <> ys)
+
+(* ---- Heap ------------------------------------------------------------ *)
+
+let test_heap_orders () =
+  let h = Heap.create () in
+  List.iter (fun p -> ignore (Heap.insert h ~prio:p p)) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let out = List.init 7 (fun _ -> Heap.extract_min h) |> List.filter_map Fun.id in
+  Alcotest.(check (list (pair int int)))
+    "sorted output"
+    [ (0, 0); (1, 1); (1, 1); (3, 3); (4, 4); (5, 5); (9, 9) ]
+    out
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  ignore (Heap.insert h ~prio:7 "first");
+  ignore (Heap.insert h ~prio:7 "second");
+  ignore (Heap.insert h ~prio:7 "third");
+  let order = List.init 3 (fun _ -> Heap.extract_min h) |> List.filter_map Fun.id |> List.map snd in
+  Alcotest.(check (list string)) "FIFO among equal priorities" [ "first"; "second"; "third" ] order
+
+let test_heap_remove () =
+  let h = Heap.create () in
+  let _a = Heap.insert h ~prio:1 "a" in
+  let b = Heap.insert h ~prio:2 "b" in
+  let _c = Heap.insert h ~prio:3 "c" in
+  "remove succeeds" => Heap.remove h b;
+  "second remove fails" => not (Heap.remove h b);
+  let out = List.init 3 (fun _ -> Heap.extract_min h) |> List.filter_map Fun.id |> List.map snd in
+  Alcotest.(check (list string)) "b removed" [ "a"; "c" ] out
+
+let test_heap_clear_and_size () =
+  let h = Heap.create () in
+  for i = 1 to 100 do
+    ignore (Heap.insert h ~prio:i i)
+  done;
+  Alcotest.(check int) "size" 100 (Heap.size h);
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.size h);
+  "extract on empty" => (Heap.extract_min h = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap extracts in priority order" ~count:200
+    QCheck.(list small_int)
+    (fun prios ->
+      let h = Heap.create () in
+      List.iter (fun p -> ignore (Heap.insert h ~prio:p p)) prios;
+      let out = List.init (List.length prios) (fun _ -> Heap.extract_min h) in
+      let out = List.filter_map Fun.id out |> List.map fst in
+      out = List.sort Stdlib.compare prios)
+
+let prop_heap_removal_consistent =
+  QCheck.Test.make ~name:"heap removal keeps order" ~count:100
+    QCheck.(pair (list small_int) (list bool))
+    (fun (prios, removes) ->
+      let h = Heap.create () in
+      let handles = List.map (fun p -> (p, Heap.insert h ~prio:p p)) prios in
+      let kept =
+        List.filteri
+          (fun i (_, hd) ->
+            let remove = List.nth_opt removes i = Some true in
+            if remove then ignore (Heap.remove h hd);
+            not remove)
+          handles
+        |> List.map fst
+      in
+      let out = List.init (List.length kept) (fun _ -> Heap.extract_min h) in
+      let out = List.filter_map Fun.id out |> List.map fst in
+      out = List.sort Stdlib.compare kept)
+
+(* ---- Stats ----------------------------------------------------------- *)
+
+let test_stats_moments () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  Alcotest.(check (float 1e-4)) "stddev (sample)" 2.13809 (Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max_value s);
+  Alcotest.(check (float 1e-9)) "sum" 40.0 (Stats.sum s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.; 2.; 3. ] and ys = [ 10.; 20.; 30.; 40. ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add whole) (xs @ ys);
+  let m = Stats.merge a b in
+  Alcotest.(check int) "merged count" (Stats.count whole) (Stats.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" (Stats.mean whole) (Stats.mean m);
+  Alcotest.(check (float 1e-6)) "merged variance" (Stats.variance whole) (Stats.variance m)
+
+let test_stats_percentile () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  Alcotest.(check (float 1e-9)) "p0" 0. (Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p50" 50. (Stats.percentile xs 50.);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "median" 50. (Stats.median xs);
+  "empty is nan" => Float.is_nan (Stats.percentile [||] 50.)
+
+(* ---- Ewma ------------------------------------------------------------- *)
+
+let test_ewma () =
+  let e = Ewma.create ~gain:0.5 in
+  "uninitialized" => not (Ewma.initialized e);
+  "nan before samples" => Float.is_nan (Ewma.value e);
+  Ewma.update e 10.;
+  Alcotest.(check (float 1e-9)) "first sample direct" 10. (Ewma.value e);
+  Ewma.update e 20.;
+  Alcotest.(check (float 1e-9)) "second smoothed" 15. (Ewma.value e);
+  Ewma.reset e;
+  "reset forgets" => not (Ewma.initialized e)
+
+let test_ewma_invalid_gain () =
+  "gain 0 rejected"
+  => (try
+        ignore (Ewma.create ~gain:0.);
+        false
+      with Invalid_argument _ -> true);
+  "gain > 1 rejected"
+  => (try
+        ignore (Ewma.create ~gain:1.5);
+        false
+      with Invalid_argument _ -> true)
+
+(* ---- Timeline ---------------------------------------------------------- *)
+
+let test_timeline_rate_series () =
+  let tl = Timeline.create () in
+  Timeline.record tl (Time.ms 100) 1000.;
+  Timeline.record tl (Time.ms 900) 2000.;
+  Timeline.record tl (Time.ms 1500) 1000.;
+  let series = Timeline.rate_series tl ~bin:(Time.sec 1.) ~until:(Time.sec 2.) in
+  match series with
+  | [ (t0, r0); (t1, r1) ] ->
+      Alcotest.(check int) "bin 0 start" 0 t0;
+      Alcotest.(check (float 1e-9)) "bin 0 rate" 3000. r0;
+      Alcotest.(check int) "bin 1 start" (Time.sec 1.) t1;
+      Alcotest.(check (float 1e-9)) "bin 1 rate" 1000. r1
+  | _ -> Alcotest.fail "expected two bins"
+
+let test_timeline_sampled_series () =
+  let tl = Timeline.create () in
+  Timeline.record tl (Time.ms 0) 1.;
+  Timeline.record tl (Time.ms 2500) 2.;
+  let series = Timeline.sampled_series tl ~bin:(Time.sec 1.) ~until:(Time.sec 4.) in
+  let values = List.map snd series in
+  match values with
+  | [ a; b; c; d ] ->
+      Alcotest.(check (float 1e-9)) "t=0" 1. a;
+      Alcotest.(check (float 1e-9)) "t=1" 1. b;
+      Alcotest.(check (float 1e-9)) "t=2" 1. c;
+      Alcotest.(check (float 1e-9)) "t=3 picks latest" 2. d
+  | _ -> Alcotest.fail "expected four samples"
+
+let test_timeline_basics () =
+  let tl = Timeline.create () in
+  Alcotest.(check int) "empty" 0 (Timeline.length tl);
+  "no last" => (Timeline.last tl = None);
+  Timeline.record tl 5 42.;
+  Alcotest.(check int) "one point" 1 (Timeline.length tl);
+  (match Timeline.last tl with
+  | Some p -> Alcotest.(check (float 1e-9)) "last value" 42. p.Timeline.value
+  | None -> Alcotest.fail "expected last");
+  Alcotest.(check (float 1e-9)) "mean" 42. (Timeline.mean_value tl)
+
+(* ---- Byte_queue --------------------------------------------------------- *)
+
+let test_byte_queue_fifo () =
+  let q = Byte_queue.create () in
+  Byte_queue.push q ~size:10 "a";
+  Byte_queue.push q ~size:20 "b";
+  Alcotest.(check int) "bytes" 30 (Byte_queue.bytes q);
+  Alcotest.(check int) "length" 2 (Byte_queue.length q);
+  Alcotest.(check (option string)) "peek" (Some "a") (Byte_queue.peek q);
+  Alcotest.(check (option string)) "pop order" (Some "a") (Byte_queue.pop q);
+  Alcotest.(check int) "bytes after pop" 20 (Byte_queue.bytes q);
+  Alcotest.(check (option (pair string int))) "drop_head returns size" (Some ("b", 20))
+    (Byte_queue.drop_head q);
+  "empty" => Byte_queue.is_empty q
+
+let prop_byte_queue_conserves =
+  QCheck.Test.make ~name:"byte_queue bytes = sum of element sizes" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun sizes ->
+      let q = Byte_queue.create () in
+      List.iter (fun s -> Byte_queue.push q ~size:s s) sizes;
+      let total = List.fold_left ( + ) 0 sizes in
+      let ok1 = Byte_queue.bytes q = total in
+      let popped = ref 0 in
+      let rec drain () =
+        match Byte_queue.pop q with
+        | Some s ->
+            popped := !popped + s;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      ok1 && !popped = total && Byte_queue.bytes q = 0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "unit conversions" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic from seed" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds diverge" `Quick test_rng_seed_matters;
+          Alcotest.test_case "bounds respected" `Quick test_rng_bounds;
+          Alcotest.test_case "bernoulli frequency" `Quick test_rng_bernoulli_frequency;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "orders by priority" `Quick test_heap_orders;
+          Alcotest.test_case "fifo among ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "removal" `Quick test_heap_remove;
+          Alcotest.test_case "clear and size" `Quick test_heap_clear_and_size;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_removal_consistent;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "moments" `Quick test_stats_moments;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        ] );
+      ( "ewma",
+        [
+          Alcotest.test_case "smoothing" `Quick test_ewma;
+          Alcotest.test_case "invalid gain" `Quick test_ewma_invalid_gain;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "rate series" `Quick test_timeline_rate_series;
+          Alcotest.test_case "sampled series" `Quick test_timeline_sampled_series;
+          Alcotest.test_case "basics" `Quick test_timeline_basics;
+        ] );
+      ( "byte_queue",
+        [
+          Alcotest.test_case "fifo with byte accounting" `Quick test_byte_queue_fifo;
+          QCheck_alcotest.to_alcotest prop_byte_queue_conserves;
+        ] );
+    ]
