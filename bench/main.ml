@@ -1,9 +1,12 @@
 (* bench/main — regenerates every table and figure of the paper's
-   evaluation (§4), then runs bechamel microbenchmarks of the CM's hot
-   paths.
+   evaluation (§4), runs bechamel microbenchmarks of the CM's hot paths,
+   and emits a machine-readable BENCH_PR1.json so later PRs have a perf
+   trajectory to compare against (schema documented in DESIGN.md §6).
 
    Set CM_BENCH_FULL=1 for the long variants (10^6-buffer Fig. 4/5 point,
-   200k-packet Fig. 6); set CM_BENCH_SEED to change the seed. *)
+   200k-packet Fig. 6); CM_BENCH_SEED to change the seed; CM_BENCH_SMOKE=1
+   for a seconds-long build/run verification pass (tiny iteration counts,
+   experiments skipped); CM_BENCH_OUT to redirect the JSON file. *)
 
 open Cm_util
 
@@ -14,10 +17,18 @@ let params =
   let full = Sys.getenv_opt "CM_BENCH_FULL" = Some "1" in
   { Experiments.Exp_common.seed; full }
 
+let smoke = Sys.getenv_opt "CM_BENCH_SMOKE" = Some "1"
+let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR1.json"
+
+(* wall times of every experiment, for the JSON trajectory *)
+let experiment_walls : (string * float) list ref = ref []
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
   f ();
-  Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+  let wall = Unix.gettimeofday () -. t0 in
+  experiment_walls := (name, wall) :: !experiment_walls;
+  Printf.printf "[%s finished in %.1fs]\n%!" name wall
 
 let run_experiments () =
   print_endline "=====================================================================";
@@ -50,11 +61,50 @@ let run_experiments () =
       Experiments.Ablations.print_fairness (Experiments.Ablations.run_fairness params))
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel microbenchmarks: wall-clock cost of the implementation's hot
-   paths on this machine. *)
+(* Macrobenchmark: events per second of the simulator core on the Fig. 6
+   TCP/CM workload (the sender path the whole evaluation is driven by). *)
+
+type macro_result = {
+  mc_workload : string;
+  mc_packets : int;
+  mc_events : int;
+  mc_wall_s : float;
+  mc_events_per_sec : float;
+  mc_virtual_clock_s : float;
+}
+
+let run_macro () =
+  let n = if smoke then 500 else if params.Experiments.Exp_common.full then 200_000 else 20_000 in
+  let t0 = Unix.gettimeofday () in
+  let m = Experiments.Fig6.measure_macro params Experiments.Fig6.Tcp_cm ~size:1448 ~n in
+  let wall = Unix.gettimeofday () -. t0 in
+  let r =
+    {
+      mc_workload = "fig6 TCP/CM 1448B";
+      mc_packets = n;
+      mc_events = m.Experiments.Fig6.m_events;
+      mc_wall_s = wall;
+      mc_events_per_sec = float_of_int m.Experiments.Fig6.m_events /. wall;
+      mc_virtual_clock_s = Time.to_float_s m.Experiments.Fig6.m_final_clock;
+    }
+  in
+  Printf.printf "\n== Macrobenchmark: event core on the Fig. 6 workload ==\n";
+  Printf.printf "%s: %d packets, %d events in %.3fs wall = %.0f events/sec\n%!" r.mc_workload
+    r.mc_packets r.mc_events r.mc_wall_s r.mc_events_per_sec;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: wall-clock cost and minor-heap allocation of
+   the implementation's hot paths on this machine. *)
 
 open Bechamel
 open Toolkit
+
+(* Each hot path is a raw [unit -> unit] closure: bechamel stages it for
+   the wall-clock fit, and the allocation figure is taken directly from
+   [Gc.minor_words] deltas — bechamel's own minor-allocated instance reads
+   [Gc.quick_stat], which on OCaml 5 only refreshes at minor collections
+   and grossly under-reports. *)
 
 let bench_cm_transaction () =
   (* one full request -> grant -> notify -> update cycle *)
@@ -70,73 +120,191 @@ let bench_cm_transaction () =
   Cm.register_send cm fid (fun fid ->
       Cm.notify cm fid ~nbytes:1448;
       Cm.update cm fid ~nsent:1448 ~nrecd:1448 ~loss:Cm.Cm_types.No_loss ~rtt:(Cm_util.Time.ms 10) ());
-  Staged.stage (fun () ->
-      Cm.request cm fid;
-      (* bounded: the macroflow's periodic maintenance timer means the
-         event queue never fully drains *)
-      Eventsim.Engine.run_for engine (Cm_util.Time.us 10))
+  fun () ->
+    Cm.request cm fid;
+    (* bounded: the macroflow's periodic maintenance timer means the
+       event queue never fully drains *)
+    Eventsim.Engine.run_for engine (Cm_util.Time.us 10)
 
 let bench_engine_event () =
   let engine = Eventsim.Engine.create () in
-  Staged.stage (fun () ->
-      ignore (Eventsim.Engine.schedule_after engine 10 (fun () -> ()));
-      ignore (Eventsim.Engine.step engine))
+  fun () ->
+    ignore (Eventsim.Engine.schedule_after engine 10 (fun () -> ()));
+    ignore (Eventsim.Engine.step engine)
+
+(* the PR-1 acceptance cycle: schedule two events, cancel one, extract the
+   other — the churn pattern of protocol timers under load *)
+let bench_engine_cycle () =
+  let engine = Eventsim.Engine.create () in
+  fun () ->
+    let h1 = Eventsim.Engine.schedule_after engine 10 ignore in
+    ignore (Eventsim.Engine.schedule_after engine 20 ignore);
+    ignore (Eventsim.Engine.cancel engine h1);
+    ignore (Eventsim.Engine.step engine)
+
+(* TCP retransmit-timer reset: re-arm an already-armed timer (in-place
+   reschedule, no cancel+insert churn) *)
+let bench_timer_rearm () =
+  let engine = Eventsim.Engine.create () in
+  let t = Eventsim.Timer.create engine ~callback:(fun () -> ()) in
+  Eventsim.Timer.start t 1_000_000;
+  fun () -> Eventsim.Timer.start t 1_000_000
 
 let bench_heap () =
   let h = Heap.create () in
   let i = ref 0 in
-  Staged.stage (fun () ->
-      incr i;
-      ignore (Heap.insert h ~prio:(!i land 1023) !i);
-      ignore (Heap.extract_min h))
+  fun () ->
+    incr i;
+    ignore (Heap.insert h ~prio:(!i land 1023) !i);
+    ignore (Heap.extract_min h)
+
+let bench_heap_update_prio () =
+  let h = Heap.create () in
+  let handles = Array.init 256 (fun i -> Heap.insert h ~prio:i i) in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    ignore (Heap.update_prio h handles.(!i land 255) ~prio:(!i land 4095))
 
 let bench_scheduler () =
   let s = Cm.Scheduler.round_robin () in
-  Staged.stage (fun () ->
-      s.Cm.Scheduler.enqueue 1;
-      s.Cm.Scheduler.enqueue 2;
-      ignore (s.Cm.Scheduler.dequeue ());
-      ignore (s.Cm.Scheduler.dequeue ()))
+  fun () ->
+    s.Cm.Scheduler.enqueue 1;
+    s.Cm.Scheduler.enqueue 2;
+    ignore (s.Cm.Scheduler.dequeue ());
+    ignore (s.Cm.Scheduler.dequeue ())
 
 let bench_controller () =
   let c = Cm.Controller.aimd () ~mtu:1448 in
-  Staged.stage (fun () ->
-      c.Cm.Controller.on_ack ~nbytes:1448;
-      if c.Cm.Controller.cwnd () > 1 lsl 20 then c.Cm.Controller.on_loss Cm.Cm_types.Persistent)
+  fun () ->
+    c.Cm.Controller.on_ack ~nbytes:1448;
+    if c.Cm.Controller.cwnd () > 1 lsl 20 then c.Cm.Controller.on_loss Cm.Cm_types.Persistent
 
 let bench_rto () =
   let r = Tcp.Rto.create () in
-  Staged.stage (fun () ->
-      Tcp.Rto.observe r (Cm_util.Time.ms 50);
-      ignore (Tcp.Rto.rto r))
+  fun () ->
+    Tcp.Rto.observe r (Cm_util.Time.ms 50);
+    ignore (Tcp.Rto.rto r)
+
+let hot_paths : (string * (unit -> unit)) list =
+  [
+    ("cm request/grant/notify/update", bench_cm_transaction ());
+    ("engine schedule+step", bench_engine_event ());
+    ("engine sched/cancel/extract cycle", bench_engine_cycle ());
+    ("timer re-arm", bench_timer_rearm ());
+    ("heap insert+extract", bench_heap ());
+    ("heap update_prio", bench_heap_update_prio ());
+    ("rr scheduler cycle", bench_scheduler ());
+    ("aimd on_ack", bench_controller ());
+    ("rto observe", bench_rto ());
+  ]
 
 let tests =
   Test.make_grouped ~name:"hot-paths" ~fmt:"%s %s"
-    [
-      Test.make ~name:"cm request/grant/notify/update" (bench_cm_transaction ());
-      Test.make ~name:"engine schedule+step" (bench_engine_event ());
-      Test.make ~name:"heap insert+extract" (bench_heap ());
-      Test.make ~name:"rr scheduler cycle" (bench_scheduler ());
-      Test.make ~name:"aimd on_ack" (bench_controller ());
-      Test.make ~name:"rto observe" (bench_rto ());
-    ]
+    (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) hot_paths)
 
+(* average minor words per call over a long fresh run; [Gc.minor_words]
+   reads the allocation pointer directly, so this is exact up to the
+   constant loop overhead *)
+let minor_words_per_op f =
+  let runs = if smoke then 1_000 else 100_000 in
+  for _ = 1 to runs / 10 do f () done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to runs do f () done;
+  (Gc.minor_words () -. w0) /. float_of_int runs
+
+(* (test name, ns/op, minor words/op) rows *)
 let run_microbenchmarks () =
   print_endline "";
   print_endline "== Bechamel microbenchmarks: implementation hot paths (this machine) ==";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let quota =
+    match Sys.getenv_opt "CM_BENCH_QUOTA" with
+    | Some s -> float_of_string s
+    | None -> if smoke then 0.02 else 0.25
+  in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
+  in
   let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate name =
+    match Hashtbl.find_opt times name with
+    | Some v -> ( match Analyze.OLS.estimates v with Some [ est ] -> Some est | _ -> None)
+    | None -> None
+  in
+  let rows =
+    List.map
+      (fun (short, f) ->
+        let name = "hot-paths " ^ short in
+        (name, estimate name, Some (minor_words_per_op f)))
+      hot_paths
+  in
   List.iter
-    (fun (name, v) ->
-      match Analyze.OLS.estimates v with
-      | Some [ est ] -> Printf.printf "%-44s %10.1f ns/op\n" name est
-      | _ -> Printf.printf "%-44s (no estimate)\n" name)
-    (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
+    (fun (name, ns, w) ->
+      let fmt_o = function Some v -> Printf.sprintf "%10.1f" v | None -> "         ?" in
+      Printf.printf "%-48s %s ns/op %s minor words/op\n" name (fmt_o ns) (fmt_o w))
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_PR1.json — machine-readable results (schema: DESIGN.md §6) *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json ~macro ~micro () =
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema_version\": 1,\n";
+  p "  \"pr\": 1,\n";
+  p "  \"seed\": %d,\n" params.Experiments.Exp_common.seed;
+  p "  \"full\": %b,\n" params.Experiments.Exp_common.full;
+  p "  \"smoke\": %b,\n" smoke;
+  p "  \"experiments\": [\n";
+  let walls = List.rev !experiment_walls in
+  List.iteri
+    (fun i (name, wall) ->
+      p "    {\"name\": \"%s\", \"wall_s\": %.3f}%s\n" (json_escape name) wall
+        (if i = List.length walls - 1 then "" else ","))
+    walls;
+  p "  ],\n";
+  p "  \"macro\": {\n";
+  p "    \"workload\": \"%s\",\n" (json_escape macro.mc_workload);
+  p "    \"packets\": %d,\n" macro.mc_packets;
+  p "    \"events\": %d,\n" macro.mc_events;
+  p "    \"wall_s\": %.4f,\n" macro.mc_wall_s;
+  p "    \"events_per_sec\": %.0f,\n" macro.mc_events_per_sec;
+  p "    \"virtual_clock_s\": %.6f\n" macro.mc_virtual_clock_s;
+  p "  },\n";
+  p "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns, w) ->
+      let num = function Some v -> Printf.sprintf "%.2f" v | None -> "null" in
+      p "    {\"name\": \"%s\", \"ns_per_op\": %s, \"minor_words_per_op\": %s}%s\n"
+        (json_escape name) (num ns) (num w)
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "\n[wrote %s]\n%!" json_path
 
 let () =
-  run_experiments ();
-  run_microbenchmarks ()
+  if not smoke then run_experiments ()
+  else print_endline "[smoke mode: experiments skipped, tiny iteration counts]";
+  let macro = run_macro () in
+  let micro = run_microbenchmarks () in
+  emit_json ~macro ~micro ()

@@ -1,17 +1,33 @@
 open Cm_util
 
-type event = { fn : unit -> unit }
-type handle = event Heap.handle * event Heap.t
+(* One mutable cell per scheduled event.  [fn] doubles as the liveness
+   flag: cancellation and execution both overwrite it with the shared
+   [dead] closure, so cancel is O(1) (lazy: the entry stays in the heap
+   and is skipped when it reaches the top) and a handle is exactly one
+   heap entry — no tuple, no option. *)
+type event = { mutable fn : unit -> unit }
+type handle = event Heap.handle
+
+let dead : unit -> unit = fun () -> ()
 
 type t = {
   mutable clock : Time.t;
   queue : event Heap.t;
   mutable executed : int;
+  mutable cancelled : int; (* dead events still sitting in [queue] *)
+  mutable clamped : int; (* negative-delay schedules clamped to "now" *)
   mutable running : bool;
 }
 
 let create ?(start = Time.zero) () =
-  { clock = start; queue = Heap.create (); executed = 0; running = false }
+  {
+    clock = start;
+    queue = Heap.create ();
+    executed = 0;
+    cancelled = 0;
+    clamped = 0;
+    running = false;
+  }
 
 let now t = t.clock
 
@@ -20,38 +36,97 @@ let schedule_at t when_ fn =
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is in the past (now %a)" Time.pp when_ Time.pp
          t.clock);
-  let h = Heap.insert t.queue ~prio:when_ { fn } in
-  (h, t.queue)
+  Heap.insert t.queue ~prio:when_ { fn }
 
-let schedule_after t d fn = schedule_at t (Time.add t.clock (Stdlib.max d 0)) fn
-let cancel _t (h, q) = Heap.remove q h
-let pending t = Heap.size t.queue
+let schedule_after t d fn =
+  if d < 0 then t.clamped <- t.clamped + 1;
+  schedule_at t (Time.add t.clock (Stdlib.max d 0)) fn
 
-let step t =
-  match Heap.extract_min t.queue with
-  | None -> false
-  | Some (when_, ev) ->
-      t.clock <- when_;
+(* Compact once dead entries dominate: rare (amortized O(1) per cancel),
+   and only worthwhile when cancelled events would otherwise linger far in
+   the future, e.g. retransmit timers that keep being reset. *)
+let maybe_compact t =
+  if t.cancelled > 64 && t.cancelled > Heap.size t.queue / 2 then begin
+    Heap.filter_in_place t.queue (fun ev -> ev.fn != dead);
+    t.cancelled <- 0
+  end
+
+let cancel t h =
+  let ev = Heap.handle_value h in
+  if ev.fn == dead then false
+  else begin
+    ev.fn <- dead;
+    t.cancelled <- t.cancelled + 1;
+    maybe_compact t;
+    true
+  end
+
+let reschedule t h when_ =
+  if when_ < t.clock then
+    invalid_arg
+      (Format.asprintf "Engine.reschedule: %a is in the past (now %a)" Time.pp when_ Time.pp
+         t.clock);
+  let ev = Heap.handle_value h in
+  if ev.fn == dead then false else Heap.update_prio t.queue h ~prio:when_
+
+let pending t = Heap.size t.queue - t.cancelled
+
+let rec step t =
+  if Heap.is_empty t.queue then false
+  else begin
+    let h = Heap.pop_min t.queue in
+    let ev = Heap.handle_value h in
+    if ev.fn == dead then begin
+      t.cancelled <- t.cancelled - 1;
+      step t
+    end
+    else begin
+      t.clock <- Heap.handle_prio h;
       t.executed <- t.executed + 1;
-      ev.fn ();
+      let f = ev.fn in
+      ev.fn <- dead;
+      f ();
       true
+    end
+  end
 
+(* The run loop peeks (O(1), no allocation) before popping so an event
+   past [until] stays queued; [limit] is hoisted to a sentinel so the
+   per-event path is a single integer compare instead of an option
+   match. *)
 let run ?until t =
   if t.running then invalid_arg "Engine.run: reentrant run";
   t.running <- true;
+  let limit = match until with Some l -> l | None -> max_int in
   Fun.protect
     ~finally:(fun () -> t.running <- false)
     (fun () ->
       let continue = ref true in
       while !continue do
-        match Heap.min_elt t.queue with
-        | None -> continue := false
-        | Some (when_, _) -> (
-            match until with
-            | Some limit when when_ > limit -> continue := false
-            | _ -> ignore (step t))
+        if Heap.is_empty t.queue then continue := false
+        else begin
+          let h = Heap.min_handle t.queue in
+          let ev = Heap.handle_value h in
+          if ev.fn == dead then begin
+            ignore (Heap.pop_min t.queue);
+            t.cancelled <- t.cancelled - 1
+          end
+          else begin
+            let when_ = Heap.handle_prio h in
+            if when_ > limit then continue := false
+            else begin
+              ignore (Heap.pop_min t.queue);
+              t.clock <- when_;
+              t.executed <- t.executed + 1;
+              let f = ev.fn in
+              ev.fn <- dead;
+              f ()
+            end
+          end
+        end
       done;
-      match until with Some limit when limit > t.clock -> t.clock <- limit | _ -> ())
+      if limit <> max_int && limit > t.clock then t.clock <- limit)
 
 let run_for t d = run ~until:(Time.add t.clock d) t
 let events_executed t = t.executed
+let schedules_clamped t = t.clamped

@@ -12,7 +12,9 @@ type t
 (** An engine instance. *)
 
 type handle
-(** Names a scheduled event so it can be cancelled. *)
+(** Names a scheduled event so it can be cancelled or rescheduled.  A
+    handle is a single unboxed heap entry; cancellation is lazy (O(1)
+    mark-dead, skipped when it reaches the head of the queue). *)
 
 val create : ?start:Time.t -> unit -> t
 (** [create ()] is a fresh engine with the clock at [start]
@@ -26,10 +28,20 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> handle
     Scheduling in the past raises [Invalid_argument]. *)
 
 val schedule_after : t -> Time.span -> (unit -> unit) -> handle
-(** [schedule_after t d f] is [schedule_at t (now t + max d 0) f]. *)
+(** [schedule_after t d f] is [schedule_at t (now t + max d 0) f].
+    Negative delays are clamped to zero and counted in
+    {!schedules_clamped}. *)
 
 val cancel : t -> handle -> bool
-(** Cancel a pending event; [false] if it already ran or was cancelled. *)
+(** Cancel a pending event; [false] if it already ran or was cancelled.
+    O(1): the event is marked dead and discarded when it surfaces. *)
+
+val reschedule : t -> handle -> Time.t -> bool
+(** [reschedule t h when_] moves a still-pending event to a new time in
+    place (no cancellation churn, no allocation); among events at the same
+    time it behaves as if freshly scheduled.  Returns [false] if the event
+    already ran or was cancelled.  Rescheduling into the past raises
+    [Invalid_argument]. *)
 
 val pending : t -> int
 (** Number of events still queued. *)
@@ -47,3 +59,7 @@ val run_for : t -> Time.span -> unit
 
 val events_executed : t -> int
 (** Total number of callbacks executed (diagnostics, bench). *)
+
+val schedules_clamped : t -> int
+(** Number of {!schedule_after} calls whose negative delay was clamped to
+    zero — a misbehaving-caller diagnostic (diagnostics, bench). *)

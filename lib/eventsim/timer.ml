@@ -4,38 +4,53 @@ type t = {
   engine : Engine.t;
   callback : unit -> unit;
   mutable handle : Engine.handle option;
-  mutable expiry : Time.t option;
-  mutable period : Time.span option;
+  mutable armed : bool;
+  mutable expiry : Time.t; (* meaningful only when [armed] *)
+  mutable period : Time.span; (* 0 = one-shot *)
+  mutable fire : unit -> unit; (* allocated once in [create], reused per arm *)
 }
 
-let create engine ~callback = { engine; callback; handle = None; expiry = None; period = None }
+(* Re-arm to an absolute expiry.  If the previous engine event is still
+   pending (the common TCP retransmit-reset case) it is moved in place —
+   no cancellation churn and no allocation; otherwise one fresh event is
+   scheduled with the timer's single pre-allocated fire closure. *)
+let arm_at t when_ =
+  t.armed <- true;
+  t.expiry <- when_;
+  let moved = match t.handle with Some h -> Engine.reschedule t.engine h when_ | None -> false in
+  if not moved then t.handle <- Some (Engine.schedule_at t.engine when_ t.fire)
+
+let create engine ~callback =
+  let t =
+    { engine; callback; handle = None; armed = false; expiry = 0; period = 0; fire = ignore }
+  in
+  t.fire <-
+    (fun () ->
+      t.armed <- false;
+      (* periodic re-arm is anchored on the previous expiry, not on "now",
+         so the tick sequence is exactly [start + k*period] with no drift
+         accumulation *)
+      if t.period > 0 then arm_at t (Time.add t.expiry t.period);
+      t.callback ());
+  t
 
 let stop t =
-  (match t.handle with Some h -> ignore (Engine.cancel t.engine h) | None -> ());
-  t.handle <- None;
-  t.expiry <- None;
-  t.period <- None
+  (match t.handle with
+  | Some h when t.armed -> ignore (Engine.cancel t.engine h)
+  | _ -> ());
+  t.armed <- false;
+  t.period <- 0
 
-let rec arm t delay =
-  let fire () =
-    t.handle <- None;
-    t.expiry <- None;
-    (match t.period with Some p -> arm t p | None -> ());
-    t.callback ()
-  in
-  let when_ = Time.add (Engine.now t.engine) (Stdlib.max delay 0) in
-  t.handle <- Some (Engine.schedule_at t.engine when_ fire);
-  t.expiry <- Some when_
+let arm t delay = arm_at t (Time.add (Engine.now t.engine) (Stdlib.max delay 0))
 
 let start t delay =
-  stop t;
+  t.period <- 0;
   arm t delay
 
 let start_periodic t period =
   if period <= 0 then invalid_arg "Timer.start_periodic: period must be positive";
-  stop t;
-  t.period <- Some period;
+  t.period <- period;
   arm t period
 
-let is_running t = t.handle <> None
-let expiry t = t.expiry
+let is_running t = t.armed
+let expiry t = if t.armed then Some t.expiry else None

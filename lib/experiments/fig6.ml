@@ -122,7 +122,7 @@ let run_udp variant params ~size ~n =
   done;
   let finish = match !t_end with Some t -> t | None -> Engine.now engine in
   let us = Time.to_float_us (Time.diff finish t0) /. float_of_int n in
-  (us, meter)
+  (us, meter, engine, net)
 
 (* ------------------------------------------------------------------ *)
 (* TCP-based variants *)
@@ -175,12 +175,16 @@ let run_tcp variant params ~size ~n =
   done;
   let finish = match !t_end with Some t -> t | None -> Engine.now engine in
   let us = Time.to_float_us (Time.diff finish t0) /. float_of_int n in
-  (us, meter)
+  (us, meter, engine, net)
 
-let run_variant variant params ~size ~n =
+let run_variant_full variant params ~size ~n =
   match variant with
   | Buffered | Alf | Alf_noconnect -> run_udp variant params ~size ~n
   | Tcp_linux | Tcp_cm | Tcp_cm_nodelay -> run_tcp variant params ~size ~n
+
+let run_variant variant params ~size ~n =
+  let us, meter, _, _ = run_variant_full variant params ~size ~n in
+  (us, meter)
 
 let packets params = if params.Exp_common.full then 200_000 else 20_000
 
@@ -244,3 +248,26 @@ let print_table1 rows =
     rows
 
 let measure_variant params variant ~size ~n = run_variant variant params ~size ~n
+
+(* ------------------------------------------------------------------ *)
+(* Simulator-level diagnostics of a Fig. 6 run: the event-core macro
+   workload used by bench/ for the events-per-second trajectory and by the
+   determinism regression test. *)
+
+type macro_stats = {
+  m_us_per_packet : float;
+  m_events : int;  (** engine callbacks executed *)
+  m_final_clock : Time.t;  (** virtual clock at the end of the run *)
+  m_fwd : Link.stats;  (** forward (a → b) link counters *)
+  m_rev : Link.stats;  (** reverse (b → a) link counters *)
+}
+
+let measure_macro params variant ~size ~n =
+  let us, _meter, engine, net = run_variant_full variant params ~size ~n in
+  {
+    m_us_per_packet = us;
+    m_events = Engine.events_executed engine;
+    m_final_clock = Engine.now engine;
+    m_fwd = Link.stats net.Topology.ab;
+    m_rev = Link.stats net.Topology.ba;
+  }

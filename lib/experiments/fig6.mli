@@ -46,3 +46,17 @@ val measure_variant :
   Exp_common.params -> variant -> size:int -> n:int -> float * Libcm.Ops.meter
 (** One variant run: (µs per packet, the boundary-operation meter) —
     reused by the CM-protocol extension experiment. *)
+
+type macro_stats = {
+  m_us_per_packet : float;
+  m_events : int;  (** Engine callbacks executed. *)
+  m_final_clock : Cm_util.Time.t;  (** Virtual clock at the end of the run. *)
+  m_fwd : Netsim.Link.stats;  (** Forward (a → b) link counters. *)
+  m_rev : Netsim.Link.stats;  (** Reverse (b → a) link counters. *)
+}
+(** Simulator-level diagnostics of one Fig. 6 run. *)
+
+val measure_macro : Exp_common.params -> variant -> size:int -> n:int -> macro_stats
+(** One variant run reported as event-core diagnostics — the macro workload
+    behind the bench events-per-second figure and the determinism
+    regression test (same seed ⇒ identical [macro_stats]). *)

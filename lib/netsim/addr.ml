@@ -13,7 +13,9 @@ let equal_flow a b =
   equal_endpoint a.src b.src && equal_endpoint a.dst b.dst && a.proto = b.proto
   && a.dscp = b.dscp
 
-let strip_dscp f = { f with dscp = 0 }
+(* per-packet on the receive path: only allocate when there is actually a
+   codepoint to strip (dscp = 0 is the overwhelmingly common case) *)
+let strip_dscp f = if f.dscp = 0 then f else { f with dscp = 0 }
 let compare_flow (a : flow) b = Stdlib.compare a b
 let pp_proto fmt p = Format.pp_print_string fmt (match p with Tcp -> "tcp" | Udp -> "udp")
 let pp_endpoint fmt e = Format.fprintf fmt "%d:%d" e.host e.port

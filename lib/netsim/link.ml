@@ -24,7 +24,41 @@ type t = {
   mutable delivered_pkts : int;
   mutable delivered_bytes : int;
   mutable channel_drops : int;
+  (* transmit-path caches: bulk traffic is dominated by one packet size, so
+     the serialization time is memoized instead of recomputed through float
+     division for every packet *)
+  mutable tx_cache_size : int;
+  mutable tx_cache_time : Time.span;
+  (* the packet on the wire and a propagation FIFO let one pre-allocated
+     closure pair drive every transmission, instead of two fresh closures
+     per packet *)
+  mutable txing : Packet.t option;
+  in_flight : Packet.t Queue.t;
+  mutable finish_fn : unit -> unit;
+  mutable deliver_fn : unit -> unit;
 }
+
+let tx_time t (pkt : Packet.t) =
+  if pkt.size = t.tx_cache_size then t.tx_cache_time
+  else begin
+    let tt = Time.sec (float_of_int (pkt.size * 8) /. t.bandwidth_bps) in
+    t.tx_cache_size <- pkt.size;
+    t.tx_cache_time <- tt;
+    tt
+  end
+
+let deliver t (pkt : Packet.t) =
+  t.delivered_pkts <- t.delivered_pkts + 1;
+  t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+  t.sink pkt
+
+let start_transmission t =
+  match t.qdisc.Queue_disc.dequeue () with
+  | None -> t.busy <- false
+  | Some pkt as got ->
+      t.busy <- true;
+      t.txing <- got;
+      ignore (Engine.schedule_after t.engine (tx_time t pkt) t.finish_fn)
 
 let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~sink () =
   if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
@@ -36,47 +70,50 @@ let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~
       invalid_arg "Link.create: reorder needs 0 <= p <= 1 and a positive extra delay"
   | _ -> ());
   let qdisc = match qdisc with Some q -> q | None -> Queue_disc.droptail ~limit_pkts:100 () in
-  {
-    engine;
-    bandwidth_bps;
-    delay;
-    qdisc;
-    loss_rate;
-    reorder;
-    rng;
-    sink;
-    busy = false;
-    enqueued_pkts = 0;
-    delivered_pkts = 0;
-    delivered_bytes = 0;
-    channel_drops = 0;
-  }
-
-let tx_time t (pkt : Packet.t) = Time.sec (float_of_int (pkt.size * 8) /. t.bandwidth_bps)
-
-let rec start_transmission t =
-  match t.qdisc.Queue_disc.dequeue () with
-  | None -> t.busy <- false
-  | Some pkt ->
-      t.busy <- true;
-      let deliver () =
-        t.delivered_pkts <- t.delivered_pkts + 1;
-        t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
-        t.sink pkt
+  let t =
+    {
+      engine;
+      bandwidth_bps;
+      delay;
+      qdisc;
+      loss_rate;
+      reorder;
+      rng;
+      sink;
+      busy = false;
+      enqueued_pkts = 0;
+      delivered_pkts = 0;
+      delivered_bytes = 0;
+      channel_drops = 0;
+      tx_cache_size = -1;
+      tx_cache_time = 0;
+      txing = None;
+      in_flight = Queue.create ();
+      finish_fn = ignore;
+      deliver_fn = ignore;
+    }
+  in
+  t.deliver_fn <- (fun () -> deliver t (Queue.pop t.in_flight));
+  t.finish_fn <-
+    (fun () ->
+      let pkt = match t.txing with Some p -> p | None -> assert false in
+      t.txing <- None;
+      (* Dummynet-style reordering: with probability p a packet takes a
+         detour of [extra] additional propagation delay, letting later
+         packets overtake it *)
+      let extra =
+        match (t.reorder, t.rng) with
+        | Some (p, extra), Some rng when Rng.bernoulli rng p -> extra
+        | _ -> 0
       in
-      let finish () =
-        (* Dummynet-style reordering: with probability p a packet takes a
-           detour of [extra] additional propagation delay, letting later
-           packets overtake it *)
-        let extra =
-          match (t.reorder, t.rng) with
-          | Some (p, extra), Some rng when Rng.bernoulli rng p -> extra
-          | _ -> 0
-        in
-        ignore (Engine.schedule_after t.engine (t.delay + extra) deliver);
-        start_transmission t
-      in
-      ignore (Engine.schedule_after t.engine (tx_time t pkt) finish)
+      if extra = 0 then begin
+        (* common case: in-order propagation, shared delivery closure *)
+        Queue.push pkt t.in_flight;
+        ignore (Engine.schedule_after t.engine t.delay t.deliver_fn)
+      end
+      else ignore (Engine.schedule_after t.engine (t.delay + extra) (fun () -> deliver t pkt));
+      start_transmission t);
+  t
 
 let send t pkt =
   let lost =
@@ -94,7 +131,8 @@ let send t pkt =
 
 let set_bandwidth t bw =
   if bw <= 0. then invalid_arg "Link.set_bandwidth: bandwidth must be positive";
-  t.bandwidth_bps <- bw
+  t.bandwidth_bps <- bw;
+  t.tx_cache_size <- -1
 
 let bandwidth t = t.bandwidth_bps
 let delay t = t.delay

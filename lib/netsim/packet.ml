@@ -14,13 +14,15 @@ type t = {
 }
 
 let header_bytes = 58
+
 let next_id = ref 0
 
-let make ~now ~flow ~payload_bytes ?(ecn_capable = false) payload =
+let[@inline] make ~now ~flow ~payload_bytes ?(ecn_capable = false) payload =
   if payload_bytes < 0 then invalid_arg "Packet.make: negative payload size";
-  incr next_id;
+  let id = !next_id + 1 in
+  next_id := id;
   {
-    id = !next_id;
+    id;
     flow;
     size = payload_bytes + header_bytes;
     sent_at = now;
@@ -29,7 +31,7 @@ let make ~now ~flow ~payload_bytes ?(ecn_capable = false) payload =
     payload;
   }
 
-let payload_bytes t = Stdlib.max 0 (t.size - header_bytes)
+let[@inline] payload_bytes t = Stdlib.max 0 (t.size - header_bytes)
 
 let pp fmt t =
   Format.fprintf fmt "#%d %a %dB%s%s sent=%a" t.id Addr.pp_flow t.flow t.size

@@ -16,9 +16,10 @@ let droptail ?limit_bytes ~limit_pkts () =
   if limit_pkts <= 0 then invalid_arg "Queue_disc.droptail: limit_pkts must be positive";
   let q = Byte_queue.create () in
   let drops = ref 0 in
+  (* the option is resolved once here, not matched per packet *)
+  let limit_bytes = match limit_bytes with Some b -> b | None -> max_int in
   let over_limit pkt =
-    Byte_queue.length q >= limit_pkts
-    || match limit_bytes with Some b -> Byte_queue.bytes q + pkt.Packet.size > b | None -> false
+    Byte_queue.length q >= limit_pkts || Byte_queue.bytes q + pkt.Packet.size > limit_bytes
   in
   let enqueue pkt =
     if over_limit pkt then begin
@@ -68,6 +69,13 @@ let red ?(ecn = false) ?(wq = 0.002) ?(max_p = 0.1) ~min_th ~max_th ~limit_pkts 
   let q = Byte_queue.create () in
   let drops = ref 0 and marks = ref 0 in
   let avg = ref 0. in
+  (* per-packet float conversions hoisted out of the enqueue busy-loop;
+     the arithmetic below is kept operation-for-operation identical to the
+     unhoisted form so simulated traces are unchanged *)
+  let one_minus_wq = 1. -. wq in
+  let min_th_f = float_of_int min_th in
+  let max_th_f = float_of_int max_th in
+  let range_f = float_of_int (max_th - min_th) in
   (* count of packets since last mark/drop, for the RED 1/(1 - count*pb)
      spreading of marks *)
   let count = ref (-1) in
@@ -83,24 +91,24 @@ let red ?(ecn = false) ?(wq = 0.002) ?(max_p = 0.1) ~min_th ~max_th ~limit_pkts 
     end
   in
   let enqueue pkt =
-    avg := ((1. -. wq) *. !avg) +. (wq *. float_of_int (Byte_queue.length q));
+    avg := (one_minus_wq *. !avg) +. (wq *. float_of_int (Byte_queue.length q));
     let admit =
       if Byte_queue.length q >= limit_pkts then begin
         incr drops;
         count := -1;
         false
       end
-      else if !avg < float_of_int min_th then begin
+      else if !avg < min_th_f then begin
         count := -1;
         true
       end
-      else if !avg >= float_of_int max_th then begin
+      else if !avg >= max_th_f then begin
         count := -1;
         note_congestion pkt
       end
       else begin
         incr count;
-        let pb = max_p *. (!avg -. float_of_int min_th) /. float_of_int (max_th - min_th) in
+        let pb = max_p *. (!avg -. min_th_f) /. range_f in
         let pa =
           let denom = 1. -. (float_of_int !count *. pb) in
           if denom <= 0. then 1. else pb /. denom

@@ -1,37 +1,39 @@
 type 'a entry = {
-  prio : int;
-  seq : int; (* tie-break: FIFO among equal priorities *)
+  mutable prio : int;
+  mutable seq : int; (* tie-break: FIFO among equal priorities *)
   value : 'a;
   mutable pos : int; (* index in [arr]; -1 once removed *)
 }
 
 type 'a handle = 'a entry
 
+(* Empty slots hold a shared sentinel entry instead of [None]: the backing
+   store is a raw ['a entry array], so the hot path never allocates or
+   matches an option.  The sentinel's [value] is never read — every access
+   is guarded by [len] — so one untyped dummy block is safe to share across
+   all heaps. *)
+let sentinel_block : unit entry = { prio = max_int; seq = max_int; value = (); pos = -1 }
+let sentinel () : 'a entry = Obj.magic sentinel_block
+
 type 'a t = {
-  mutable arr : 'a entry option array;
+  mutable arr : 'a entry array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { arr = Array.make 16 None; len = 0; next_seq = 0 }
+let create () = { arr = Array.make 16 (sentinel ()); len = 0; next_seq = 0 }
 let size h = h.len
 let is_empty h = h.len = 0
-
-let entry_at h i =
-  match h.arr.(i) with
-  | Some e -> e
-  | None -> assert false
-
 let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
 let set h i e =
-  h.arr.(i) <- Some e;
+  h.arr.(i) <- e;
   e.pos <- i
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    let e = entry_at h i and p = entry_at h parent in
+    let e = h.arr.(i) and p = h.arr.(parent) in
     if less e p then begin
       set h parent e;
       set h i p;
@@ -42,10 +44,10 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.len && less (entry_at h l) (entry_at h !smallest) then smallest := l;
-  if r < h.len && less (entry_at h r) (entry_at h !smallest) then smallest := r;
+  if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+  if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
   if !smallest <> i then begin
-    let a = entry_at h i and b = entry_at h !smallest in
+    let a = h.arr.(i) and b = h.arr.(!smallest) in
     set h i b;
     set h !smallest a;
     sift_down h !smallest
@@ -53,7 +55,7 @@ let rec sift_down h i =
 
 let grow h =
   if h.len = Array.length h.arr then begin
-    let bigger = Array.make (2 * Array.length h.arr) None in
+    let bigger = Array.make (2 * Array.length h.arr) (sentinel ()) in
     Array.blit h.arr 0 bigger 0 h.len;
     h.arr <- bigger
   end
@@ -62,30 +64,34 @@ let insert h ~prio value =
   grow h;
   let e = { prio; seq = h.next_seq; value; pos = h.len } in
   h.next_seq <- h.next_seq + 1;
-  h.arr.(h.len) <- Some e;
+  h.arr.(h.len) <- e;
   h.len <- h.len + 1;
   sift_up h (h.len - 1);
   e
 
-let min_elt h = if h.len = 0 then None else Some ((entry_at h 0).prio, (entry_at h 0).value)
+let min_elt h = if h.len = 0 then None else Some (h.arr.(0).prio, h.arr.(0).value)
+let min_handle h = if h.len = 0 then invalid_arg "Heap.min_handle: empty" else h.arr.(0)
 
 let delete_at h i =
   let last = h.len - 1 in
-  let victim = entry_at h i in
+  let victim = h.arr.(i) in
   victim.pos <- -1;
   if i = last then begin
-    h.arr.(last) <- None;
+    h.arr.(last) <- sentinel ();
     h.len <- last
   end
   else begin
-    let moved = entry_at h last in
-    h.arr.(last) <- None;
+    let moved = h.arr.(last) in
+    h.arr.(last) <- sentinel ();
     h.len <- last;
     set h i moved;
     sift_down h i;
     sift_up h i
   end;
   victim
+
+let pop_min h =
+  if h.len = 0 then invalid_arg "Heap.pop_min: empty" else delete_at h 0
 
 let extract_min h =
   if h.len = 0 then None
@@ -95,6 +101,8 @@ let extract_min h =
   end
 
 let mem _h (hd : 'a handle) = hd.pos >= 0
+let handle_prio (hd : 'a handle) = hd.prio
+let handle_value (hd : 'a handle) = hd.value
 
 let remove h hd =
   if hd.pos < 0 then false
@@ -103,9 +111,50 @@ let remove h hd =
     true
   end
 
+let update_prio h hd ~prio =
+  if hd.pos < 0 then false
+  else begin
+    (* behaves like remove + fresh insert: the entry takes a new sequence
+       number, so FIFO tie-breaking treats it as the newest arrival at
+       [prio] — without the remove/insert churn (one sift, no allocation) *)
+    hd.prio <- prio;
+    hd.seq <- h.next_seq;
+    h.next_seq <- h.next_seq + 1;
+    sift_up h hd.pos;
+    sift_down h hd.pos;
+    true
+  end
+
+(* Bottom-up heapify over the first [len] slots; pop order is fully
+   determined by the (prio, seq) comparator, so rebuilding preserves the
+   observable extraction order. *)
+let heapify h =
+  for i = (h.len / 2) - 1 downto 0 do
+    sift_down h i
+  done
+
+let filter_in_place h keep =
+  let kept = ref 0 in
+  for i = 0 to h.len - 1 do
+    let e = h.arr.(i) in
+    if keep e.value then begin
+      set h !kept e;
+      incr kept
+    end
+    else begin
+      e.pos <- -1;
+      h.arr.(i) <- sentinel ()
+    end
+  done;
+  for i = !kept to h.len - 1 do
+    h.arr.(i) <- sentinel ()
+  done;
+  h.len <- !kept;
+  heapify h
+
 let clear h =
   for i = 0 to h.len - 1 do
-    (entry_at h i).pos <- -1;
-    h.arr.(i) <- None
+    h.arr.(i).pos <- -1;
+    h.arr.(i) <- sentinel ()
   done;
   h.len <- 0

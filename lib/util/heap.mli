@@ -35,8 +35,38 @@ val remove : 'a t -> 'a handle -> bool
 (** [remove h hd] deletes the element behind [hd]; returns [false] if it
     was already extracted or removed. *)
 
+val update_prio : 'a t -> 'a handle -> prio:int -> bool
+(** [update_prio h hd ~prio] moves the element behind [hd] to a new
+    priority in place (decrease- or increase-key), avoiding the
+    remove+insert churn of re-keying.  The element is given a fresh
+    sequence number, so among equal priorities it behaves exactly as if it
+    had just been inserted.  Returns [false] if the element was already
+    extracted or removed. *)
+
 val mem : 'a t -> 'a handle -> bool
 (** Whether the handle still designates a live element. *)
+
+val min_handle : 'a t -> 'a handle
+(** Handle of the smallest element without removing it; no allocation.
+    Raises [Invalid_argument] on an empty heap. *)
+
+val pop_min : 'a t -> 'a handle
+(** Remove the smallest element and return its handle; no allocation
+    (use {!handle_prio} / {!handle_value} to read it).  Raises
+    [Invalid_argument] on an empty heap. *)
+
+val handle_prio : 'a handle -> int
+(** Priority of the element behind the handle (last value set, also valid
+    on extracted handles). *)
+
+val handle_value : 'a handle -> 'a
+(** Value behind the handle (also valid on extracted handles). *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** [filter_in_place h keep] drops every element whose value fails [keep]
+    and re-heapifies in O(n).  Handles of dropped elements become dead.
+    Extraction order of surviving elements is unchanged.  Used by the
+    event engine to compact lazily-cancelled events. *)
 
 val clear : 'a t -> unit
 (** Remove all elements. *)

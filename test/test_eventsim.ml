@@ -84,6 +84,50 @@ let test_step_and_counters () =
   "step on empty returns false" => not (Engine.step e);
   Alcotest.(check int) "executed count" 2 (Engine.events_executed e)
 
+let test_reschedule () =
+  let e = Engine.create () in
+  let fired_at = ref [] in
+  let h = Engine.schedule_at e (Time.ms 10) (fun () -> fired_at := Engine.now e :: !fired_at) in
+  "reschedule live event" => Engine.reschedule e h (Time.ms 30);
+  ignore (Engine.schedule_at e (Time.ms 20) (fun () -> fired_at := Engine.now e :: !fired_at));
+  Engine.run e;
+  Alcotest.(check (list int))
+    "rescheduled event fired at new time, after the other"
+    [ Time.ms 20; Time.ms 30 ]
+    (List.rev !fired_at);
+  "reschedule after firing returns false" => not (Engine.reschedule e h (Time.ms 40))
+
+let test_reschedule_cancelled_returns_false () =
+  let e = Engine.create () in
+  let h = Engine.schedule_at e (Time.ms 10) (fun () -> ()) in
+  ignore (Engine.cancel e h);
+  "reschedule of cancelled handle fails" => not (Engine.reschedule e h (Time.ms 20));
+  Engine.run e;
+  Alcotest.(check int) "nothing executed" 0 (Engine.events_executed e)
+
+let test_clamped_counter () =
+  let e = Engine.create () in
+  Alcotest.(check int) "starts at zero" 0 (Engine.schedules_clamped e);
+  ignore (Engine.schedule_after e (Time.ms (-5)) (fun () -> ()));
+  ignore (Engine.schedule_after e (Time.ms (-1)) (fun () -> ()));
+  ignore (Engine.schedule_after e (Time.ms 1) (fun () -> ()));
+  Alcotest.(check int) "two negative delays clamped" 2 (Engine.schedules_clamped e);
+  Engine.run e;
+  Alcotest.(check int) "clamped events still run" 3 (Engine.events_executed e)
+
+let test_lazy_cancel_pending () =
+  let e = Engine.create () in
+  let handles =
+    List.init 10 (fun i -> Engine.schedule_at e (Time.ms (i + 1)) (fun () -> ()))
+  in
+  List.iteri (fun i h -> if i mod 2 = 0 then ignore (Engine.cancel e h)) handles;
+  (* lazy cancellation leaves dead entries in the heap, but [pending] must
+     report only live events *)
+  Alcotest.(check int) "pending counts live events only" 5 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "only live events executed" 5 (Engine.events_executed e);
+  Alcotest.(check int) "none pending after run" 0 (Engine.pending e)
+
 let test_run_for () =
   let e = Engine.create () in
   let fired = ref 0 in
@@ -231,6 +275,10 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_schedule_in_past_rejected;
           Alcotest.test_case "events schedule events" `Quick test_events_schedule_events;
           Alcotest.test_case "step and counters" `Quick test_step_and_counters;
+          Alcotest.test_case "reschedule" `Quick test_reschedule;
+          Alcotest.test_case "reschedule cancelled" `Quick test_reschedule_cancelled_returns_false;
+          Alcotest.test_case "clamped counter" `Quick test_clamped_counter;
+          Alcotest.test_case "lazy cancel pending" `Quick test_lazy_cancel_pending;
           Alcotest.test_case "run_for windows" `Quick test_run_for;
           QCheck_alcotest.to_alcotest prop_engine_order;
         ] );

@@ -158,6 +158,33 @@ let test_runs_are_deterministic () =
   Alcotest.(check int) "identical retransmissions" r1 r2;
   Alcotest.(check int) "identical event counts" e1 e2
 
+(* Determinism of the Fig. 6 macro workload: the lazy-cancel event core
+   must not let cancelled-entry compaction or handle reuse perturb event
+   ordering.  Two runs with the same seed must agree on every simulator
+   counter, not just the headline throughput. *)
+let test_fig6_macro_deterministic () =
+  let params = { Experiments.Exp_common.seed = 42; full = false } in
+  let run () =
+    Experiments.Fig6.measure_macro params Experiments.Fig6.Tcp_cm ~size:1448 ~n:2_000
+  in
+  let a = run () and b = run () in
+  let open Experiments.Fig6 in
+  "events executed" => (a.m_events > 0);
+  Alcotest.(check int) "identical events executed" a.m_events b.m_events;
+  Alcotest.(check int) "identical final clock"
+    (a.m_final_clock : Time.t :> int) (b.m_final_clock : Time.t :> int);
+  Alcotest.(check (float 0.)) "identical us/packet" a.m_us_per_packet b.m_us_per_packet;
+  let check_link name (x : Link.stats) (y : Link.stats) =
+    Alcotest.(check (list int))
+      (name ^ " link stats")
+      [ x.Link.enqueued_pkts; x.delivered_pkts; x.delivered_bytes;
+        x.queue_drops; x.channel_drops; x.ecn_marks ]
+      [ y.Link.enqueued_pkts; y.delivered_pkts; y.delivered_bytes;
+        y.queue_drops; y.channel_drops; y.ecn_marks ]
+  in
+  check_link "forward" a.m_fwd b.m_fwd;
+  check_link "reverse" a.m_rev b.m_rev
+
 (* The star topology end-to-end: several clients fetch through a shared
    bottleneck; everything completes and the bottleneck is shared. *)
 let test_star_web_workload () =
@@ -391,6 +418,7 @@ let () =
       ( "system",
         [
           Alcotest.test_case "deterministic runs" `Quick test_runs_are_deterministic;
+          Alcotest.test_case "fig6 macro determinism" `Quick test_fig6_macro_deterministic;
           Alcotest.test_case "star web workload" `Quick test_star_web_workload;
           Alcotest.test_case "ecn path through cm" `Quick test_ecn_path_through_cm;
         ] );

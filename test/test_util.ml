@@ -148,6 +148,106 @@ let prop_heap_removal_consistent =
       let out = List.filter_map Fun.id out |> List.map fst in
       out = List.sort Stdlib.compare kept)
 
+let test_heap_update_prio () =
+  let h = Heap.create () in
+  let a = Heap.insert h ~prio:10 "a" in
+  let _b = Heap.insert h ~prio:20 "b" in
+  let c = Heap.insert h ~prio:30 "c" in
+  "decrease-key succeeds" => Heap.update_prio h c ~prio:5;
+  "increase-key succeeds" => Heap.update_prio h a ~prio:40;
+  let out = List.init 3 (fun _ -> Heap.extract_min h) |> List.filter_map Fun.id in
+  Alcotest.(check (list (pair int string)))
+    "re-keyed order" [ (5, "c"); (20, "b"); (40, "a") ] out;
+  "update after extraction fails" => not (Heap.update_prio h c ~prio:1)
+
+let test_heap_update_prio_refreshes_fifo () =
+  (* a re-keyed element behaves like a fresh insert among equal priorities *)
+  let h = Heap.create () in
+  let a = Heap.insert h ~prio:7 "rekeyed" in
+  ignore (Heap.insert h ~prio:7 "second");
+  "same-prio update" => Heap.update_prio h a ~prio:7;
+  let order = List.init 2 (fun _ -> Heap.extract_min h) |> List.filter_map Fun.id |> List.map snd in
+  Alcotest.(check (list string)) "re-keyed element moved behind" [ "second"; "rekeyed" ] order
+
+(* Model-based randomized test: drive the heap and a sorted-list reference
+   with the same operation stream (insert / extract_min / remove /
+   update_prio) and require identical observable behaviour, including the
+   FIFO tie-break among equal priorities.  The reference mirrors the heap's
+   sequence numbering: one fresh seq per insert *and* per update_prio. *)
+let prop_heap_model =
+  let open QCheck in
+  let op = triple (int_bound 3) (int_bound 20) (int_bound 100) in
+  Test.make ~name:"heap matches reference model (insert/extract/remove/update_prio, FIFO)"
+    ~count:300 (list op)
+    (fun ops ->
+      let h = Heap.create () in
+      let seq = ref 0 in
+      let next_id = ref 0 in
+      (* model: association list id -> (prio, seq); handles: id -> handle *)
+      let model = ref [] in
+      let handles = Hashtbl.create 16 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      let expected_min () =
+        List.fold_left
+          (fun acc (id, (p, s)) ->
+            match acc with
+            | Some (_, (bp, bs)) when (bp, bs) <= (p, s) -> acc
+            | _ -> Some (id, (p, s)))
+          None !model
+      in
+      let pick_id k =
+        (* any id ever created: lets us hit stale handles too *)
+        if !next_id = 0 then None else Some (k mod !next_id)
+      in
+      List.iter
+        (fun (kind, prio, k) ->
+          match kind with
+          | 0 ->
+              let id = !next_id in
+              incr next_id;
+              Hashtbl.replace handles id (Heap.insert h ~prio id);
+              model := (id, (prio, !seq)) :: !model;
+              incr seq
+          | 1 -> (
+              match expected_min () with
+              | None -> check (Heap.extract_min h = None)
+              | Some (id, (p, _)) ->
+                  model := List.remove_assoc id !model;
+                  check (Heap.extract_min h = Some (p, id)))
+          | 2 -> (
+              match pick_id k with
+              | None -> ()
+              | Some id ->
+                  let live = List.mem_assoc id !model in
+                  let r = Heap.remove h (Hashtbl.find handles id) in
+                  check (r = live);
+                  if live then model := List.remove_assoc id !model)
+          | _ -> (
+              match pick_id k with
+              | None -> ()
+              | Some id ->
+                  let live = List.mem_assoc id !model in
+                  let r = Heap.update_prio h (Hashtbl.find handles id) ~prio in
+                  check (r = live);
+                  if live then begin
+                    model := (id, (prio, !seq)) :: List.remove_assoc id !model;
+                    incr seq
+                  end))
+        ops;
+      (* drain: remaining elements must come out in (prio, seq) order *)
+      check (Heap.size h = List.length !model);
+      let rec drain () =
+        match expected_min () with
+        | None -> check (Heap.extract_min h = None)
+        | Some (id, (p, _)) ->
+            model := List.remove_assoc id !model;
+            check (Heap.extract_min h = Some (p, id));
+            drain ()
+      in
+      drain ();
+      !ok)
+
 (* ---- Stats ----------------------------------------------------------- *)
 
 let test_stats_moments () =
@@ -303,8 +403,12 @@ let () =
           Alcotest.test_case "fifo among ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "removal" `Quick test_heap_remove;
           Alcotest.test_case "clear and size" `Quick test_heap_clear_and_size;
+          Alcotest.test_case "update_prio re-keys" `Quick test_heap_update_prio;
+          Alcotest.test_case "update_prio refreshes FIFO rank" `Quick
+            test_heap_update_prio_refreshes_fifo;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
           QCheck_alcotest.to_alcotest prop_heap_removal_consistent;
+          QCheck_alcotest.to_alcotest prop_heap_model;
         ] );
       ( "stats",
         [
