@@ -58,7 +58,9 @@ let run_experiments () =
   timed "ext_merge" (fun () ->
       Experiments.Ext_merge.print (Experiments.Ext_merge.run params));
   timed "ablation_fairness" (fun () ->
-      Experiments.Ablations.print_fairness (Experiments.Ablations.run_fairness params))
+      Experiments.Ablations.print_fairness (Experiments.Ablations.run_fairness params));
+  timed "scenarios" (fun () ->
+      Experiments.Scenarios.print params (Experiments.Scenarios.run params))
 
 (* ------------------------------------------------------------------ *)
 (* Macrobenchmark: events per second of the simulator core on the Fig. 6

@@ -39,6 +39,7 @@ let run_cmproto p = Experiments.Ext_cmproto.print (Experiments.Ext_cmproto.run p
 let run_content p = Experiments.Content_adapt.print (Experiments.Content_adapt.run p)
 let run_merge p = Experiments.Ext_merge.print (Experiments.Ext_merge.run p)
 let run_fair p = Experiments.Ablations.print_fairness (Experiments.Ablations.run_fairness p)
+let run_scenarios p = Experiments.Scenarios.print p (Experiments.Scenarios.run p)
 
 let experiments =
   [
@@ -60,6 +61,7 @@ let experiments =
     ("content", "Content adaptation: fixed vs cm_query-chosen encodings", run_content);
     ("merge", "Extension: merged macroflows behind a shared bottleneck", run_merge);
     ("ablation_fairness", "Jain fairness across flow ensembles", run_fair);
+    ("scenarios", "Fault-injection scenarios: burst loss, outage, sawtooth (JSON)", run_scenarios);
   ]
 
 let make_cmd (name, doc, runner) =

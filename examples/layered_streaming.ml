@@ -16,8 +16,10 @@ let () =
   let net = Topology.pipe engine ~bandwidth_bps:10e6 ~delay:(Time.ms 25) ~qdisc_limit:50 () in
 
   (* available bandwidth drops to 2 Mbit/s at t=8s and recovers at t=16s *)
-  Topology.apply_bandwidth_schedule engine net.Topology.ab
-    [ (Time.sec 8., 2e6); (Time.sec 16., 10e6) ];
+  Cm_dynamics.Scenario.compile engine ~rng:(Rng.create ~seed:1)
+    ~links:[ ("path", net.Topology.ab) ]
+    (Cm_dynamics.Scenario.of_bandwidth_schedule ~name:"squeeze" ~target:"path"
+       [ (Time.sec 8., 2e6); (Time.sec 16., 10e6) ]);
 
   let cm = Cm.create engine ~mtu:1000 () in
   Cm.attach cm net.Topology.a;

@@ -16,7 +16,7 @@ let () =
   let engine = Engine.create () in
   (* plenty of bandwidth at first, then a 32 kbit/s squeeze, then recovery *)
   let net = Topology.pipe engine ~bandwidth_bps:256e3 ~delay:(Time.ms 30) ~qdisc_limit:20 () in
-  Topology.apply_bandwidth_schedule engine net.Topology.ab
+  Cm_dynamics.Faults.bandwidth_steps engine net.Topology.ab
     [ (Time.sec 10., 32e3); (Time.sec 20., 256e3) ];
 
   let cm = Cm.create engine ~mtu:1000 () in

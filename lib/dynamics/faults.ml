@@ -1,0 +1,62 @@
+open Eventsim
+open Netsim
+
+(* every injector tolerates [at <= now] by acting immediately, so faults
+   can be declared before or during a run *)
+let at_or_now engine at f =
+  if at <= Engine.now engine then f () else ignore (Engine.schedule_at engine at f)
+
+let bandwidth_steps engine link sched =
+  List.iter (fun (at, bw) -> at_or_now engine at (fun () -> Link.set_bandwidth link bw)) sched
+
+let bandwidth_ramp engine link ~at ~to_bps ~over ~steps =
+  if steps <= 0 then invalid_arg "Faults.bandwidth_ramp: steps must be positive";
+  if over < 0 then invalid_arg "Faults.bandwidth_ramp: negative duration";
+  if to_bps <= 0. then invalid_arg "Faults.bandwidth_ramp: bandwidth must be positive";
+  at_or_now engine at (fun () ->
+      (* sample the starting rate when the ramp begins, then interpolate
+         linearly over [steps] discrete renegotiations *)
+      let from_bps = Link.bandwidth link in
+      for k = 1 to steps do
+        let frac = float_of_int k /. float_of_int steps in
+        let bw = from_bps +. ((to_bps -. from_bps) *. frac) in
+        let dt = over * k / steps in
+        ignore (Engine.schedule_after engine dt (fun () -> Link.set_bandwidth link bw))
+      done)
+
+let outage engine link ~at ~duration =
+  if duration < 0 then invalid_arg "Faults.outage: negative duration";
+  at_or_now engine at (fun () ->
+      Link.take_down link;
+      ignore (Engine.schedule_after engine duration (fun () -> Link.bring_up link)))
+
+let flap engine link ~at ~down ~up ~cycles =
+  if cycles <= 0 then invalid_arg "Faults.flap: cycles must be positive";
+  if down < 0 || up < 0 then invalid_arg "Faults.flap: negative period";
+  let rec cycle remaining () =
+    if remaining > 0 then begin
+      Link.take_down link;
+      ignore
+        (Engine.schedule_after engine down (fun () ->
+             Link.bring_up link;
+             if remaining > 1 then ignore (Engine.schedule_after engine up (cycle (remaining - 1)))))
+    end
+  in
+  at_or_now engine at (cycle cycles)
+
+let delay_spike engine link ~at ~extra ?(jitter = 0) ~duration () =
+  if duration < 0 then invalid_arg "Faults.delay_spike: negative duration";
+  at_or_now engine at (fun () ->
+      Link.set_extra_delay link extra;
+      Link.set_jitter link jitter;
+      ignore
+        (Engine.schedule_after engine duration (fun () ->
+             Link.set_extra_delay link 0;
+             Link.set_jitter link 0)))
+
+let loss_burst engine link ~at ~model ~duration =
+  if duration < 0 then invalid_arg "Faults.loss_burst: negative duration";
+  at_or_now engine at (fun () ->
+      Link.set_loss_model link (Some model);
+      ignore
+        (Engine.schedule_after engine duration (fun () -> Link.set_loss_model link None)))

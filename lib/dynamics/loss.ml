@@ -1,0 +1,39 @@
+open Cm_util
+
+type model = unit -> bool
+
+let check_prob ~what p =
+  if Float.is_nan p || p < 0. || p > 1. then
+    invalid_arg (what ^ ": probability must be in [0,1]")
+
+let bernoulli rng ~p =
+  check_prob ~what:"Loss.bernoulli" p;
+  fun () -> Rng.bernoulli rng p
+
+type ge = { p_gb : float; p_bg : float; loss_good : float; loss_bad : float }
+
+let ge ?(loss_good = 0.) ?(loss_bad = 1.) ~p_gb ~p_bg () =
+  check_prob ~what:"Loss.ge: p_gb" p_gb;
+  check_prob ~what:"Loss.ge: p_bg" p_bg;
+  check_prob ~what:"Loss.ge: loss_good" loss_good;
+  check_prob ~what:"Loss.ge: loss_bad" loss_bad;
+  if p_gb +. p_bg <= 0. then
+    invalid_arg "Loss.ge: p_gb + p_bg must be positive (the chain must move)";
+  { p_gb; p_bg; loss_good; loss_bad }
+
+let ge_stationary_loss { p_gb; p_bg; loss_good; loss_bad } =
+  (* two-state Markov chain: pi_bad = p_gb / (p_gb + p_bg) *)
+  let pi_bad = p_gb /. (p_gb +. p_bg) in
+  ((1. -. pi_bad) *. loss_good) +. (pi_bad *. loss_bad)
+
+let gilbert_elliott rng ({ p_gb; p_bg; loss_good; loss_bad } : ge) =
+  let in_bad = ref false in
+  fun () ->
+    (* sample the loss in the current state, then advance the chain — one
+       chain step per offered packet *)
+    let lost = Rng.bernoulli rng (if !in_bad then loss_bad else loss_good) in
+    (if !in_bad then begin
+       if Rng.bernoulli rng p_bg then in_bad := false
+     end
+     else if Rng.bernoulli rng p_gb then in_bad := true);
+    lost

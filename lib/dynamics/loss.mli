@@ -1,0 +1,45 @@
+(** Pluggable channel-loss models.
+
+    A model is a stateful process asked once per packet offered to a link
+    ([Link.set_loss_model]).  Two families: memoryless Bernoulli (what the
+    paper's Dummynet knob does) and the Gilbert–Elliott two-state Markov
+    chain for *bursty* loss — the dynamic-link condition that stresses
+    endhost adaptation.
+
+    Determinism: a model's entire behaviour is a function of the [Rng] it
+    was built with; give each model its own split stream and a seeded run
+    is reproducible. *)
+
+open Cm_util
+
+type model = unit -> bool
+(** Called once per offered packet; [true] means the channel lost it. *)
+
+val bernoulli : Rng.t -> p:float -> model
+(** I.i.d. loss with probability [p] (must be in \[0,1\], NaN rejected) —
+    equivalent to the link's built-in [loss_rate]. *)
+
+type ge = {
+  p_gb : float;  (** Per-packet transition probability good → bad. *)
+  p_bg : float;  (** Per-packet transition probability bad → good. *)
+  loss_good : float;  (** Loss probability while in the good state. *)
+  loss_bad : float;  (** Loss probability while in the bad state. *)
+}
+(** Gilbert–Elliott parameters.  Mean bad-burst length is [1 / p_bg]
+    packets; the stationary bad-state probability is
+    [p_gb / (p_gb + p_bg)]. *)
+
+val ge : ?loss_good:float -> ?loss_bad:float -> p_gb:float -> p_bg:float -> unit -> ge
+(** Validated constructor (defaults [loss_good = 0], [loss_bad = 1], the
+    classic Gilbert model).  All four values must be probabilities and
+    [p_gb + p_bg > 0], else [Invalid_argument]. *)
+
+val ge_stationary_loss : ge -> float
+(** Analytic stationary loss rate:
+    [pi_good·loss_good + pi_bad·loss_bad] with
+    [pi_bad = p_gb / (p_gb + p_bg)] — the checkable ground truth the unit
+    tests compare empirical loss against. *)
+
+val gilbert_elliott : Rng.t -> ge -> model
+(** A fresh chain starting in the good state; advances one transition per
+    offered packet. *)

@@ -20,6 +20,22 @@ val print_header : string -> unit
 val print_row : string -> unit
 (** One data row (plain [print_endline], named for greppability). *)
 
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Render compactly.  Float formatting is deterministic ([%.6g], NaN as
+      [null]), so a seeded experiment's JSON is byte-identical across
+      runs — the machine-readable channel for scenario results. *)
+end
+
 val measured_bulk :
   params ->
   driver:(Cm.t option -> Tcp.Conn.driver) ->

@@ -37,7 +37,10 @@ let run_one params ~label ~mode ~duration ~batch =
     Topology.pipe engine ~bandwidth_bps:18e6 ~delay:(Time.ms 20) ~qdisc_limit:50
       ~reverse_qdisc_limit:200 ~rng ()
   in
-  Topology.apply_bandwidth_schedule engine net.Topology.ab (schedule duration);
+  Cm_dynamics.Scenario.compile engine ~rng
+    ~links:[ ("wan", net.Topology.ab) ]
+    (Cm_dynamics.Scenario.of_bandwidth_schedule ~name:"fig8-10 vBNS path" ~target:"wan"
+       (schedule duration));
   let cm = Cm.create engine ~mtu:1000 () in
   Cm.attach cm net.Topology.a;
   let lib = Libcm.create net.Topology.a cm () in

@@ -2,8 +2,9 @@
 
     Non-adaptive UDP load used to contend with the flows under test:
     constant bit rate, exponential on/off, and Poisson packet arrivals.
-    Combined with {!Topology.apply_bandwidth_schedule} these reproduce the
-    "available bandwidth varies over time" conditions of Figs. 8–10. *)
+    Combined with the dynamics subsystem's bandwidth scenarios
+    (`lib/dynamics`) these reproduce the "available bandwidth varies over
+    time" conditions of Figs. 8–10. *)
 
 open Cm_util
 open Eventsim

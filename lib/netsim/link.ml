@@ -1,12 +1,15 @@
 open Cm_util
 open Eventsim
 
+type drop_why = Channel | Queue | Down
+
 type stats = {
   enqueued_pkts : int;
   delivered_pkts : int;
   delivered_bytes : int;
   queue_drops : int;
   channel_drops : int;
+  down_drops : int;
   ecn_marks : int;
 }
 
@@ -16,14 +19,20 @@ type t = {
   delay : Time.span;
   qdisc : Queue_disc.t;
   mutable loss_rate : float;
+  mutable loss_model : (unit -> bool) option;
   mutable reorder : (float * Time.span) option; (* probability, extra delay *)
   rng : Rng.t option;
   sink : Packet.t -> unit;
   mutable busy : bool;
+  mutable up : bool;
+  mutable extra_delay : Time.span;
+  mutable jitter : Time.span;
+  mutable on_drop : drop_why -> Packet.t -> unit;
   mutable enqueued_pkts : int;
   mutable delivered_pkts : int;
   mutable delivered_bytes : int;
   mutable channel_drops : int;
+  mutable down_drops : int;
   (* transmit-path caches: bulk traffic is dominated by one packet size, so
      the serialization time is memoized instead of recomputed through float
      division for every packet *)
@@ -34,9 +43,16 @@ type t = {
      per packet *)
   mutable txing : Packet.t option;
   in_flight : Packet.t Queue.t;
+  (* delivery events already scheduled for packets that a link-down flushed
+     from [in_flight]; those events must pop nothing when they surface *)
+  mutable stale_deliveries : int;
   mutable finish_fn : unit -> unit;
   mutable deliver_fn : unit -> unit;
 }
+
+let check_prob ~what p =
+  if Float.is_nan p || p < 0. || p > 1. then
+    invalid_arg (what ^ ": probability must be in [0,1]")
 
 let tx_time t (pkt : Packet.t) =
   if pkt.size = t.tx_cache_size then t.tx_cache_time
@@ -52,23 +68,40 @@ let deliver t (pkt : Packet.t) =
   t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
   t.sink pkt
 
+let drop_down t pkt =
+  t.down_drops <- t.down_drops + 1;
+  t.on_drop Down pkt
+
+(* propagation delay for the next packet entering the wire; the jitter
+   term makes delivery *times* vary but content order stays FIFO (the
+   in-flight queue pops oldest-first whatever the event times) *)
+let prop_delay t =
+  let base = t.delay + t.extra_delay in
+  match (t.jitter, t.rng) with
+  | j, Some rng when j > 0 -> base + Rng.uniform_span rng j
+  | _ -> base
+
 let start_transmission t =
-  match t.qdisc.Queue_disc.dequeue () with
-  | None -> t.busy <- false
-  | Some pkt as got ->
-      t.busy <- true;
-      t.txing <- got;
-      ignore (Engine.schedule_after t.engine (tx_time t pkt) t.finish_fn)
+  if not t.up then t.busy <- false
+  else
+    match t.qdisc.Queue_disc.dequeue () with
+    | None -> t.busy <- false
+    | Some pkt as got ->
+        t.busy <- true;
+        t.txing <- got;
+        ignore (Engine.schedule_after t.engine (tx_time t pkt) t.finish_fn)
 
 let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~sink () =
   if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay < 0 then invalid_arg "Link.create: negative delay";
+  check_prob ~what:"Link.create: loss_rate" loss_rate;
   if (loss_rate > 0. || reorder <> None) && rng = None then
     invalid_arg "Link.create: loss_rate/reorder need an rng";
   (match reorder with
-  | Some (p, extra) when p < 0. || p > 1. || extra <= 0 ->
-      invalid_arg "Link.create: reorder needs 0 <= p <= 1 and a positive extra delay"
-  | _ -> ());
+  | Some (p, extra) ->
+      check_prob ~what:"Link.create: reorder probability" p;
+      if extra <= 0 then invalid_arg "Link.create: reorder needs a positive extra delay"
+  | None -> ());
   let qdisc = match qdisc with Some q -> q | None -> Queue_disc.droptail ~limit_pkts:100 () in
   let t =
     {
@@ -77,56 +110,83 @@ let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~
       delay;
       qdisc;
       loss_rate;
+      loss_model = None;
       reorder;
       rng;
       sink;
       busy = false;
+      up = true;
+      extra_delay = 0;
+      jitter = 0;
+      on_drop = (fun _ _ -> ());
       enqueued_pkts = 0;
       delivered_pkts = 0;
       delivered_bytes = 0;
       channel_drops = 0;
+      down_drops = 0;
       tx_cache_size = -1;
       tx_cache_time = 0;
       txing = None;
       in_flight = Queue.create ();
+      stale_deliveries = 0;
       finish_fn = ignore;
       deliver_fn = ignore;
     }
   in
-  t.deliver_fn <- (fun () -> deliver t (Queue.pop t.in_flight));
+  t.deliver_fn <-
+    (fun () ->
+      if t.stale_deliveries > 0 then t.stale_deliveries <- t.stale_deliveries - 1
+      else deliver t (Queue.pop t.in_flight));
   t.finish_fn <-
     (fun () ->
-      let pkt = match t.txing with Some p -> p | None -> assert false in
-      t.txing <- None;
-      (* Dummynet-style reordering: with probability p a packet takes a
-         detour of [extra] additional propagation delay, letting later
-         packets overtake it *)
-      let extra =
-        match (t.reorder, t.rng) with
-        | Some (p, extra), Some rng when Rng.bernoulli rng p -> extra
-        | _ -> 0
-      in
-      if extra = 0 then begin
-        (* common case: in-order propagation, shared delivery closure *)
-        Queue.push pkt t.in_flight;
-        ignore (Engine.schedule_after t.engine t.delay t.deliver_fn)
-      end
-      else ignore (Engine.schedule_after t.engine (t.delay + extra) (fun () -> deliver t pkt));
-      start_transmission t);
+      match t.txing with
+      | None ->
+          (* the packet under serialization was killed by a link-down *)
+          if t.up then start_transmission t else t.busy <- false
+      | Some pkt ->
+          t.txing <- None;
+          (* Dummynet-style reordering: with probability p a packet takes a
+             detour of [extra] additional propagation delay, letting later
+             packets overtake it *)
+          let extra =
+            match (t.reorder, t.rng) with
+            | Some (p, extra), Some rng when Rng.bernoulli rng p -> extra
+            | _ -> 0
+          in
+          if extra = 0 then begin
+            (* common case: in-order propagation, shared delivery closure *)
+            Queue.push pkt t.in_flight;
+            ignore (Engine.schedule_after t.engine (prop_delay t) t.deliver_fn)
+          end
+          else
+            ignore
+              (Engine.schedule_after t.engine
+                 (prop_delay t + extra)
+                 (fun () -> if t.up then deliver t pkt else drop_down t pkt));
+          start_transmission t);
   t
 
 let send t pkt =
-  let lost =
-    t.loss_rate > 0.
-    && match t.rng with Some rng -> Rng.bernoulli rng t.loss_rate | None -> false
-  in
-  if lost then t.channel_drops <- t.channel_drops + 1
+  if not t.up then drop_down t pkt
   else begin
-    match t.qdisc.Queue_disc.enqueue pkt with
-    | Queue_disc.Dropped -> ()
-    | Queue_disc.Enqueued ->
-        t.enqueued_pkts <- t.enqueued_pkts + 1;
-        if not t.busy then start_transmission t
+    let lost =
+      match t.loss_model with
+      | Some model -> model ()
+      | None -> (
+          t.loss_rate > 0.
+          && match t.rng with Some rng -> Rng.bernoulli rng t.loss_rate | None -> false)
+    in
+    if lost then begin
+      t.channel_drops <- t.channel_drops + 1;
+      t.on_drop Channel pkt
+    end
+    else begin
+      match t.qdisc.Queue_disc.enqueue pkt with
+      | Queue_disc.Dropped -> t.on_drop Queue pkt
+      | Queue_disc.Enqueued ->
+          t.enqueued_pkts <- t.enqueued_pkts + 1;
+          if not t.busy then start_transmission t
+    end
   end
 
 let set_bandwidth t bw =
@@ -138,9 +198,50 @@ let bandwidth t = t.bandwidth_bps
 let delay t = t.delay
 
 let set_loss_rate t r =
+  check_prob ~what:"Link.set_loss_rate" r;
   if r > 0. && t.rng = None then invalid_arg "Link.set_loss_rate: loss needs an rng";
   t.loss_rate <- r
 
+let set_loss_model t m = t.loss_model <- m
+
+let up t = t.up
+
+let take_down t =
+  if t.up then begin
+    t.up <- false;
+    (* the packet being serialized dies on the wire *)
+    (match t.txing with
+    | Some pkt ->
+        t.txing <- None;
+        drop_down t pkt
+    | None -> ());
+    (* everything in propagation is lost; their delivery events become
+       no-ops when they surface *)
+    t.stale_deliveries <- t.stale_deliveries + Queue.length t.in_flight;
+    Queue.iter (fun pkt -> drop_down t pkt) t.in_flight;
+    Queue.clear t.in_flight
+    (* queued packets stay queued: a router buffer survives an interface
+       outage and drains when the link returns *)
+  end
+
+let bring_up t =
+  if not t.up then begin
+    t.up <- true;
+    if not t.busy then start_transmission t
+  end
+
+let set_extra_delay t d =
+  if d < 0 then invalid_arg "Link.set_extra_delay: negative delay";
+  t.extra_delay <- d
+
+let extra_delay t = t.extra_delay
+
+let set_jitter t j =
+  if j < 0 then invalid_arg "Link.set_jitter: negative jitter";
+  if j > 0 && t.rng = None then invalid_arg "Link.set_jitter: jitter needs an rng";
+  t.jitter <- j
+
+let set_drop_hook t f = t.on_drop <- f
 let qdisc t = t.qdisc
 
 let stats t =
@@ -150,6 +251,7 @@ let stats t =
     delivered_bytes = t.delivered_bytes;
     queue_drops = t.qdisc.Queue_disc.drops ();
     channel_drops = t.channel_drops;
+    down_drops = t.down_drops;
     ecn_marks = t.qdisc.Queue_disc.marks ();
   }
 

@@ -1,13 +1,16 @@
 (** Unidirectional links.
 
     A link serializes packets at its bandwidth, holds them in a queueing
-    discipline while the transmitter is busy, applies an optional random
-    channel loss (the Dummynet knob used throughout the paper's testbed),
+    discipline while the transmitter is busy, applies an optional channel
+    loss process (the Dummynet knob used throughout the paper's testbed),
     and delivers each packet to its sink after a propagation delay.
 
     Bandwidth may be changed at runtime ({!set_bandwidth}): this is how the
     adaptation experiments (Figs. 8–10) emulate a wide-area path whose
-    available bandwidth varies over time. *)
+    available bandwidth varies over time.  The dynamics subsystem
+    ({!module:Cm_dynamics} in `lib/dynamics`) drives the fault knobs —
+    {!take_down}/{!bring_up}, {!set_loss_model}, {!set_extra_delay},
+    {!set_jitter} — from scripted scenarios. *)
 
 open Cm_util
 open Eventsim
@@ -15,12 +18,19 @@ open Eventsim
 type t
 (** A link. *)
 
+type drop_why =
+  | Channel  (** Lost by the random channel-loss process. *)
+  | Queue  (** Rejected by the queueing discipline. *)
+  | Down  (** Killed by a link outage (offered or in flight while down). *)
+(** Why a packet died at this link (see {!set_drop_hook}). *)
+
 type stats = {
   enqueued_pkts : int;  (** Packets accepted into the queue. *)
   delivered_pkts : int;  (** Packets handed to the sink. *)
   delivered_bytes : int;  (** Bytes handed to the sink. *)
   queue_drops : int;  (** Drops by the queueing discipline. *)
-  channel_drops : int;  (** Random (Dummynet-style) losses. *)
+  channel_drops : int;  (** Random (Dummynet-style) channel losses. *)
+  down_drops : int;  (** Packets killed by link outages. *)
   ecn_marks : int;  (** ECN marks applied by the discipline. *)
 }
 (** Cumulative counters. *)
@@ -41,7 +51,9 @@ val create :
     its [rng]) drops each packet independently with that probability before
     queueing.  [reorder = (p, extra)] delays each packet by [extra]
     additional propagation with probability [p], so later packets overtake
-    it (Dummynet-style reordering). *)
+    it (Dummynet-style reordering).  [loss_rate] and the reorder
+    probability must be in \[0,1\] (NaN rejected), else
+    [Invalid_argument]. *)
 
 val send : t -> Packet.t -> unit
 (** Offer a packet to the link (the device output path). *)
@@ -54,10 +66,46 @@ val bandwidth : t -> float
 (** Current serialization rate in bits per second. *)
 
 val delay : t -> Time.span
-(** Propagation delay. *)
+(** Base propagation delay (excluding any fault-injected extra delay). *)
 
 val set_loss_rate : t -> float -> unit
-(** Change the random loss probability. *)
+(** Change the baseline Bernoulli loss probability (must be in \[0,1\],
+    NaN rejected). *)
+
+val set_loss_model : t -> (unit -> bool) option -> unit
+(** Install a pluggable channel-loss process: the model is asked once per
+    offered packet and returns [true] to lose it.  [Some m] overrides the
+    baseline [loss_rate]; [None] restores it.  The dynamics subsystem
+    provides Bernoulli and Gilbert–Elliott models. *)
+
+val up : t -> bool
+(** Whether the link is up (links start up). *)
+
+val take_down : t -> unit
+(** Fail the link: the packet under serialization and everything in
+    propagation are dropped (counted in [down_drops]), and packets offered
+    while down are dropped too.  Queued packets survive, like a router
+    buffer behind a dead interface.  Idempotent. *)
+
+val bring_up : t -> unit
+(** Restore a failed link and resume draining the queue.  Idempotent. *)
+
+val set_extra_delay : t -> Time.span -> unit
+(** Add [d] to the propagation delay of packets subsequently entering the
+    wire (a fault-injected delay spike); 0 clears it. *)
+
+val extra_delay : t -> Time.span
+(** Current fault-injected extra propagation delay. *)
+
+val set_jitter : t -> Time.span -> unit
+(** Add a per-packet uniform random delay in \[0,[j]) to propagation
+    (needs the link's [rng]); 0 clears it.  Delivery times vary but packet
+    order stays FIFO. *)
+
+val set_drop_hook : t -> (drop_why -> Packet.t -> unit) -> unit
+(** Observe every packet this link kills, with the reason — the probe
+    point used by [Tracer.probe_link_drops] to attribute losses in
+    scenario post-mortems. *)
 
 val qdisc : t -> Queue_disc.t
 (** The attached queueing discipline. *)

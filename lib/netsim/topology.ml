@@ -1,5 +1,3 @@
-open Eventsim
-
 type pipe = { a : Host.t; b : Host.t; ab : Link.t; ba : Link.t }
 
 let pipe engine ~bandwidth_bps ~delay ?(loss_rate = 0.) ?(qdisc_limit = 100)
@@ -77,10 +75,3 @@ let star engine ~n_clients ~access_bps ~access_delay ~bottleneck_bps ~bottleneck
   Array.iteri (fun i _ -> Router.add_route client_side ~dst:(i + 1) (Link.send down.(i))) clients;
   Host.attach_route server (Link.send from_server);
   { server; clients; up; down; to_server; from_server }
-
-let apply_bandwidth_schedule engine link sched =
-  let apply (when_, bw) =
-    if when_ <= Engine.now engine then Link.set_bandwidth link bw
-    else ignore (Engine.schedule_at engine when_ (fun () -> Link.set_bandwidth link bw))
-  in
-  List.iter apply sched

@@ -60,9 +60,3 @@ val star :
     server crosses the shared bottleneck in both directions; [loss_rate]
     applies on the server → clients direction (data direction for a
     downloading client). *)
-
-val apply_bandwidth_schedule : Engine.t -> Link.t -> (Time.t * float) list -> unit
-(** [apply_bandwidth_schedule eng link sched] arranges for the link's
-    bandwidth to change to each listed value at the listed times — the
-    time-varying available-bandwidth substitute for the paper's vBNS path
-    (see DESIGN.md). *)

@@ -1,7 +1,7 @@
 open Cm_util
 open Eventsim
 
-type direction = Tx | Rx | Drop
+type direction = Tx | Rx | Drop of Link.drop_why
 
 type event = {
   at : Time.t;
@@ -48,6 +48,9 @@ let probe_sink t ~name sink pkt =
   observe t ~name Rx pkt;
   sink pkt
 
+let probe_link_drops t ~name link =
+  Link.set_drop_hook link (fun why pkt -> observe t ~name (Drop why) pkt)
+
 let events t =
   let n = Stdlib.min t.total t.capacity in
   let start = t.next - n in
@@ -69,7 +72,9 @@ let find t pred = List.find_opt pred (events t)
 let pp_direction fmt = function
   | Tx -> Format.pp_print_string fmt "tx"
   | Rx -> Format.pp_print_string fmt "rx"
-  | Drop -> Format.pp_print_string fmt "drop"
+  | Drop Link.Channel -> Format.pp_print_string fmt "drop(chan)"
+  | Drop Link.Queue -> Format.pp_print_string fmt "drop(queue)"
+  | Drop Link.Down -> Format.pp_print_string fmt "drop(down)"
 
 let pp_event fmt e =
   Format.fprintf fmt "%a %a %-12s %a %dB #%d" Time.pp e.at pp_direction e.direction e.point

@@ -11,7 +11,10 @@ open Eventsim
 type direction =
   | Tx  (** Packet leaving a host's IP layer. *)
   | Rx  (** Packet delivered by a link. *)
-  | Drop  (** Packet rejected by a queueing discipline or channel. *)
+  | Drop of Link.drop_why
+      (** Packet killed at a link, attributed to the channel-loss process,
+          the queueing discipline, or a link outage — so scenario
+          post-mortems can tell congestion loss from injected faults. *)
 
 type event = {
   at : Time.t;
@@ -40,6 +43,10 @@ val probe_host : t -> name:string -> Host.t -> unit
 val probe_sink : t -> name:string -> (Packet.t -> unit) -> Packet.t -> unit
 (** [probe_sink t ~name sink] is a sink that records an [Rx] event and
     forwards to [sink] — use it as a link's sink. *)
+
+val probe_link_drops : t -> name:string -> Link.t -> unit
+(** Record a [Drop] event, with its reason, for every packet the link
+    kills (installs the link's drop hook). *)
 
 val events : t -> event list
 (** Recorded events, oldest first. *)

@@ -37,7 +37,7 @@ let test_layered_alf_fills_pipe () =
 let test_layered_alf_tracks_bandwidth_drop () =
   let engine, net, _cm, lib = make () in
   let _rx = Udp.Cc_socket.run_echo_receiver net.Topology.b ~port:5004 () in
-  Topology.apply_bandwidth_schedule engine net.Topology.ab [ (Time.sec 5., 0.9e6) ];
+  Cm_dynamics.Faults.bandwidth_steps engine net.Topology.ab [ (Time.sec 5., 0.9e6) ];
   let src =
     Cm_apps.Layered.create lib ~host:net.Topology.a
       ~dst:(Addr.endpoint ~host:1 ~port:5004)

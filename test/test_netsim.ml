@@ -219,6 +219,35 @@ let test_link_reordering () =
   Alcotest.(check int) "all delivered" 100 (List.length delivered);
   "some packets overtook others" => (delivered <> List.sort Stdlib.compare delivered)
 
+let expect_invalid name f =
+  name
+  => (try
+        ignore (f ());
+        false
+      with Invalid_argument _ -> true)
+
+let test_link_probability_validation () =
+  let e = Engine.create () in
+  let rng = Rng.create ~seed:5 in
+  let mk ?loss_rate ?reorder () =
+    Link.create e ~bandwidth_bps:1e6 ~delay:0 ?loss_rate ?reorder ~rng ~sink:ignore ()
+  in
+  expect_invalid "negative loss rate rejected" (fun () -> mk ~loss_rate:(-0.1) ());
+  expect_invalid "loss rate > 1 rejected" (fun () -> mk ~loss_rate:1.5 ());
+  expect_invalid "NaN loss rate rejected" (fun () -> mk ~loss_rate:Float.nan ());
+  expect_invalid "negative reorder probability rejected" (fun () ->
+      mk ~reorder:(-0.2, Time.ms 1) ());
+  expect_invalid "reorder probability > 1 rejected" (fun () -> mk ~reorder:(1.2, Time.ms 1) ());
+  expect_invalid "NaN reorder probability rejected" (fun () ->
+      mk ~reorder:(Float.nan, Time.ms 1) ());
+  let l = mk ~loss_rate:0.5 () in
+  expect_invalid "set_loss_rate rejects > 1" (fun () -> Link.set_loss_rate l 2.);
+  expect_invalid "set_loss_rate rejects negative" (fun () -> Link.set_loss_rate l (-1.));
+  expect_invalid "set_loss_rate rejects NaN" (fun () -> Link.set_loss_rate l Float.nan);
+  Link.set_loss_rate l 1.;
+  Link.set_loss_rate l 0.;
+  "boundary values accepted" => true
+
 (* ---- Cpu ------------------------------------------------------------------ *)
 
 let test_cpu_serializes () =
@@ -345,15 +374,8 @@ let test_star_connectivity () =
   Alcotest.(check int) "server received all" 3 !server_got;
   Alcotest.(check (array int)) "clients each received one" [| 1; 1; 1 |] client_got
 
-let test_bandwidth_schedule () =
-  let e = Engine.create () in
-  let net = Topology.pipe e ~bandwidth_bps:1e7 ~delay:0 () in
-  Topology.apply_bandwidth_schedule e net.Topology.ab
-    [ (Time.sec 1., 5e6); (Time.sec 2., 2e6) ];
-  Engine.run ~until:(Time.ms 1500) e;
-  Alcotest.(check (float 1.)) "first change applied" 5e6 (Link.bandwidth net.Topology.ab);
-  Engine.run ~until:(Time.sec 3.) e;
-  Alcotest.(check (float 1.)) "second change applied" 2e6 (Link.bandwidth net.Topology.ab)
+(* the bandwidth-schedule machinery moved to lib/dynamics (Faults.
+   bandwidth_steps / Scenario); its tests live in test_dynamics.ml *)
 
 (* ---- Background traffic ----------------------------------------------------------- *)
 
@@ -458,6 +480,72 @@ let test_tracer_filter () =
   | Some ev -> "found the tcp event" => (ev.Tracer.flow.Addr.proto = Addr.Tcp)
   | None -> Alcotest.fail "expected an event"
 
+let test_tracer_attributes_drops () =
+  let e = Engine.create () in
+  let rng = Rng.create ~seed:21 in
+  let tr = Tracer.create e () in
+  (* a slow link with a 2-packet queue and heavy channel loss: both queue
+     and channel drops occur, and the trace must tell them apart *)
+  let link =
+    Link.create e ~bandwidth_bps:8e4 ~delay:0 ~loss_rate:0.4 ~rng
+      ~qdisc:(Queue_disc.droptail ~limit_pkts:2 ())
+      ~sink:ignore ()
+  in
+  Tracer.probe_link_drops tr ~name:"bottleneck" link;
+  for _ = 1 to 50 do
+    Link.send link (mk_pkt ~bytes:(1000 - Packet.header_bytes) ())
+  done;
+  Engine.run e;
+  let stats = Link.stats link in
+  let count why =
+    List.length
+      (List.filter (fun ev -> ev.Tracer.direction = Tracer.Drop why) (Tracer.events tr))
+  in
+  "both kinds occurred" => (stats.Link.channel_drops > 0 && stats.Link.queue_drops > 0);
+  Alcotest.(check int) "channel drops attributed" stats.Link.channel_drops (count Link.Channel);
+  Alcotest.(check int) "queue drops attributed" stats.Link.queue_drops (count Link.Queue);
+  Alcotest.(check int) "no outage drops" 0 (count Link.Down)
+
+(* ---- Background determinism --------------------------------------------- *)
+
+let run_background which seed =
+  let e = Engine.create () in
+  let net = Topology.pipe e ~bandwidth_bps:1e8 ~delay:(Time.ms 2) () in
+  Host.bind net.Topology.b Addr.Udp ~port:9 (fun _ -> ());
+  let rng = Rng.create ~seed in
+  let dst = Addr.endpoint ~host:1 ~port:9 in
+  let src =
+    match which with
+    | `On_off ->
+        Background.on_off e ~host:net.Topology.a ~dst ~rate_bps:1e6 ~packet_bytes:500
+          ~mean_on:(Time.ms 200) ~mean_off:(Time.ms 100) ~rng ~stop:(Time.sec 10.) ()
+    | `Poisson ->
+        Background.poisson e ~host:net.Topology.a ~dst ~rate_bps:8e5 ~packet_bytes:1000 ~rng
+          ~stop:(Time.sec 10.) ()
+  in
+  Engine.run ~until:(Time.sec 11.) e;
+  (Background.packets_sent src, Link.stats net.Topology.ab)
+
+let test_on_off_deterministic () =
+  let sent1, stats1 = run_background `On_off 7 in
+  let sent2, stats2 = run_background `On_off 7 in
+  Alcotest.(check int) "same packet count" sent1 sent2;
+  "identical link stats" => (stats1 = stats2);
+  let sent3, _ = run_background `On_off 8 in
+  "a different seed gives a different run" => (sent1 <> sent3)
+
+let test_poisson_deterministic () =
+  let sent1, stats1 = run_background `Poisson 7 in
+  let sent2, stats2 = run_background `Poisson 7 in
+  Alcotest.(check int) "same packet count" sent1 sent2;
+  "identical link stats" => (stats1 = stats2)
+
+let test_on_off_mean_rate () =
+  (* duty cycle mean_on/(mean_on+mean_off) = 2/3 of 250 pps over 10 s:
+     expect ~1667 packets, with generous CI slack for ~33 cycles *)
+  let sent, _ = run_background `On_off 7 in
+  "on/off mean rate in the right range" => (sent > 800 && sent < 2400)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -484,6 +572,7 @@ let () =
           Alcotest.test_case "random loss" `Quick test_link_loss_rate;
           Alcotest.test_case "bandwidth change" `Quick test_link_bandwidth_change;
           Alcotest.test_case "reordering" `Quick test_link_reordering;
+          Alcotest.test_case "probability validation" `Quick test_link_probability_validation;
         ] );
       ( "cpu",
         [
@@ -503,18 +592,21 @@ let () =
         [
           Alcotest.test_case "pipe roundtrip" `Quick test_pipe_roundtrip;
           Alcotest.test_case "star connectivity" `Quick test_star_connectivity;
-          Alcotest.test_case "bandwidth schedule" `Quick test_bandwidth_schedule;
         ] );
       ( "tracer",
         [
           Alcotest.test_case "records tx and rx" `Quick test_tracer_records_tx_and_rx;
           Alcotest.test_case "ring bounds" `Quick test_tracer_ring_bounds;
           Alcotest.test_case "filter" `Quick test_tracer_filter;
+          Alcotest.test_case "drop attribution" `Quick test_tracer_attributes_drops;
         ] );
       ( "background",
         [
           Alcotest.test_case "cbr rate" `Quick test_cbr_rate;
           Alcotest.test_case "on/off duty cycle" `Quick test_on_off_bursts;
           Alcotest.test_case "poisson mean" `Quick test_poisson_mean_rate;
+          Alcotest.test_case "on/off determinism" `Quick test_on_off_deterministic;
+          Alcotest.test_case "poisson determinism" `Quick test_poisson_deterministic;
+          Alcotest.test_case "on/off mean rate" `Quick test_on_off_mean_rate;
         ] );
     ]
