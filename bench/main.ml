@@ -1,7 +1,9 @@
 (* bench/main — regenerates every table and figure of the paper's
-   evaluation (§4), runs bechamel microbenchmarks of the CM's hot paths,
-   and emits a machine-readable BENCH_PR1.json so later PRs have a perf
-   trajectory to compare against (schema documented in DESIGN.md §6).
+   evaluation (§4), runs bechamel microbenchmarks of the CM's hot paths
+   (including the telemetry layer's), measures the telemetry overhead on
+   the Fig. 6 macro workload (budget: ≤ 5 % with 100 ms virtual-time
+   sampling), and emits a machine-readable BENCH_PR3.json so later PRs
+   have a perf trajectory to compare against (schema: DESIGN.md §6).
 
    Set CM_BENCH_FULL=1 for the long variants (10^6-buffer Fig. 4/5 point,
    200k-packet Fig. 6); CM_BENCH_SEED to change the seed; CM_BENCH_SMOKE=1
@@ -15,10 +17,10 @@ let params =
     match Sys.getenv_opt "CM_BENCH_SEED" with Some s -> int_of_string s | None -> 42
   in
   let full = Sys.getenv_opt "CM_BENCH_FULL" = Some "1" in
-  { Experiments.Exp_common.seed; full }
+  { Experiments.Exp_common.seed; full; telemetry = None }
 
 let smoke = Sys.getenv_opt "CM_BENCH_SMOKE" = Some "1"
-let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR1.json"
+let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR3.json"
 
 (* wall times of every experiment, for the JSON trajectory *)
 let experiment_walls : (string * float) list ref = ref []
@@ -94,6 +96,48 @@ let run_macro () =
   Printf.printf "%s: %d packets, %d events in %.3fs wall = %.0f events/sec\n%!" r.mc_workload
     r.mc_packets r.mc_events r.mc_wall_s r.mc_events_per_sec;
   r
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the Fig. 6 macro workload with telemetry off
+   (components hold the nil sink — one branch per potential event) vs on
+   (100 ms virtual-time sampling + live trace).  Budget: ≤ 5 % overhead
+   when off, relative to nothing at all — but since the nil sink IS the
+   default, what we report is off vs on, and the acceptance gate is that
+   the off path stays within 5 % of the PR-2 baseline (checked against
+   the bench trajectory, not here). *)
+
+type telemetry_overhead = {
+  to_packets : int;
+  to_off_wall_s : float;
+  to_on_wall_s : float;
+  to_overhead_pct : float;
+}
+
+let run_telemetry_overhead () =
+  let n = if smoke then 500 else 20_000 in
+  let best_of_3 f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let reps = if smoke then 1 else 3 in
+    List.fold_left (fun acc _ -> Float.min acc (once ())) (once ())
+      (List.init (Stdlib.max 0 (reps - 1)) Fun.id)
+  in
+  let run telemetry () =
+    let p = { params with Experiments.Exp_common.telemetry } in
+    ignore (Experiments.Fig6.measure_macro p Experiments.Fig6.Tcp_cm ~size:1448 ~n)
+  in
+  let off = best_of_3 (run None) in
+  let on =
+    best_of_3 (fun () -> run (Some (Experiments.Exp_common.request_telemetry ())) ())
+  in
+  let pct = (on -. off) /. off *. 100. in
+  Printf.printf "\n== Telemetry overhead: Fig. 6 TCP/CM macro workload (%d packets) ==\n" n;
+  Printf.printf "off (nil sink): %.3fs   on (100ms sampling + trace): %.3fs   overhead %+.1f%%\n%!"
+    off on pct;
+  { to_packets = n; to_off_wall_s = off; to_on_wall_s = on; to_overhead_pct = pct }
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost and minor-heap allocation of
@@ -188,6 +232,48 @@ let bench_rto () =
     Tcp.Rto.observe r (Cm_util.Time.ms 50);
     ignore (Tcp.Rto.rto r)
 
+(* telemetry hot paths: the operations instrumented components execute *)
+
+let bench_telemetry_counter () =
+  let m = Telemetry.Metrics.create () in
+  let c = Telemetry.Metrics.counter m "pkts" in
+  fun () -> Telemetry.Metrics.incr c
+
+let bench_telemetry_gauge () =
+  let m = Telemetry.Metrics.create () in
+  let v = ref 0. in
+  let g = Telemetry.Metrics.gauge m "depth" (fun () -> !v) in
+  fun () ->
+    v := !v +. 1.;
+    ignore (Telemetry.Metrics.sample g)
+
+let bench_telemetry_hist () =
+  let m = Telemetry.Metrics.create () in
+  let h = Telemetry.Metrics.histogram m "rtt" in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    Telemetry.Metrics.observe h (float_of_int (!i land 4095))
+
+let bench_trace_span () =
+  let engine = Eventsim.Engine.create () in
+  let tr = Telemetry.Trace.create engine in
+  fun () ->
+    (* keep the buffer bounded so the bench measures emission, not growth *)
+    if Telemetry.Trace.length tr > 65_536 then Telemetry.Trace.clear tr;
+    Telemetry.Trace.span_begin tr ~cat:"bench" "op" [ ("n", Telemetry.Trace.Int 1) ];
+    Telemetry.Trace.span_end tr ~cat:"bench" "op"
+
+let bench_trace_off () =
+  (* the cost an uninstrumented component pays at every potential event:
+     one branch on the nil sink, argument list never built *)
+  let tr = Telemetry.Trace.nil in
+  let x = ref 0 in
+  fun () ->
+    incr x;
+    if Telemetry.Trace.on tr then
+      Telemetry.Trace.instant tr ~cat:"bench" "op" [ ("n", Telemetry.Trace.Int !x) ]
+
 let hot_paths : (string * (unit -> unit)) list =
   [
     ("cm request/grant/notify/update", bench_cm_transaction ());
@@ -199,6 +285,11 @@ let hot_paths : (string * (unit -> unit)) list =
     ("rr scheduler cycle", bench_scheduler ());
     ("aimd on_ack", bench_controller ());
     ("rto observe", bench_rto ());
+    ("telemetry counter incr", bench_telemetry_counter ());
+    ("telemetry gauge sample", bench_telemetry_gauge ());
+    ("telemetry hist observe", bench_telemetry_hist ());
+    ("telemetry span begin/end", bench_trace_span ());
+    ("telemetry nil-sink branch", bench_trace_off ());
   ]
 
 let tests =
@@ -266,12 +357,12 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let emit_json ~macro ~micro () =
+let emit_json ~macro ~micro ~telem () =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema_version\": 1,\n";
-  p "  \"pr\": 1,\n";
+  p "  \"pr\": 3,\n";
   p "  \"seed\": %d,\n" params.Experiments.Exp_common.seed;
   p "  \"full\": %b,\n" params.Experiments.Exp_common.full;
   p "  \"smoke\": %b,\n" smoke;
@@ -291,6 +382,15 @@ let emit_json ~macro ~micro () =
   p "    \"events_per_sec\": %.0f,\n" macro.mc_events_per_sec;
   p "    \"virtual_clock_s\": %.6f\n" macro.mc_virtual_clock_s;
   p "  },\n";
+  p "  \"telemetry_overhead\": {\n";
+  p "    \"workload\": \"fig6 TCP/CM 1448B\",\n";
+  p "    \"packets\": %d,\n" telem.to_packets;
+  p "    \"off_wall_s\": %.4f,\n" telem.to_off_wall_s;
+  p "    \"on_wall_s\": %.4f,\n" telem.to_on_wall_s;
+  p "    \"overhead_pct\": %.2f,\n" telem.to_overhead_pct;
+  p "    \"sampling_period_ms\": 100,\n";
+  p "    \"budget_pct\": 5.0\n";
+  p "  },\n";
   p "  \"micro\": [\n";
   List.iteri
     (fun i (name, ns, w) ->
@@ -308,5 +408,6 @@ let () =
   if not smoke then run_experiments ()
   else print_endline "[smoke mode: experiments skipped, tiny iteration counts]";
   let macro = run_macro () in
+  let telem = run_telemetry_overhead () in
   let micro = run_microbenchmarks () in
-  emit_json ~macro ~micro ()
+  emit_json ~macro ~micro ~telem ()

@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let params seed full = { Experiments.Exp_common.seed; full }
+let params seed full = { Experiments.Exp_common.seed; full; telemetry = None }
 
 let seed_arg =
   let doc = "Seed for every random number generator (runs are deterministic)." in
@@ -68,6 +68,30 @@ let make_cmd (name, doc, runner) =
   let action seed full = runner (params seed full) in
   Cmd.v (Cmd.info name ~doc) Term.(const action $ seed_arg $ full_arg)
 
+let trace_cmd =
+  let doc =
+    "Run one experiment instrumented and export telemetry artifacts: a JSONL event trace, a \
+     Chrome trace_event file (open in Perfetto), the CM-internals time series as CSV, and a \
+     metrics snapshot.  Byte-identical for a fixed seed."
+  in
+  let expt_arg =
+    let doc =
+      "Experiment to trace: " ^ String.concat ", " Experiments.Trace_run.experiments ^ "."
+    in
+    Arg.(
+      value
+      & opt (enum (List.map (fun e -> (e, e)) Experiments.Trace_run.experiments)) "fig6"
+      & info [ "e"; "expt" ] ~docv:"EXPT" ~doc)
+  in
+  let out_arg =
+    let doc = "Directory for the artifacts (created if missing)." in
+    Arg.(value & opt string "traces" & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let action expt seed out_dir =
+    Experiments.Trace_run.print (Experiments.Trace_run.run ~out_dir ~expt ~seed ())
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const action $ expt_arg $ seed_arg $ out_arg)
+
 let all_cmd =
   let doc = "Run every experiment in order." in
   let action seed full =
@@ -80,5 +104,5 @@ let all_cmd =
 let () =
   let doc = "Reproduce the Congestion Manager paper's tables and figures" in
   let info = Cmd.info "cm_expt" ~version:"1.0" ~doc in
-  let group = Cmd.group info (all_cmd :: List.map make_cmd experiments) in
+  let group = Cmd.group info (all_cmd :: trace_cmd :: List.map make_cmd experiments) in
   exit (Cmd.eval group)

@@ -36,8 +36,22 @@ let layer_for t rate_bps =
   !chosen
 
 let note_layer t layer =
+  let prev = t.layer in
   t.layer <- layer;
   let rate = if layer >= 0 then t.layers.(layer) else 0. in
+  (* adaptation decisions (Figs. 8–10) as trace instants, on the CM's
+     timeline; only actual switches are events, steady state is covered by
+     the sampled rate series *)
+  (if layer <> prev then
+     let tr = Cm.trace (Libcm.cm t.libcm) in
+     if Telemetry.Trace.on tr then
+       Telemetry.Trace.instant tr ~cat:"app" "app.layer"
+         [
+           ("flow", Telemetry.Trace.Int t.fid);
+           ("from", Telemetry.Trace.Int prev);
+           ("to", Telemetry.Trace.Int layer);
+           ("rate_bps", Telemetry.Trace.Float rate);
+         ]);
   Timeline.record t.layer_tl (Engine.now t.engine) rate
 
 let transmit_packet t =

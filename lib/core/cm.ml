@@ -62,6 +62,9 @@ type t = {
   mutable c_updates : int;
   mutable c_notifies : int;
   mutable c_declined : int;
+  (* telemetry: None (and the nil trace) until [attach_telemetry] *)
+  mutable telemetry : Telemetry.t option;
+  mutable trace : Telemetry.Trace.t;
 }
 
 let create engine ?(mtu = 1448) ?(aggregation = By_destination)
@@ -88,6 +91,8 @@ let create engine ?(mtu = 1448) ?(aggregation = By_destination)
     c_updates = 0;
     c_notifies = 0;
     c_declined = 0;
+    telemetry = None;
+    trace = Telemetry.Trace.nil;
   }
 
 let engine t = t.engine
@@ -150,6 +155,31 @@ let deliver_grant t fid =
 
 (* ---- macroflow lifecycle ---------------------------------------------- *)
 
+(* Subscribe a macroflow's congestion internals — the CM state the paper's
+   figures plot — as sampled time series, and route its trace events to
+   the live sink.  Gauges survive macroflow shutdown harmlessly (they read
+   plain fields), and late wiring is fine: the sampler back-fills earlier
+   ticks with blanks. *)
+let wire_macroflow_telemetry t mf =
+  match t.telemetry with
+  | None -> ()
+  | Some tel ->
+      Macroflow.set_trace mf t.trace;
+      let p = Printf.sprintf "mf%d." (Macroflow.id mf) in
+      Telemetry.gauge tel (p ^ "cwnd") (fun () -> float_of_int (Macroflow.cwnd mf));
+      Telemetry.gauge tel (p ^ "ssthresh") (fun () -> float_of_int (Macroflow.ssthresh mf));
+      Telemetry.gauge tel (p ^ "rate_bps") (fun () -> Macroflow.rate_bps mf);
+      Telemetry.gauge tel (p ^ "srtt_us") (fun () ->
+          match Macroflow.srtt mf with
+          | Some s -> float_of_int s /. 1e3
+          | None -> Float.nan);
+      Telemetry.gauge tel (p ^ "pipe") (fun () ->
+          float_of_int (Macroflow.outstanding mf + Macroflow.granted mf));
+      Telemetry.gauge tel (p ^ "granted") (fun () -> float_of_int (Macroflow.granted mf));
+      Telemetry.gauge tel (p ^ "pending") (fun () ->
+          float_of_int (Macroflow.pending_requests mf));
+      Telemetry.gauge tel (p ^ "loss_rate") (fun () -> Macroflow.loss_rate mf)
+
 let new_macroflow t =
   let mfid = t.next_mfid in
   t.next_mfid <- t.next_mfid + 1;
@@ -160,6 +190,7 @@ let new_macroflow t =
       ~on_state_change:(fun () -> ())
       ?grant_reclaim_after:t.grant_reclaim_after ?idle_restart:t.idle_restart ()
   in
+  wire_macroflow_telemetry t mf;
   mf
 
 let mf_key_of t (key : Addr.flow) : mf_key =
@@ -215,6 +246,13 @@ let open_flow t key =
   Hashtbl.replace t.flows_by_id fid fl;
   Addr.Flow_table.replace t.flows_by_key key fid;
   t.c_opens <- t.c_opens + 1;
+  if Telemetry.Trace.on t.trace then
+    Telemetry.Trace.instant t.trace ~cat:"cm" "cm.open"
+      [
+        ("flow", Telemetry.Trace.Int fid);
+        ("mf", Telemetry.Trace.Int (Macroflow.id mf));
+        ("key", Telemetry.Trace.Str (Format.asprintf "%a" Addr.pp_flow key));
+      ];
   fid
 
 let close_flow t fid =
@@ -224,6 +262,9 @@ let close_flow t fid =
   Addr.Flow_table.remove t.flows_by_key fl.key;
   Hashtbl.remove t.flows_by_id fid;
   t.c_closes <- t.c_closes + 1;
+  if Telemetry.Trace.on t.trace then
+    Telemetry.Trace.instant t.trace ~cat:"cm" "cm.close"
+      [ ("flow", Telemetry.Trace.Int fid); ("mf", Telemetry.Trace.Int (Macroflow.id fl.mf)) ];
   drop_membership t fl.mf
 
 let mtu t fid =
@@ -319,6 +360,22 @@ let attach t host =
             notify t fid ~nbytes
           end
       | None -> ())
+
+(* ---- telemetry --------------------------------------------------------- *)
+
+let attach_telemetry t tel =
+  t.telemetry <- Some tel;
+  t.trace <- Telemetry.trace tel;
+  Telemetry.gauge tel "cm.flows" (fun () -> float_of_int (Hashtbl.length t.flows_by_id));
+  Telemetry.gauge tel "cm.macroflows" (fun () -> float_of_int (Hashtbl.length t.default_mf));
+  Telemetry.gauge tel "cm.requests" (fun () -> float_of_int t.c_requests);
+  Telemetry.gauge tel "cm.grants" (fun () -> float_of_int t.c_grants);
+  Telemetry.gauge tel "cm.updates" (fun () -> float_of_int t.c_updates);
+  Telemetry.gauge tel "cm.notifies" (fun () -> float_of_int t.c_notifies);
+  (* macroflows that already exist (e.g. the CM was attached mid-run) *)
+  Hashtbl.iter (fun _ mf -> wire_macroflow_telemetry t mf) t.default_mf
+
+let trace t = t.trace
 
 let counters t =
   {

@@ -164,6 +164,24 @@ val flows : t -> Cm_types.flow_id list
 val macroflow_of : t -> Cm_types.flow_id -> Macroflow.t
 (** The flow's macroflow (stats and tests; treat as read-only). *)
 
+val attach_telemetry : t -> Telemetry.t -> unit
+(** Wire this CM into a telemetry instance: per-macroflow congestion
+    internals (cwnd, ssthresh, rate, srtt, pipe, granted bytes, scheduler
+    backlog, loss estimate — the quantities the paper's figures plot)
+    become sampled gauges (columns [mf<id>.cwnd] …), aggregate API
+    counters become [cm.*] gauges, and the flow table / controllers emit
+    structured trace events: [cm.open] / [cm.close], [cm.congestion]
+    (AIMD reaction with its ECN / transient / persistent attribution) and
+    [cm.state] (slow-start ↔ congestion-avoidance transitions).
+    Macroflows created later are wired automatically.  Until this is
+    called the CM holds the nil trace and every hot path pays only a
+    branch. *)
+
+val trace : t -> Telemetry.Trace.t
+(** The structured trace sink this CM reports to ({!Telemetry.Trace.nil}
+    until {!attach_telemetry}); in-kernel clients (TCP) pull this to tag
+    their own events onto the same timeline. *)
+
 type counters = {
   opens : int;
   closes : int;

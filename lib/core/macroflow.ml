@@ -36,6 +36,8 @@ type t = {
   mutable last_feedback : Time.t;
   mutable grants_issued : int;
   mutable grants_reclaimed : int;
+  (* telemetry: Trace.nil unless Cm.attach_telemetry wired a live sink *)
+  mutable trace : Telemetry.Trace.t;
 }
 
 let granted t = t.granted_bytes
@@ -124,6 +126,7 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
       last_feedback = Engine.now engine;
       grants_issued = 0;
       grants_reclaimed = 0;
+      trace = Telemetry.Trace.nil;
     }
   in
   let timer = Timer.create engine ~callback:(fun () -> maintenance_tick t) in
@@ -133,6 +136,7 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
 
 let id t = t.id
 let mtu t = t.mtu
+let set_trace t tr = t.trace <- tr
 let cwnd t = t.ctrl.Controller.cwnd ()
 let ssthresh t = t.ctrl.Controller.ssthresh ()
 let outstanding t = t.outstanding
@@ -191,6 +195,12 @@ let update_rtt t sample =
     t.srtt <- (0.875 *. t.srtt) +. (0.125 *. s)
   end
 
+let loss_mode_str = function
+  | Cm_types.No_loss -> "none"
+  | Cm_types.Ecn_echo -> "ecn"
+  | Cm_types.Transient -> "transient"
+  | Cm_types.Persistent -> "persistent"
+
 let update t ~nsent ~nrecd ~loss ~rtt =
   if nsent < 0 || nrecd < 0 || nrecd > nsent then
     invalid_arg "Macroflow.update: need 0 <= nrecd <= nsent";
@@ -198,6 +208,7 @@ let update t ~nsent ~nrecd ~loss ~rtt =
   (match rtt with Some sample when sample > 0 -> update_rtt t sample | _ -> ());
   t.outstanding <- Stdlib.max 0 (t.outstanding - nsent);
   if nsent > 0 then Ewma.update t.loss_ewma (float_of_int (nsent - nrecd) /. float_of_int nsent);
+  let was_slow_start = t.ctrl.Controller.in_slow_start () in
   (* Congestion-window validation (RFC 2861 spirit): only grow the window
      when the flow ensemble is actually using it, otherwise an
      application sending below its allowed rate inflates cwnd — and the
@@ -211,11 +222,34 @@ let update t ~nsent ~nrecd ~loss ~rtt =
       Logs.debug ~src:log (fun m ->
           m "macroflow %d: %a congestion, cwnd %d -> reacting" t.id Cm_types.pp_loss_mode mode
             (cwnd t));
+      let cwnd_before = cwnd t in
       t.ctrl.Controller.on_loss mode;
+      (* the controller's decision, attributed to its cause (ECN echo vs
+         transient vs persistent/timeout) — Figs. 5–10 are built from
+         exactly these transitions *)
+      if Telemetry.Trace.on t.trace then
+        Telemetry.Trace.instant t.trace ~cat:"cm" "cm.congestion"
+          [
+            ("mf", Telemetry.Trace.Int t.id);
+            ("mode", Telemetry.Trace.Str (loss_mode_str mode));
+            ("cwnd_before", Telemetry.Trace.Int cwnd_before);
+            ("cwnd_after", Telemetry.Trace.Int (cwnd t));
+            ("ssthresh", Telemetry.Trace.Int (ssthresh t));
+          ];
       if mode = Cm_types.Persistent then
         (* after persistent congestion everything in flight is presumed
            lost; restart the accounting cleanly *)
         t.outstanding <- 0);
+  (if Telemetry.Trace.on t.trace then
+     let now_slow_start = t.ctrl.Controller.in_slow_start () in
+     if now_slow_start <> was_slow_start then
+       Telemetry.Trace.instant t.trace ~cat:"cm" "cm.state"
+         [
+           ("mf", Telemetry.Trace.Int t.id);
+           ( "state",
+             Telemetry.Trace.Str (if now_slow_start then "slow_start" else "cong_avoid") );
+           ("cwnd", Telemetry.Trace.Int (cwnd t));
+         ]);
   maybe_grant t;
   t.on_state_change ()
 

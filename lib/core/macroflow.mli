@@ -125,3 +125,10 @@ val shutdown : t -> unit
 
 val pending_for_flow : t -> Cm_types.flow_id -> int
 (** Requests this flow currently has queued in the scheduler. *)
+
+val set_trace : t -> Telemetry.Trace.t -> unit
+(** Route this macroflow's structured trace events (congestion reactions
+    with their loss-mode attribution, slow-start/congestion-avoidance
+    transitions) to [tr].  Macroflows start with {!Telemetry.Trace.nil},
+    so the feedback path pays one branch per update until a live sink is
+    wired (normally by [Cm.attach_telemetry]). *)

@@ -1,6 +1,6 @@
 open Cm_util
 
-let setup engine ?(level = Logs.Warning) () =
+let setup engine ?(level = Logs.Warning) ?(ppf = Format.err_formatter) () =
   let report src lvl ~over k msgf =
     let k _ =
       over ();
@@ -9,7 +9,7 @@ let setup engine ?(level = Logs.Warning) () =
     msgf (fun ?header ?tags fmt ->
         ignore tags;
         let hdr = match header with Some h -> h ^ " " | None -> "" in
-        Format.kfprintf k Format.err_formatter
+        Format.kfprintf k ppf
           ("[%a] %s %a %s@[" ^^ fmt ^^ "@]@.")
           Time.pp (Engine.now engine) (Logs.Src.name src) Logs.pp_level lvl hdr)
   in

@@ -6,9 +6,11 @@
     own sources (e.g. ["cm"], ["tcp"]); nothing is printed unless the
     application installs this reporter and raises the level. *)
 
-val setup : Engine.t -> ?level:Logs.level -> unit -> unit
-(** Install a stderr reporter stamped with [eng]'s clock and set the
-    global log level (default [Logs.Warning]). *)
+val setup : Engine.t -> ?level:Logs.level -> ?ppf:Format.formatter -> unit -> unit
+(** Install a reporter stamped with [eng]'s {e virtual} clock and set the
+    global log level (default [Logs.Warning]).  Output goes to [ppf]
+    (default stderr) — tests pass a buffer formatter to assert on the
+    stamping and filtering. *)
 
 val src : string -> Logs.src
 (** [src name] is a memoized log source for a library component. *)

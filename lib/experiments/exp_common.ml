@@ -2,9 +2,27 @@ open Cm_util
 open Eventsim
 open Netsim
 
-type params = { seed : int; full : bool }
+type telemetry_request = { period : Time.span; mutable captured : Telemetry.t list }
 
-let default_params = { seed = 42; full = false }
+type params = { seed : int; full : bool; telemetry : telemetry_request option }
+
+let default_params = { seed = 42; full = false; telemetry = None }
+let request_telemetry ?(period = Time.ms 100) () = { period; captured = [] }
+
+(* One call per simulated system inside an experiment: builds the
+   telemetry instance (when the run asked for one), wires the interesting
+   components, and captures it so the trace driver can export artifacts
+   after the run.  Experiments that were not asked to trace pay nothing —
+   this returns [None] and every component keeps its nil sink. *)
+let instrument params ~engine ?(links = []) ?cm () =
+  match params.telemetry with
+  | None -> None
+  | Some req ->
+      let tel = Telemetry.create engine ~period:req.period () in
+      req.captured <- tel :: req.captured;
+      List.iter (fun (name, link) -> Link.attach_telemetry link ~name tel) links;
+      (match cm with Some c -> Cm.attach_telemetry c tel | None -> ());
+      Some tel
 let kbps bits_per_s = bits_per_s /. 8. /. 1000.
 
 let print_header name =
@@ -13,69 +31,9 @@ let print_header name =
 
 let print_row = print_endline
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let b = Buffer.create (String.length s) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-
-  (* %.6g prints deterministically from the bits of the float, so a seeded
-     experiment serializes byte-identically run after run *)
-  let float_str f =
-    if Float.is_nan f then "null"
-    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-    else Printf.sprintf "%.6g" f
-
-  let rec write b = function
-    | Null -> Buffer.add_string b "null"
-    | Bool x -> Buffer.add_string b (string_of_bool x)
-    | Int i -> Buffer.add_string b (string_of_int i)
-    | Float f -> Buffer.add_string b (float_str f)
-    | Str s ->
-        Buffer.add_char b '"';
-        Buffer.add_string b (escape s);
-        Buffer.add_char b '"'
-    | List xs ->
-        Buffer.add_char b '[';
-        List.iteri
-          (fun i x ->
-            if i > 0 then Buffer.add_string b ", ";
-            write b x)
-          xs;
-        Buffer.add_char b ']'
-    | Obj kvs ->
-        Buffer.add_char b '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_string b ", ";
-            Buffer.add_char b '"';
-            Buffer.add_string b (escape k);
-            Buffer.add_string b "\": ";
-            write b v)
-          kvs;
-        Buffer.add_char b '}'
-
-  let to_string t =
-    let b = Buffer.create 256 in
-    write b t;
-    Buffer.contents b
-end
+(* The serializer lives in [Cm_util.Json] so every machine-readable
+   channel (experiments, telemetry, tracer) formats floats identically. *)
+module Json = Cm_util.Json
 
 let measured_bulk params ~driver ~bandwidth_bps ~delay ?(loss = 0.) ?(qdisc_limit = 100)
     ?(costs = Costs.zero) ?(duration = Time.sec 30.) ?bytes () =

@@ -4,12 +4,33 @@ open Cm_util
 
 open Netsim
 
-type params = { seed : int; full : bool }
+type telemetry_request = { period : Time.span; mutable captured : Telemetry.t list }
+(** Ask the experiments to run instrumented: each simulated system gets a
+    {!Telemetry.t} sampling every [period], and the instances are
+    accumulated in [captured] (newest first) for the caller to export. *)
+
+type params = { seed : int; full : bool; telemetry : telemetry_request option }
 (** [seed] drives every RNG; [full] enables the long variants (e.g. the
-    10^6-buffer point of Figs. 4–5). *)
+    10^6-buffer point of Figs. 4–5); [telemetry] (default [None]) makes
+    instrumented experiments wire up metrics / time series / tracing. *)
 
 val default_params : params
-(** [seed = 42], [full = false]. *)
+(** [seed = 42], [full = false], no telemetry. *)
+
+val request_telemetry : ?period:Time.span -> unit -> telemetry_request
+(** A fresh request sampling every [period] (default 100 ms virtual). *)
+
+val instrument :
+  params ->
+  engine:Eventsim.Engine.t ->
+  ?links:(string * Link.t) list ->
+  ?cm:Cm.t ->
+  unit ->
+  Telemetry.t option
+(** Honor [params.telemetry] for one simulated system: create a telemetry
+    instance on [engine], attach the named [links] and the [cm], record it
+    in the request's [captured] list, and return it.  [None] (and zero
+    work) when the run was not asked to trace. *)
 
 val kbps : float -> float
 (** Bits/s to the paper's KBytes/s. *)
@@ -20,21 +41,10 @@ val print_header : string -> unit
 val print_row : string -> unit
 (** One data row (plain [print_endline], named for greppability). *)
 
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  val to_string : t -> string
-  (** Render compactly.  Float formatting is deterministic ([%.6g], NaN as
-      [null]), so a seeded experiment's JSON is byte-identical across
-      runs — the machine-readable channel for scenario results. *)
-end
+module Json = Cm_util.Json
+(** Deterministic JSON (alias of {!Cm_util.Json}: [%.6g] floats, NaN as
+    [null]), so a seeded experiment's JSON is byte-identical across
+    runs — the machine-readable channel for scenario results. *)
 
 val measured_bulk :
   params ->

@@ -38,6 +38,11 @@ let run_udp variant params ~size ~n =
   (* the app's packets are [size] bytes; grants reserve one packet each *)
   let cm = Cm.create engine ~mtu:size () in
   Cm.attach cm net.Topology.a;
+  let tel =
+    Exp_common.instrument params ~engine
+      ~links:[ ("ab", net.Topology.ab); ("ba", net.Topology.ba) ]
+      ~cm ()
+  in
   let lib = Libcm.create net.Topology.a cm () in
   let meter = Libcm.meter lib in
   let costs = Host.costs net.Topology.a in
@@ -122,6 +127,7 @@ let run_udp variant params ~size ~n =
   done;
   let finish = match !t_end with Some t -> t | None -> Engine.now engine in
   let us = Time.to_float_us (Time.diff finish t0) /. float_of_int n in
+  Option.iter Telemetry.stop tel;
   (us, meter, engine, net)
 
 (* ------------------------------------------------------------------ *)
@@ -131,6 +137,11 @@ let run_tcp variant params ~size ~n =
   let engine, net = make_net params in
   let cm = Cm.create engine ~mtu:size () in
   Cm.attach cm net.Topology.a;
+  let tel =
+    Exp_common.instrument params ~engine
+      ~links:[ ("ab", net.Topology.ab); ("ba", net.Topology.ba) ]
+      ~cm ()
+  in
   let lib = Libcm.create net.Topology.a cm () in
   let meter = Libcm.meter lib in
   let delayed = variant <> Tcp_cm_nodelay in
@@ -175,6 +186,7 @@ let run_tcp variant params ~size ~n =
   done;
   let finish = match !t_end with Some t -> t | None -> Engine.now engine in
   let us = Time.to_float_us (Time.diff finish t0) /. float_of_int n in
+  Option.iter Telemetry.stop tel;
   (us, meter, engine, net)
 
 let run_variant_full variant params ~size ~n =

@@ -17,6 +17,10 @@ let run_side params ~use_cm ~count ~file_bytes =
     if use_cm then begin
       let cm = Cm.create engine () in
       Cm.attach cm net.Topology.b;
+      ignore
+        (Exp_common.instrument params ~engine
+           ~links:[ ("ba", net.Topology.ba); ("ab", net.Topology.ab) ]
+           ~cm ());
       Tcp.Conn.Cm_driven cm
     end
     else Tcp.Conn.Native

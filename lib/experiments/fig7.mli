@@ -17,5 +17,9 @@ type row = {
 val run : ?count:int -> ?file_bytes:int -> Exp_common.params -> row list
 (** Defaults: 9 requests of 128 KB. *)
 
+val run_side : Exp_common.params -> use_cm:bool -> count:int -> file_bytes:int -> float list
+(** One side of the comparison (completion times, ms) — exposed so the
+    trace driver can run just the instrumented CM side. *)
+
 val print : row list -> unit
 (** Print paper-shaped rows. *)

@@ -43,6 +43,11 @@ let run_one params ~label ~mode ~duration ~batch =
        (schedule duration));
   let cm = Cm.create engine ~mtu:1000 () in
   Cm.attach cm net.Topology.a;
+  let tel =
+    Exp_common.instrument params ~engine
+      ~links:[ ("wan", net.Topology.ab); ("rev", net.Topology.ba) ]
+      ~cm ()
+  in
   let lib = Libcm.create net.Topology.a cm () in
   let _receiver = Udp.Cc_socket.run_echo_receiver net.Topology.b ~port:5004 ?batch () in
   let feedback_timeout =
@@ -58,6 +63,7 @@ let run_one params ~label ~mode ~duration ~batch =
   Cm_apps.Layered.start source;
   Engine.run_for engine duration;
   Cm_apps.Layered.stop source;
+  Option.iter Telemetry.stop tel;
   let bin = Time.sec 1. in
   let tx = Timeline.rate_series (Cm_apps.Layered.tx_timeline source) ~bin ~until:duration in
   let cmr =

@@ -85,6 +85,7 @@ let run_bulk params scenario =
   let net = Topology.pipe engine ~bandwidth_bps:8e6 ~delay:(Time.ms 20) ~qdisc_limit:50 ~rng () in
   let cm = Cm.create engine () in
   Cm.attach cm net.Topology.a;
+  let tel = Exp_common.instrument params ~engine ~links:(links net) ~cm () in
   let tl = Timeline.create () in
   let _listener =
     Tcp.Conn.listen net.Topology.b ~port:80
@@ -100,6 +101,7 @@ let run_bulk params scenario =
   Tcp.Conn.send conn (1 lsl 34);
   Scenario.compile engine ~rng ~links:(links net) scenario;
   Engine.run_for engine duration;
+  Option.iter Telemetry.stop tel;
   (tl, None, Link.stats net.Topology.ab)
 
 let run_layered params scenario =
@@ -108,6 +110,7 @@ let run_layered params scenario =
   let net = Topology.pipe engine ~bandwidth_bps:8e6 ~delay:(Time.ms 20) ~qdisc_limit:50 ~rng () in
   let cm = Cm.create engine ~mtu:1000 () in
   Cm.attach cm net.Topology.a;
+  let tel = Exp_common.instrument params ~engine ~links:(links net) ~cm () in
   let lib = Libcm.create net.Topology.a cm () in
   let _receiver = Udp.Cc_socket.run_echo_receiver net.Topology.b ~port:5004 () in
   let source =
@@ -120,6 +123,7 @@ let run_layered params scenario =
   Scenario.compile engine ~rng ~links:(links net) scenario;
   Engine.run_for engine duration;
   Cm_apps.Layered.stop source;
+  Option.iter Telemetry.stop tel;
   let switches =
     match Timeline.points (Cm_apps.Layered.layer_timeline source) with
     | [] -> 0

@@ -23,6 +23,7 @@ type t = {
 }
 
 let engine t = Host.engine t.host
+let cm t = t.cm
 
 (* One control-socket wakeup: drain everything that is ready with a single
    ioctl per bit, then call back into the application (paper §2.2.2). *)

@@ -37,6 +37,10 @@ val create : Host.t -> Cm.t -> ?mode:mode -> ?extra_fds:int -> unit -> t
 val meter : t -> Ops.meter
 (** The process's operation meter. *)
 
+val cm : t -> Cm.t
+(** The in-kernel CM instance behind the control socket (applications use
+    it to join the CM's telemetry timeline; treat as read-only). *)
+
 val mode : t -> mode
 (** The notification mode chosen at creation. *)
 

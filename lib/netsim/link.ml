@@ -28,6 +28,10 @@ type t = {
   mutable extra_delay : Time.span;
   mutable jitter : Time.span;
   mutable on_drop : drop_why -> Packet.t -> unit;
+  (* telemetry: Trace.nil unless attach_telemetry installed a live sink,
+     so the transmit path pays one boolean test per drop *)
+  mutable trace : Telemetry.Trace.t;
+  mutable trace_name : string;
   mutable enqueued_pkts : int;
   mutable delivered_pkts : int;
   mutable delivered_bytes : int;
@@ -68,9 +72,24 @@ let deliver t (pkt : Packet.t) =
   t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
   t.sink pkt
 
+let drop_cause = function Channel -> "channel" | Queue -> "queue" | Down -> "down"
+
+(* every drop funnel: trace event (when telemetry is attached) then the
+   caller-installed hook; cause counters stay with each call site *)
+let note_drop t why (pkt : Packet.t) =
+  if Telemetry.Trace.on t.trace then
+    Telemetry.Trace.instant t.trace ~cat:"net" "link.drop"
+      [
+        ("link", Telemetry.Trace.Str t.trace_name);
+        ("cause", Telemetry.Trace.Str (drop_cause why));
+        ("size", Telemetry.Trace.Int pkt.Packet.size);
+        ("packet", Telemetry.Trace.Int pkt.Packet.id);
+      ];
+  t.on_drop why pkt
+
 let drop_down t pkt =
   t.down_drops <- t.down_drops + 1;
-  t.on_drop Down pkt
+  note_drop t Down pkt
 
 (* propagation delay for the next packet entering the wire; the jitter
    term makes delivery *times* vary but content order stays FIFO (the
@@ -119,6 +138,8 @@ let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~
       extra_delay = 0;
       jitter = 0;
       on_drop = (fun _ _ -> ());
+      trace = Telemetry.Trace.nil;
+      trace_name = "link";
       enqueued_pkts = 0;
       delivered_pkts = 0;
       delivered_bytes = 0;
@@ -178,11 +199,11 @@ let send t pkt =
     in
     if lost then begin
       t.channel_drops <- t.channel_drops + 1;
-      t.on_drop Channel pkt
+      note_drop t Channel pkt
     end
     else begin
       match t.qdisc.Queue_disc.enqueue pkt with
-      | Queue_disc.Dropped -> t.on_drop Queue pkt
+      | Queue_disc.Dropped -> note_drop t Queue pkt
       | Queue_disc.Enqueued ->
           t.enqueued_pkts <- t.enqueued_pkts + 1;
           if not t.busy then start_transmission t
@@ -243,6 +264,19 @@ let set_jitter t j =
 
 let set_drop_hook t f = t.on_drop <- f
 let qdisc t = t.qdisc
+
+let attach_telemetry t ~name tel =
+  t.trace <- Telemetry.trace tel;
+  t.trace_name <- name;
+  let g suffix read = Telemetry.gauge tel (Printf.sprintf "link.%s.%s" name suffix) read in
+  g "qlen" (fun () -> float_of_int (t.qdisc.Queue_disc.len ()));
+  g "qbytes" (fun () -> float_of_int (t.qdisc.Queue_disc.bytes ()));
+  g "delivered_pkts" (fun () -> float_of_int t.delivered_pkts);
+  g "drops_queue" (fun () -> float_of_int (t.qdisc.Queue_disc.drops ()));
+  g "drops_channel" (fun () -> float_of_int t.channel_drops);
+  g "drops_down" (fun () -> float_of_int t.down_drops);
+  g "ecn_marks" (fun () -> float_of_int (t.qdisc.Queue_disc.marks ()));
+  g "bandwidth_bps" (fun () -> t.bandwidth_bps)
 
 let stats t =
   {

@@ -107,6 +107,14 @@ val set_drop_hook : t -> (drop_why -> Packet.t -> unit) -> unit
     point used by [Tracer.probe_link_drops] to attribute losses in
     scenario post-mortems. *)
 
+val attach_telemetry : t -> name:string -> Telemetry.t -> unit
+(** Wire this link into a telemetry instance: queue depth/bytes, per-cause
+    drop counters, ECN marks, and bandwidth become sampled gauges (columns
+    [link.<name>.qlen] …), and every drop emits a [link.drop] trace
+    instant with its cause attribution ([channel] / [queue] / [down] — the
+    same classification {!Tracer} records).  Until this is called the
+    link holds the nil trace and the data path pays one branch per drop. *)
+
 val qdisc : t -> Queue_disc.t
 (** The attached queueing discipline. *)
 

@@ -16,6 +16,7 @@ type t = {
 let header_bytes = 58
 
 let next_id = ref 0
+let reset_ids () = next_id := 0
 
 let[@inline] make ~now ~flow ~payload_bytes ?(ecn_capable = false) payload =
   if payload_bytes < 0 then invalid_arg "Packet.make: negative payload size";

@@ -36,5 +36,11 @@ val make :
 val payload_bytes : t -> int
 (** Wire size minus {!header_bytes} (never negative). *)
 
+val reset_ids : unit -> unit
+(** Restart the process-global id counter.  Packet ids appear in exported
+    trace artifacts, so repeated in-process captures ([Trace_run]) reset
+    the counter to keep same-seed runs byte-identical.  Only call between
+    simulations — concurrent engines would reuse ids. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line description for traces. *)

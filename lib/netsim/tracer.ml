@@ -80,5 +80,50 @@ let pp_event fmt e =
   Format.fprintf fmt "%a %a %-12s %a %dB #%d" Time.pp e.at pp_direction e.direction e.point
     Addr.pp_flow e.flow e.size e.packet_id
 
+let line e = Format.asprintf "%a" pp_event e
+
 let dump fmt t =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)
+
+(* machine-readable twin of [line]: same fields, same drop-cause
+   attribution, floats through Json so every machine channel formats
+   identically *)
+let direction_str = function
+  | Tx -> "tx"
+  | Rx -> "rx"
+  | Drop Link.Channel -> "drop"
+  | Drop Link.Queue -> "drop"
+  | Drop Link.Down -> "drop"
+
+let drop_cause = function
+  | Drop Link.Channel -> Some "channel"
+  | Drop Link.Queue -> Some "queue"
+  | Drop Link.Down -> Some "down"
+  | Tx | Rx -> None
+
+let event_json e =
+  let open Json in
+  Obj
+    ([
+       ("ts_s", Float (Time.to_float_s e.at));
+       ("dir", Str (direction_str e.direction));
+     ]
+    @ (match drop_cause e.direction with Some c -> [ ("cause", Str c) ] | None -> [])
+    @ [
+        ("point", Str e.point);
+        ("flow", Str (Format.asprintf "%a" Addr.pp_flow e.flow));
+        ("size", Int e.size);
+        ("packet", Int e.packet_id);
+      ])
+
+let to_jsonl b t =
+  List.iter
+    (fun e ->
+      Json.write b (event_json e);
+      Buffer.add_char b '\n')
+    (events t)
+
+let dump_jsonl fmt t =
+  let b = Buffer.create 1024 in
+  to_jsonl b t;
+  Format.pp_print_string fmt (Buffer.contents b)

@@ -66,5 +66,20 @@ val find : t -> (event -> bool) -> event option
 val pp_event : Format.formatter -> event -> unit
 (** Render one line: time, direction, probe, flow, size. *)
 
+val line : event -> string
+(** The human line format of {!pp_event}, as a string. *)
+
+val event_json : event -> Cm_util.Json.t
+(** The machine twin of {!line}: same fields (timestamp, direction,
+    drop-cause attribution, probe, flow, size, packet id), rendered
+    through {!Cm_util.Json} so floats format identically ([%.6g]) across
+    every machine-readable output in the repo. *)
+
+val to_jsonl : Buffer.t -> t -> unit
+(** Append the whole trace as JSONL, one {!event_json} per line. *)
+
 val dump : Format.formatter -> t -> unit
-(** Render the whole trace. *)
+(** Render the whole trace (human lines). *)
+
+val dump_jsonl : Format.formatter -> t -> unit
+(** Render the whole trace as JSONL. *)

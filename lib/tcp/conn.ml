@@ -148,6 +148,10 @@ type t = {
   mutable s_fast_retransmits : int;
   mutable s_timeouts : int;
   mutable s_rtt_samples : int;
+  (* telemetry: CM-driven connections inherit their CM's trace sink so
+     loss-classification events land on the same timeline as the
+     controller's reactions; nil (one branch per event) otherwise *)
+  trace : Telemetry.Trace.t;
 }
 
 type listener = { l_host : Host.t; l_port : int }
@@ -529,6 +533,13 @@ let cm_on_dupack t cc =
     t.hole_next <- t.snd_una;
     t.s_fast_retransmits <- t.s_fast_retransmits + 1;
     cc.prereported <- cc.prereported + t.config.mss;
+    if Telemetry.Trace.on t.trace then
+      Telemetry.Trace.instant t.trace ~cat:"tcp" "tcp.fast_rexmit"
+        [
+          ("flow", Telemetry.Trace.Str (Format.asprintf "%a" Addr.pp_flow t.out_flow));
+          ("snd_una", Telemetry.Trace.Int t.snd_una);
+          ("classified", Telemetry.Trace.Str "transient");
+        ];
     cm_report t cc ~nsent:t.config.mss ~nrecd:0 ~loss:Cm.Cm_types.Transient ~rtt:None;
     cc.rexmit_pending <- true;
     cm_sync_requests t cc
@@ -542,6 +553,13 @@ let cm_on_dupack t cc =
 let on_ecn_echo t =
   if t.snd_una >= t.ecn_reacted_at then begin
     t.ecn_reacted_at <- t.snd_nxt;
+    if Telemetry.Trace.on t.trace then
+      Telemetry.Trace.instant t.trace ~cat:"tcp" "tcp.ecn_echo"
+        [
+          ("flow", Telemetry.Trace.Str (Format.asprintf "%a" Addr.pp_flow t.out_flow));
+          ("snd_una", Telemetry.Trace.Int t.snd_una);
+          ("classified", Telemetry.Trace.Str "ecn");
+        ];
     match t.cc with
     | Cc_native cc ->
         cc.nat_ssthresh <- Stdlib.max (flight_size t / 2) (2 * t.config.mss);
@@ -601,6 +619,14 @@ let on_rto t () =
         m "%a: retransmission timeout (snd_una=%d snd_nxt=%d)" Addr.pp_flow t.out_flow t.snd_una
           t.snd_nxt);
     t.s_timeouts <- t.s_timeouts + 1;
+    if Telemetry.Trace.on t.trace then
+      Telemetry.Trace.instant t.trace ~cat:"tcp" "tcp.rto"
+        [
+          ("flow", Telemetry.Trace.Str (Format.asprintf "%a" Addr.pp_flow t.out_flow));
+          ("snd_una", Telemetry.Trace.Int t.snd_una);
+          ("snd_nxt", Telemetry.Trace.Int t.snd_nxt);
+          ("classified", Telemetry.Trace.Str "persistent");
+        ];
     Rto.backoff t.rto_est;
     karn_invalidate t;
     scoreboard_clear t;
@@ -1003,6 +1029,7 @@ let make_conn host ~local ~remote ~driver ~config ~initial_state =
       s_fast_retransmits = 0;
       s_timeouts = 0;
       s_rtt_samples = 0;
+      trace = (match driver with Native -> Telemetry.Trace.nil | Cm_driven cm -> Cm.trace cm);
     }
   in
   t.rto_timer <- Timer.create engine ~callback:(fun () -> on_rto t ());

@@ -1,0 +1,86 @@
+open Cm_util
+open Eventsim
+
+type series = {
+  s_name : string;
+  s_read : unit -> float;
+  mutable s_data : float array;
+}
+
+type t = {
+  engine : Engine.t;
+  period : Time.span;
+  mutable rev_series : series list; (* registration order, newest first *)
+  mutable times : Time.t array;
+  mutable nticks : int;
+  mutable timer : Timer.t option;
+}
+
+let create engine ~period () =
+  if period <= 0 then invalid_arg "Sampler.create: period must be positive";
+  { engine; period; rev_series = []; times = Array.make 256 Time.zero; nticks = 0; timer = None }
+
+let grow_float a len =
+  let bigger = Array.make (2 * Array.length a) nan in
+  Array.blit a 0 bigger 0 len;
+  bigger
+
+let tick t =
+  if t.nticks = Array.length t.times then begin
+    let bigger = Array.make (2 * t.nticks) Time.zero in
+    Array.blit t.times 0 bigger 0 t.nticks;
+    t.times <- bigger
+  end;
+  t.times.(t.nticks) <- Engine.now t.engine;
+  List.iter
+    (fun s ->
+      if t.nticks >= Array.length s.s_data then s.s_data <- grow_float s.s_data t.nticks;
+      s.s_data.(t.nticks) <- s.s_read ())
+    t.rev_series;
+  t.nticks <- t.nticks + 1
+
+let subscribe t name read =
+  if List.exists (fun s -> s.s_name = name) t.rev_series then
+    invalid_arg (Printf.sprintf "Sampler.subscribe: series %S already exists" name);
+  (* ticks that fired before this series existed read as NaN (CSV blank) *)
+  let data = Array.make (Stdlib.max 256 (Array.length t.times)) nan in
+  t.rev_series <- { s_name = name; s_read = read; s_data = data } :: t.rev_series
+
+let start t =
+  match t.timer with
+  | Some _ -> ()
+  | None ->
+      let timer = Timer.create t.engine ~callback:(fun () -> tick t) in
+      Timer.start_periodic timer t.period;
+      t.timer <- Some timer
+
+let stop t =
+  match t.timer with
+  | Some timer ->
+      Timer.stop timer;
+      t.timer <- None
+  | None -> ()
+
+let period t = t.period
+let ticks t = t.nticks
+let series_names t = List.rev_map (fun s -> s.s_name) t.rev_series
+
+let to_csv b t =
+  let cols = List.rev t.rev_series in
+  Buffer.add_string b "time_s";
+  List.iter
+    (fun s ->
+      Buffer.add_char b ',';
+      Buffer.add_string b s.s_name)
+    cols;
+  Buffer.add_char b '\n';
+  for i = 0 to t.nticks - 1 do
+    Buffer.add_string b (Json.float_str (Time.to_float_s t.times.(i)));
+    List.iter
+      (fun s ->
+        Buffer.add_char b ',';
+        let v = s.s_data.(i) in
+        if not (Float.is_nan v) then Buffer.add_string b (Json.float_str v))
+      cols;
+    Buffer.add_char b '\n'
+  done

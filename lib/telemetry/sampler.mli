@@ -1,0 +1,42 @@
+(** Periodic virtual-clock time-series sampler.
+
+    Subscribed gauges (read-only closures) are sampled together on one
+    periodic engine timer and appended to preallocated growable buffers —
+    one [float array] per series plus a shared time column, doubling in
+    place, so steady-state sampling allocates nothing.
+
+    Series may be subscribed mid-run (a macroflow created by a later
+    connection); earlier ticks read as NaN and render as blank CSV cells.
+    Columns appear in subscription order, which is deterministic under a
+    fixed seed — the CSV is byte-identical across same-seed runs. *)
+
+open Cm_util
+
+type t
+
+val create : Eventsim.Engine.t -> period:Time.span -> unit -> t
+(** A sampler ticking every [period] of virtual time once {!start}ed.
+    Raises [Invalid_argument] if [period <= 0]. *)
+
+val subscribe : t -> string -> (unit -> float) -> unit
+(** Add a named series.  Raises [Invalid_argument] on duplicate names. *)
+
+val start : t -> unit
+(** Arm the periodic timer; the first sample fires one period from now.
+    Idempotent. *)
+
+val stop : t -> unit
+(** Disarm the timer (so a drained engine can terminate).  Idempotent. *)
+
+val tick : t -> unit
+(** Take one sample row immediately (also used by the periodic timer). *)
+
+val period : t -> Time.span
+val ticks : t -> int
+
+val series_names : t -> string list
+(** Subscribed names, in subscription order. *)
+
+val to_csv : Buffer.t -> t -> unit
+(** Append the full table: header [time_s,<name>,…] then one row per
+    tick.  Floats via {!Json.float_str} ([%.6g]); NaN cells are blank. *)

@@ -1,0 +1,120 @@
+open Cm_util
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+type phase = Span_begin | Span_end | Instant
+
+type event = {
+  ts : Time.t;
+  phase : phase;
+  name : string;
+  cat : string;
+  args : (string * value) list;
+}
+
+type t = {
+  enabled : bool;
+  now : unit -> Time.t;
+  mutable events : event array;
+  mutable len : int;
+}
+
+let dummy_event = { ts = 0; phase = Instant; name = ""; cat = ""; args = [] }
+let nil = { enabled = false; now = (fun () -> Time.zero); events = [||]; len = 0 }
+
+let create engine =
+  {
+    enabled = true;
+    now = (fun () -> Eventsim.Engine.now engine);
+    events = Array.make 1024 dummy_event;
+    len = 0;
+  }
+
+let on t = t.enabled
+let length t = t.len
+
+let push t ev =
+  if t.enabled then begin
+    if t.len = Array.length t.events then begin
+      let bigger = Array.make (2 * t.len) dummy_event in
+      Array.blit t.events 0 bigger 0 t.len;
+      t.events <- bigger
+    end;
+    t.events.(t.len) <- ev;
+    t.len <- t.len + 1
+  end
+
+let instant t ?(cat = "app") name args =
+  push t { ts = t.now (); phase = Instant; name; cat; args }
+
+let span_begin t ?(cat = "app") name args =
+  push t { ts = t.now (); phase = Span_begin; name; cat; args }
+
+let span_end t ?(cat = "app") name =
+  push t { ts = t.now (); phase = Span_end; name; cat; args = [] }
+
+let with_span t ?cat name args f =
+  span_begin t ?cat name args;
+  Fun.protect ~finally:(fun () -> span_end t ?cat name) f
+
+let events t = Array.to_list (Array.sub t.events 0 t.len)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let clear t = t.len <- 0
+
+(* ---- exporters -------------------------------------------------------- *)
+
+let json_value = function
+  | Bool b -> Json.Bool b
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+
+let args_json args = Json.Obj (List.map (fun (k, v) -> (k, json_value v)) args)
+
+let phase_str = function Span_begin -> "B" | Span_end -> "E" | Instant -> "i"
+
+(* one event per line: a grep/jq-friendly stream, ts in integer
+   nanoseconds of virtual time so rendering is exact *)
+let jsonl_event b ev =
+  Json.write b
+    (Json.Obj
+       [
+         ("ts_ns", Json.Int ev.ts);
+         ("ph", Json.Str (phase_str ev.phase));
+         ("cat", Json.Str ev.cat);
+         ("name", Json.Str ev.name);
+         ("args", args_json ev.args);
+       ]);
+  Buffer.add_char b '\n'
+
+let to_jsonl b t = iter t (fun ev -> jsonl_event b ev)
+
+(* Chrome trace_event format (the catapult JSON array flavor), loadable
+   in Perfetto / chrome://tracing: ts is microseconds, instants carry a
+   global scope so they render as vertical markers *)
+let chrome_event b ev =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ("ph", Json.Str (phase_str ev.phase));
+      ("ts", Json.Float (Time.to_float_us ev.ts));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int 0);
+    ]
+  in
+  let scope = match ev.phase with Instant -> [ ("s", Json.Str "g") ] | _ -> [] in
+  let args = match ev.args with [] -> [] | args -> [ ("args", args_json args) ] in
+  Json.write b (Json.Obj (base @ scope @ args))
+
+let to_chrome b t =
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  let first = ref true in
+  iter t (fun ev ->
+      if !first then first := false else Buffer.add_string b ",\n";
+      chrome_event b ev);
+  Buffer.add_string b "\n]}\n"

@@ -1,0 +1,77 @@
+(** Structured event/span tracer.
+
+    Records typed, virtual-time-stamped events into a growable in-memory
+    buffer: instant events (a congestion decision, a packet drop, a layer
+    switch) and begin/end spans (a recovery episode, a whole run).  Two
+    exporters: JSONL (one event per line, integer-nanosecond timestamps —
+    the grep/jq/diff channel) and the Chrome [trace_event] JSON format,
+    loadable in Perfetto or [chrome://tracing].
+
+    The {!nil} instance is the default sink everywhere a component holds
+    a trace: it is permanently disabled, so instrumented hot paths pay
+    one boolean test ({!on}) and nothing else — argument lists must be
+    built {e behind} that test:
+
+    {[
+      if Trace.on tr then Trace.instant tr ~cat:"cm" "cm.loss" [ ... ]
+    ]}
+
+    Timestamps come from the engine's virtual clock, so with a fixed seed
+    the exported bytes are identical run after run. *)
+
+open Cm_util
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+(** Typed attribute values. *)
+
+type phase = Span_begin | Span_end | Instant
+
+type event = {
+  ts : Time.t;
+  phase : phase;
+  name : string;
+  cat : string;
+  args : (string * value) list;
+}
+
+type t
+(** A trace buffer (or the nil sink). *)
+
+val nil : t
+(** The disabled sink: every emit is a no-op, {!on} is [false]. *)
+
+val create : Eventsim.Engine.t -> t
+(** An enabled trace stamped by the engine's virtual clock. *)
+
+val on : t -> bool
+(** Whether events are being recorded — test this before building
+    argument lists on hot paths. *)
+
+val instant : t -> ?cat:string -> string -> (string * value) list -> unit
+(** Record an instant event (default category ["app"]). *)
+
+val span_begin : t -> ?cat:string -> string -> (string * value) list -> unit
+val span_end : t -> ?cat:string -> string -> unit
+
+val with_span : t -> ?cat:string -> string -> (string * value) list -> (unit -> 'a) -> 'a
+(** [with_span t name args f] wraps [f ()] in a begin/end pair (the end
+    is emitted even if [f] raises). *)
+
+val length : t -> int
+(** Events recorded so far. *)
+
+val events : t -> event list
+(** All events, in emission order (a copy). *)
+
+val iter : t -> (event -> unit) -> unit
+
+val clear : t -> unit
+(** Drop all recorded events (the buffer is reused). *)
+
+val to_jsonl : Buffer.t -> t -> unit
+(** Append one JSON object per event:
+    [{"ts_ns":…, "ph":"B|E|i", "cat":…, "name":…, "args":{…}}]. *)
+
+val to_chrome : Buffer.t -> t -> unit
+(** Append a complete Chrome [trace_event] document
+    ([{"traceEvents": [...]}], ts in microseconds). *)

@@ -1,0 +1,30 @@
+(** Minimal JSON document builder with deterministic serialization.
+
+    Every machine-readable artifact in the repo — experiment results,
+    telemetry traces, time-series dumps — goes through this one writer so
+    floats format identically everywhere: [%.6g], integral values without
+    a fractional part, NaN as [null].  With a fixed seed the rendered
+    bytes are identical run after run, which is what the determinism
+    regression tests diff. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, newlines). *)
+
+val float_str : float -> string
+(** The shared float rendering: [%.6g]; integral values print without a
+    fractional part; NaN renders as ["null"]. *)
+
+val to_string : t -> string
+(** Render compactly (single line, [", "] separators). *)
+
+val write : Buffer.t -> t -> unit
+(** Append the rendering to a buffer. *)

@@ -43,3 +43,58 @@ val median : float array -> float
 
 val pp : Format.formatter -> t -> unit
 (** Render as [n=… mean=… sd=… min=… max=…]. *)
+
+(** Log-bucketed histogram with O(1) [observe] and quantile estimation
+    over the buckets.
+
+    Buckets are powers of two from 2{^-20} up; [observe] finds the bucket
+    with [frexp] (no log, no allocation), so it is safe on simulator hot
+    paths.  Quantiles interpolate linearly within a bucket and clamp to
+    the exactly-tracked min/max, so small sample counts do not produce
+    estimates outside the observed range.  This is the histogram the
+    telemetry metrics registry records into; experiments should use
+    {!Histogram.quantile} instead of recomputing percentiles ad hoc from
+    raw sample arrays when streaming. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  (** Empty histogram. *)
+
+  val observe : t -> float -> unit
+  (** Record one value.  Values [<= 0] (and NaN) land in the lowest
+      bucket. *)
+
+  val count : t -> int
+  (** Number of observations. *)
+
+  val sum : t -> float
+  (** Sum of observed values. *)
+
+  val mean : t -> float
+  (** Mean of observed values; [nan] if empty. *)
+
+  val min_value : t -> float
+  (** Smallest observation (exact); [nan] if empty. *)
+
+  val max_value : t -> float
+  (** Largest observation (exact); [nan] if empty. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] estimates the [q]-th quantile ([0. <= q <= 1.]) by
+      linear interpolation inside the covering bucket, clamped to the
+      exact min/max.  [nan] if empty. *)
+
+  val merge : t -> t -> t
+  (** Elementwise bucket sum: equivalent to having observed both
+      streams.  Inputs are not mutated. *)
+
+  val reset : t -> unit
+  (** Drop all observations. *)
+
+  val nonzero_buckets : t -> (float * int) list
+  (** [(upper_bound, count)] for each non-empty bucket, ascending. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Render as [n=… mean=… p50=… p99=… max=…]. *)
+end

@@ -233,6 +233,45 @@ let test_sim_log_src_memoized () =
   "same source returned" => (Sim_log.src "cm" == Sim_log.src "cm");
   "different names differ" => (Sim_log.src "cm" != Sim_log.src "tcp")
 
+(* the real reporter, captured through [?ppf]: lines are stamped with the
+   engine's virtual clock, not wall time *)
+let test_sim_log_reporter_virtual_stamp () =
+  let e = Engine.create () in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Sim_log.setup e ~level:Logs.Debug ~ppf ();
+  let src = Sim_log.src "test" in
+  ignore
+    (Engine.schedule_at e (Time.ms 250) (fun () -> Logs.debug ~src (fun m -> m "tick")));
+  Engine.run e;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let stamp = Format.asprintf "[%a]" Time.pp (Time.ms 250) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  "stamped with virtual time" => contains out stamp;
+  "message body present" => contains out "tick";
+  Logs.set_reporter Logs.nop_reporter
+
+(* messages below the configured level never reach the sink *)
+let test_sim_log_level_filtering () =
+  let e = Engine.create () in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Sim_log.setup e ~level:Logs.Warning ~ppf ();
+  let src = Sim_log.src "test" in
+  Logs.debug ~src (fun m -> m "suppressed debug");
+  Logs.info ~src (fun m -> m "suppressed info");
+  Format.pp_print_flush ppf ();
+  "below-level messages suppressed" => (Buffer.length buf = 0);
+  Logs.warn ~src (fun m -> m "visible warning");
+  Format.pp_print_flush ppf ();
+  "at-level message delivered" => (Buffer.length buf > 0);
+  Logs.set_reporter Logs.nop_reporter
+
 (* ---- stress ----------------------------------------------------------- *)
 
 let test_engine_million_events () =
@@ -295,6 +334,9 @@ let () =
         [
           Alcotest.test_case "virtual-time stamps" `Quick test_sim_log_stamps_virtual_time;
           Alcotest.test_case "memoized sources" `Quick test_sim_log_src_memoized;
+          Alcotest.test_case "reporter stamps virtual clock" `Quick
+            test_sim_log_reporter_virtual_stamp;
+          Alcotest.test_case "level filtering suppresses" `Quick test_sim_log_level_filtering;
         ] );
       ( "stress",
         [ Alcotest.test_case "a million events" `Slow test_engine_million_events ]);

@@ -1,0 +1,254 @@
+(* Telemetry subsystem tests: metrics registry, log-bucketed histograms,
+   virtual-time sampler, structured tracer + exporters, and the
+   determinism contract (same seed => byte-identical artifacts). *)
+
+open Cm_util
+open Eventsim
+
+let ( => ) name b = Alcotest.(check bool) name true b
+let feq name a b = Alcotest.(check (float 1e-9)) name a b
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---- metrics registry ------------------------------------------------- *)
+
+let test_counter_basics () =
+  let m = Telemetry.Metrics.create () in
+  let c = Telemetry.Metrics.counter m "pkts" in
+  Telemetry.Metrics.incr c;
+  Telemetry.Metrics.incr ~by:4 c;
+  Alcotest.(check int) "count" 5 (Telemetry.Metrics.count c);
+  (* idempotent registration returns the same counter *)
+  let c' = Telemetry.Metrics.counter m "pkts" in
+  Telemetry.Metrics.incr c';
+  Alcotest.(check int) "shared" 6 (Telemetry.Metrics.count c)
+
+let test_kind_collision_rejected () =
+  let m = Telemetry.Metrics.create () in
+  ignore (Telemetry.Metrics.counter m "x");
+  Alcotest.check_raises "gauge under counter name"
+    (Invalid_argument "Metrics: \"x\" is already registered") (fun () ->
+      ignore (Telemetry.Metrics.gauge m "x" (fun () -> 0.)))
+
+let test_snapshot_order_and_reset () =
+  let m = Telemetry.Metrics.create () in
+  let c = Telemetry.Metrics.counter m "b_counter" in
+  ignore (Telemetry.Metrics.gauge m "a_gauge" (fun () -> 7.5));
+  let h = Telemetry.Metrics.histogram m "c_hist" in
+  Telemetry.Metrics.incr ~by:3 c;
+  Telemetry.Metrics.observe h 2.0;
+  (* registration order, not alphabetical *)
+  Alcotest.(check (list string))
+    "snapshot order"
+    [ "b_counter"; "a_gauge"; "c_hist" ]
+    (List.map fst (Telemetry.Metrics.snapshot m));
+  Telemetry.Metrics.reset m;
+  Alcotest.(check int) "counter zeroed" 0 (Telemetry.Metrics.count c);
+  (match Telemetry.Metrics.snapshot m with
+  | [ _; ("a_gauge", Telemetry.Metrics.Sg v); _ ] -> feq "gauge survives reset" 7.5 v
+  | _ -> Alcotest.fail "unexpected snapshot shape");
+  "histogram zeroed"
+  => (Stats.Histogram.count (Telemetry.Metrics.hist h) = 0)
+
+let test_metrics_json () =
+  let m = Telemetry.Metrics.create () in
+  let c = Telemetry.Metrics.counter m "n" in
+  Telemetry.Metrics.incr ~by:2 c;
+  ignore (Telemetry.Metrics.gauge m "g" (fun () -> 1.25));
+  let s = Json.to_string (Telemetry.Metrics.to_json m) in
+  "counter in json" => contains s "\"n\": 2";
+  "gauge in json" => contains s "\"g\": 1.25"
+
+(* ---- histogram quantiles ---------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Stats.Histogram.count h);
+  feq "min" 1. (Stats.Histogram.min_value h);
+  feq "max" 1000. (Stats.Histogram.max_value h);
+  let p50 = Stats.Histogram.quantile h 0.5 in
+  (* log-bucketed: coarse, but must land within a power-of-two of truth *)
+  "p50 in range" => (p50 >= 250. && p50 <= 1000.);
+  let p99 = Stats.Histogram.quantile h 0.99 in
+  "p99 in range" => (p99 >= 500. && p99 <= 1000.);
+  "monotone" => (Stats.Histogram.quantile h 0.1 <= p50 && p50 <= p99);
+  feq "q0 is min" 1. (Stats.Histogram.quantile h 0.);
+  feq "q1 is max" 1000. (Stats.Histogram.quantile h 1.)
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.observe a) [ 1.; 2.; 3. ];
+  List.iter (Stats.Histogram.observe b) [ 100.; 200. ];
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 5 (Stats.Histogram.count m);
+  feq "merged min" 1. (Stats.Histogram.min_value m);
+  feq "merged max" 200. (Stats.Histogram.max_value m);
+  feq "merged sum" 306. (Stats.Histogram.sum m)
+
+(* ---- sampler ----------------------------------------------------------- *)
+
+let test_sampler_virtual_time () =
+  let e = Engine.create () in
+  let s = Telemetry.Sampler.create e ~period:(Time.ms 100) () in
+  let v = ref 0. in
+  Telemetry.Sampler.subscribe s "v" (fun () -> !v);
+  Telemetry.Sampler.start s;
+  ignore (Engine.schedule_at e (Time.ms 150) (fun () -> v := 5.));
+  Engine.run_for e (Time.ms 450);
+  Telemetry.Sampler.stop s;
+  Alcotest.(check int) "ticks at 100/200/300/400ms" 4 (Telemetry.Sampler.ticks s);
+  let b = Buffer.create 256 in
+  Telemetry.Sampler.to_csv b s;
+  let csv = Buffer.contents b in
+  "header" => contains csv "time_s,v";
+  (* tick 1 (t=0.1) sees 0, tick 2 (t=0.2) sees the update made at 0.15 *)
+  "first tick value" => contains csv "\n0.1,0\n";
+  "second tick value" => contains csv "\n0.2,5\n"
+
+let test_sampler_late_subscription_blank () =
+  let e = Engine.create () in
+  let s = Telemetry.Sampler.create e ~period:(Time.ms 100) () in
+  Telemetry.Sampler.subscribe s "early" (fun () -> 1.);
+  Telemetry.Sampler.start s;
+  Engine.run_for e (Time.ms 250);
+  Telemetry.Sampler.subscribe s "late" (fun () -> 2.);
+  Engine.run_for e (Time.ms 200);
+  Telemetry.Sampler.stop s;
+  let b = Buffer.create 256 in
+  Telemetry.Sampler.to_csv b s;
+  let csv = Buffer.contents b in
+  (* pre-subscription ticks render as blank cells, not zeros *)
+  "early rows blank in late column" => contains csv "\n0.1,1,\n";
+  "later rows filled" => contains csv "\n0.3,1,2\n"
+
+(* ---- tracer ------------------------------------------------------------ *)
+
+let test_trace_nil_sink () =
+  "nil is off" => not (Telemetry.Trace.on Telemetry.Trace.nil);
+  (* emitting into nil is a harmless no-op *)
+  Telemetry.Trace.instant Telemetry.Trace.nil "x" [];
+  Alcotest.(check int) "nil stays empty" 0 (Telemetry.Trace.length Telemetry.Trace.nil)
+
+let test_trace_events_and_spans () =
+  let e = Engine.create () in
+  let tr = Telemetry.Trace.create e in
+  ignore
+    (Engine.schedule_at e (Time.ms 10) (fun () ->
+         Telemetry.Trace.with_span tr ~cat:"test" "work"
+           [ ("k", Telemetry.Trace.Int 1) ]
+           (fun () -> Telemetry.Trace.instant tr ~cat:"test" "mid" [])));
+  Engine.run e;
+  match Telemetry.Trace.events tr with
+  | [ b; i; en ] ->
+      "begin phase" => (b.Telemetry.Trace.phase = Telemetry.Trace.Span_begin);
+      "instant phase" => (i.Telemetry.Trace.phase = Telemetry.Trace.Instant);
+      "end phase" => (en.Telemetry.Trace.phase = Telemetry.Trace.Span_end);
+      Alcotest.(check int) "virtual stamp" (Time.ms 10) b.Telemetry.Trace.ts
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 events, got %d" (List.length l))
+
+let test_trace_exporters () =
+  let e = Engine.create () in
+  let tr = Telemetry.Trace.create e in
+  ignore
+    (Engine.schedule_at e (Time.ms 1) (fun () ->
+         Telemetry.Trace.instant tr ~cat:"cm" "cm.loss"
+           [
+             ("mode", Telemetry.Trace.Str "ecn");
+             ("cwnd", Telemetry.Trace.Int 4096);
+             ("ok", Telemetry.Trace.Bool true);
+             ("rate", Telemetry.Trace.Float 1.5);
+           ]));
+  Engine.run e;
+  let b = Buffer.create 256 in
+  Telemetry.Trace.to_jsonl b tr;
+  let jsonl = Buffer.contents b in
+  "jsonl ts in ns" => contains jsonl "\"ts_ns\": 1000000";
+  "jsonl phase" => contains jsonl "\"ph\": \"i\"";
+  "jsonl typed args"
+  => (contains jsonl "\"mode\": \"ecn\"" && contains jsonl "\"cwnd\": 4096"
+     && contains jsonl "\"ok\": true" && contains jsonl "\"rate\": 1.5");
+  Buffer.clear b;
+  Telemetry.Trace.to_chrome b tr;
+  let chrome = Buffer.contents b in
+  "chrome envelope" => contains chrome "{\"traceEvents\": [";
+  "chrome ts in us" => contains chrome "\"ts\": 1000";
+  "chrome instant scope" => contains chrome "\"s\": \"g\""
+
+(* ---- end-to-end determinism ------------------------------------------- *)
+
+let artifacts ~expt ~seed =
+  let tel = List.hd (Experiments.Trace_run.capture ~expt ~seed) in
+  ( Telemetry.export_jsonl tel,
+    Telemetry.export_chrome tel,
+    Telemetry.export_csv tel,
+    Telemetry.export_metrics_json tel )
+
+let test_same_seed_byte_identical () =
+  let a1, c1, s1, m1 = artifacts ~expt:"scenario_outage" ~seed:7 in
+  let a2, c2, s2, m2 = artifacts ~expt:"scenario_outage" ~seed:7 in
+  Alcotest.(check string) "jsonl identical" a1 a2;
+  Alcotest.(check string) "chrome identical" c1 c2;
+  Alcotest.(check string) "csv identical" s1 s2;
+  Alcotest.(check string) "metrics identical" m1 m2;
+  "trace is non-trivial" => (String.length a1 > 500);
+  "csv has macroflow columns" => contains s1 "mf1.cwnd";
+  "trace attributes drop causes" => contains a1 "\"cause\": \"down\"";
+  "trace classifies congestion" => contains a1 "cm.congestion"
+
+let test_instrumented_run_matches_uninstrumented () =
+  (* telemetry must observe, not perturb: the simulation's outcome is
+     identical with and without the nil sink replaced by a live one *)
+  let run telemetry =
+    let params = { Experiments.Exp_common.seed = 3; full = false; telemetry } in
+    let m = Experiments.Fig6.measure_macro params Experiments.Fig6.Tcp_cm ~size:1448 ~n:500 in
+    (m.Experiments.Fig6.m_events, m.Experiments.Fig6.m_final_clock)
+  in
+  let base_events, base_clock = run None in
+  let tel_events, tel_clock =
+    run (Some (Experiments.Exp_common.request_telemetry ()))
+  in
+  Alcotest.(check int) "virtual end time unchanged" base_clock tel_clock;
+  (* the sampler adds its own timer events, so the instrumented run
+     executes more engine callbacks — but never fewer *)
+  "event count only grows" => (tel_events >= base_events)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "kind collision rejected" `Quick test_kind_collision_rejected;
+          Alcotest.test_case "snapshot order + reset" `Quick test_snapshot_order_and_reset;
+          Alcotest.test_case "json snapshot" `Quick test_metrics_json;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "virtual-time ticks" `Quick test_sampler_virtual_time;
+          Alcotest.test_case "late subscription blanks" `Quick
+            test_sampler_late_subscription_blank;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nil sink" `Quick test_trace_nil_sink;
+          Alcotest.test_case "events and spans" `Quick test_trace_events_and_spans;
+          Alcotest.test_case "exporters" `Quick test_trace_exporters;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, identical bytes" `Quick test_same_seed_byte_identical;
+          Alcotest.test_case "observation does not perturb" `Quick
+            test_instrumented_run_matches_uninstrumented;
+        ] );
+    ]
