@@ -1,9 +1,10 @@
 (* bench/main — regenerates every table and figure of the paper's
    evaluation (§4), runs bechamel microbenchmarks of the CM's hot paths
-   (including the telemetry layer's), measures the telemetry overhead on
-   the Fig. 6 macro workload (budget: ≤ 5 % with 100 ms virtual-time
-   sampling), and emits a machine-readable BENCH_PR3.json so later PRs
-   have a perf trajectory to compare against (schema: DESIGN.md §6).
+   (including the telemetry layer's), measures the telemetry overhead and
+   the endpoint-fault-defense overhead (watchdog + auditor, budget ≤ 5 %
+   each) on the Fig. 6 macro workload, and emits a machine-readable
+   BENCH_PR4.json so later PRs have a perf trajectory to compare against
+   (schema: DESIGN.md §6).
 
    Set CM_BENCH_FULL=1 for the long variants (10^6-buffer Fig. 4/5 point,
    200k-packet Fig. 6); CM_BENCH_SEED to change the seed; CM_BENCH_SMOKE=1
@@ -17,10 +18,10 @@ let params =
     match Sys.getenv_opt "CM_BENCH_SEED" with Some s -> int_of_string s | None -> 42
   in
   let full = Sys.getenv_opt "CM_BENCH_FULL" = Some "1" in
-  { Experiments.Exp_common.seed; full; telemetry = None }
+  { Experiments.Exp_common.seed; full; telemetry = None; defenses = false }
 
 let smoke = Sys.getenv_opt "CM_BENCH_SMOKE" = Some "1"
-let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR3.json"
+let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR4.json"
 
 (* wall times of every experiment, for the JSON trajectory *)
 let experiment_walls : (string * float) list ref = ref []
@@ -62,7 +63,9 @@ let run_experiments () =
   timed "ablation_fairness" (fun () ->
       Experiments.Ablations.print_fairness (Experiments.Ablations.run_fairness params));
   timed "scenarios" (fun () ->
-      Experiments.Scenarios.print params (Experiments.Scenarios.run params))
+      Experiments.Scenarios.print params (Experiments.Scenarios.run params));
+  timed "app_faults" (fun () ->
+      Experiments.App_faults.print params (Experiments.App_faults.run params))
 
 (* ------------------------------------------------------------------ *)
 (* Macrobenchmark: events per second of the simulator core on the Fig. 6
@@ -138,6 +141,44 @@ let run_telemetry_overhead () =
   Printf.printf "off (nil sink): %.3fs   on (100ms sampling + trace): %.3fs   overhead %+.1f%%\n%!"
     off on pct;
   { to_packets = n; to_off_wall_s = off; to_on_wall_s = on; to_overhead_pct = pct }
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint-fault-defense overhead: the Fig. 6 macro workload with the
+   feedback watchdog + misbehaviour auditor off (the default — per-grant
+   allowance bookkeeping still runs, but no staleness aging and no
+   suspicion scoring) vs on.  The workload is grant-disciplined TCP/CM,
+   so a well-behaved client: the defenses should be pure bookkeeping.
+   Budget: ≤ 5 % on vs off. *)
+
+type defense_overhead = {
+  do_packets : int;
+  do_off_wall_s : float;
+  do_on_wall_s : float;
+  do_overhead_pct : float;
+}
+
+let run_defense_overhead () =
+  let n = if smoke then 500 else 20_000 in
+  let best_of_3 f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let reps = if smoke then 1 else 3 in
+    List.fold_left (fun acc _ -> Float.min acc (once ())) (once ())
+      (List.init (Stdlib.max 0 (reps - 1)) Fun.id)
+  in
+  let run defenses () =
+    let p = { params with Experiments.Exp_common.defenses } in
+    ignore (Experiments.Fig6.measure_macro p Experiments.Fig6.Tcp_cm ~size:1448 ~n)
+  in
+  let off = best_of_3 (run false) in
+  let on = best_of_3 (run true) in
+  let pct = (on -. off) /. off *. 100. in
+  Printf.printf "\n== Defense overhead: Fig. 6 TCP/CM macro workload (%d packets) ==\n" n;
+  Printf.printf "off: %.3fs   on (watchdog + auditor): %.3fs   overhead %+.1f%%\n%!" off on pct;
+  { do_packets = n; do_off_wall_s = off; do_on_wall_s = on; do_overhead_pct = pct }
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost and minor-heap allocation of
@@ -357,12 +398,12 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let emit_json ~macro ~micro ~telem () =
+let emit_json ~macro ~micro ~telem ~defense () =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema_version\": 1,\n";
-  p "  \"pr\": 3,\n";
+  p "  \"pr\": 4,\n";
   p "  \"seed\": %d,\n" params.Experiments.Exp_common.seed;
   p "  \"full\": %b,\n" params.Experiments.Exp_common.full;
   p "  \"smoke\": %b,\n" smoke;
@@ -391,6 +432,14 @@ let emit_json ~macro ~micro ~telem () =
   p "    \"sampling_period_ms\": 100,\n";
   p "    \"budget_pct\": 5.0\n";
   p "  },\n";
+  p "  \"defense_overhead\": {\n";
+  p "    \"workload\": \"fig6 TCP/CM 1448B\",\n";
+  p "    \"packets\": %d,\n" defense.do_packets;
+  p "    \"off_wall_s\": %.4f,\n" defense.do_off_wall_s;
+  p "    \"on_wall_s\": %.4f,\n" defense.do_on_wall_s;
+  p "    \"overhead_pct\": %.2f,\n" defense.do_overhead_pct;
+  p "    \"budget_pct\": 5.0\n";
+  p "  },\n";
   p "  \"micro\": [\n";
   List.iteri
     (fun i (name, ns, w) ->
@@ -409,5 +458,6 @@ let () =
   else print_endline "[smoke mode: experiments skipped, tiny iteration counts]";
   let macro = run_macro () in
   let telem = run_telemetry_overhead () in
+  let defense = run_defense_overhead () in
   let micro = run_microbenchmarks () in
-  emit_json ~macro ~micro ~telem ()
+  emit_json ~macro ~micro ~telem ~defense ()

@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let params seed full = { Experiments.Exp_common.seed; full; telemetry = None }
+let params seed full = { Experiments.Exp_common.seed; full; telemetry = None; defenses = false }
 
 let seed_arg =
   let doc = "Seed for every random number generator (runs are deterministic)." in
@@ -40,6 +40,7 @@ let run_content p = Experiments.Content_adapt.print (Experiments.Content_adapt.r
 let run_merge p = Experiments.Ext_merge.print (Experiments.Ext_merge.run p)
 let run_fair p = Experiments.Ablations.print_fairness (Experiments.Ablations.run_fairness p)
 let run_scenarios p = Experiments.Scenarios.print p (Experiments.Scenarios.run p)
+let run_app_faults p = Experiments.App_faults.print p (Experiments.App_faults.run p)
 
 let experiments =
   [
@@ -62,6 +63,7 @@ let experiments =
     ("merge", "Extension: merged macroflows behind a shared bottleneck", run_merge);
     ("ablation_fairness", "Jain fairness across flow ensembles", run_fair);
     ("scenarios", "Fault-injection scenarios: burst loss, outage, sawtooth (JSON)", run_scenarios);
+    ("app_faults", "Endpoint faults: crash/silence/lie/hoard defenses & reclamation (JSON)", run_app_faults);
   ]
 
 let make_cmd (name, doc, runner) =

@@ -20,6 +20,17 @@ type flow = {
   mutable last_reported_rate : float;
   mutable update_pending : bool;
   mutable open_ : bool;
+  (* per-flow cross-check ledger (bytes, cumulative since open).  The
+     misbehaviour auditor compares these: an honest client keeps
+     notified ≲ granted and nsent ≤ charged. *)
+  mutable a_granted : int; (* grant bytes reserved for this flow *)
+  mutable a_notified : int; (* bytes the client claims to have transmitted *)
+  mutable a_charged : int; (* bytes actually charged to the window *)
+  mutable a_nsent : int; (* bytes resolved by accepted cm_update feedback *)
+  mutable last_update : Time.t;
+  mutable last_inflation : Time.t; (* rate limiter for charge-inflation strikes *)
+  mutable suspicion : int;
+  mutable quarantined : bool;
 }
 
 type counters = {
@@ -30,7 +41,30 @@ type counters = {
   updates : int;
   notifies : int;
   declined_grants : int;
+  rejected_updates : int;
+  rejected_notifies : int;
+  quarantines : int;
+  reaps : int;
 }
+
+type auditor = {
+  grant_slack_pkts : int;
+  overclaim_slack_pkts : int;
+  inflation_slack_pkts : int;
+  silent_after : Time.span;
+  quarantine_threshold : int;
+  policed_controller : Controller.factory;
+}
+
+let default_auditor =
+  {
+    grant_slack_pkts = 64;
+    overclaim_slack_pkts = 2;
+    inflation_slack_pkts = 16;
+    silent_after = Time.ms 1_000;
+    quarantine_threshold = 3;
+    policed_controller = Controller.aimd ~initial_window_pkts:1 ~max_window:(4 * 1500) ();
+  }
 
 type aggregation = By_destination | By_destination_and_dscp
 
@@ -49,9 +83,12 @@ type t = {
   scheduler : Scheduler.factory;
   grant_reclaim_after : Time.span option;
   idle_restart : Time.span option;
+  watchdog : Macroflow.watchdog option;
+  auditor : auditor option;
   flows_by_id : (Cm_types.flow_id, flow) Hashtbl.t;
   flows_by_key : Cm_types.flow_id Addr.Flow_table.t;
   default_mf : (mf_key, Macroflow.t) Hashtbl.t; (* per-destination macroflows *)
+  all_mf : (int, Macroflow.t) Hashtbl.t; (* every macroflow ever created *)
   mf_members : (int, int) Hashtbl.t; (* macroflow id -> member count *)
   mutable next_fid : int;
   mutable next_mfid : int;
@@ -62,6 +99,11 @@ type t = {
   mutable c_updates : int;
   mutable c_notifies : int;
   mutable c_declined : int;
+  mutable c_rejected_updates : int;
+  mutable c_rejected_notifies : int;
+  mutable c_quarantines : int;
+  mutable c_reaps : int;
+  mutable c_released_grant_bytes : int;
   (* telemetry: None (and the nil trace) until [attach_telemetry] *)
   mutable telemetry : Telemetry.t option;
   mutable trace : Telemetry.Trace.t;
@@ -69,7 +111,7 @@ type t = {
 
 let create engine ?(mtu = 1448) ?(aggregation = By_destination)
     ?(controller = Controller.aimd ()) ?(scheduler = Scheduler.round_robin)
-    ?grant_reclaim_after ?idle_restart () =
+    ?grant_reclaim_after ?idle_restart ?feedback_watchdog ?auditor () =
   {
     engine;
     mtu;
@@ -78,9 +120,12 @@ let create engine ?(mtu = 1448) ?(aggregation = By_destination)
     scheduler;
     grant_reclaim_after;
     idle_restart;
+    watchdog = feedback_watchdog;
+    auditor;
     flows_by_id = Hashtbl.create 64;
     flows_by_key = Addr.Flow_table.create 64;
     default_mf = Hashtbl.create 16;
+    all_mf = Hashtbl.create 16;
     mf_members = Hashtbl.create 16;
     next_fid = 1;
     next_mfid = 1;
@@ -91,6 +136,11 @@ let create engine ?(mtu = 1448) ?(aggregation = By_destination)
     c_updates = 0;
     c_notifies = 0;
     c_declined = 0;
+    c_rejected_updates = 0;
+    c_rejected_notifies = 0;
+    c_quarantines = 0;
+    c_reaps = 0;
+    c_released_grant_bytes = 0;
     telemetry = None;
     trace = Telemetry.Trace.nil;
   }
@@ -141,17 +191,29 @@ let check_rate_callbacks t mf_id =
 
 (* ---- grant dispatch --------------------------------------------------- *)
 
-let deliver_grant t fid =
+(* bytes charged to the window whose fate no accepted feedback has
+   resolved; what close/crash must discharge and quarantine must carry *)
+let unresolved fl = Stdlib.max 0 (fl.a_charged - fl.a_nsent)
+
+let deliver_grant t mf fid ~reserved =
   t.c_grants <- t.c_grants + 1;
   match Hashtbl.find_opt t.flows_by_id fid with
   | Some fl when fl.open_ -> (
+      ignore reserved;
+      (* a grant permits up to one MTU regardless of what the macroflow
+         reserved (the learned average may round well below what the
+         client actually sends), so the misbehaviour allowance accrues a
+         full MTU per grant — honest full-sized senders never drift *)
+      fl.a_granted <- fl.a_granted + t.mtu;
       match fl.send_cb with
       | Some cb -> cb fid
       | None ->
           t.c_declined <- t.c_declined + 1;
-          Macroflow.notify fl.mf ~nbytes:0)
+          Macroflow.notify fl.mf ~fid ~nbytes:0 ())
   | _ ->
-      t.c_declined <- t.c_declined + 1
+      (* the flow vanished between request and grant: return the grant *)
+      t.c_declined <- t.c_declined + 1;
+      Macroflow.notify mf ~fid ~nbytes:0 ()
 
 (* ---- macroflow lifecycle ---------------------------------------------- *)
 
@@ -180,31 +242,6 @@ let wire_macroflow_telemetry t mf =
           float_of_int (Macroflow.pending_requests mf));
       Telemetry.gauge tel (p ^ "loss_rate") (fun () -> Macroflow.loss_rate mf)
 
-let new_macroflow t =
-  let mfid = t.next_mfid in
-  t.next_mfid <- t.next_mfid + 1;
-  let mf =
-    Macroflow.create t.engine ~id:mfid ~mtu:t.mtu ~controller:t.controller
-      ~scheduler:t.scheduler
-      ~deliver_grant:(fun fid -> deliver_grant t fid)
-      ~on_state_change:(fun () -> ())
-      ?grant_reclaim_after:t.grant_reclaim_after ?idle_restart:t.idle_restart ()
-  in
-  wire_macroflow_telemetry t mf;
-  mf
-
-let mf_key_of t (key : Addr.flow) : mf_key =
-  ( key.Addr.dst.Addr.host,
-    match t.aggregation with By_destination -> 0 | By_destination_and_dscp -> key.Addr.dscp )
-
-let macroflow_for_key t k =
-  match Hashtbl.find_opt t.default_mf k with
-  | Some mf -> mf
-  | None ->
-      let mf = new_macroflow t in
-      Hashtbl.replace t.default_mf k mf;
-      mf
-
 let drop_membership t mf =
   let mfid = Macroflow.id mf in
   let members = Macroflow.members mf in
@@ -219,6 +256,137 @@ let drop_membership t mf =
     Macroflow.shutdown mf;
     Hashtbl.remove t.mf_members mfid
   end
+
+let move_flow t fl target_mf =
+  let old_mf = fl.mf in
+  if Macroflow.id old_mf <> Macroflow.id target_mf then begin
+    (* carry this flow's pending requests over to the new macroflow, give
+       back any grants it was sitting on, and take its unresolved charge
+       along so the old macroflow's window reopens immediately *)
+    let requests_to_move = Macroflow.pending_for_flow old_mf fl.fid in
+    let released = Macroflow.release_flow_grants old_mf fl.fid in
+    t.c_released_grant_bytes <- t.c_released_grant_bytes + released;
+    Macroflow.transfer_outstanding ~src:old_mf ~dst:target_mf (unresolved fl);
+    Macroflow.detach_flow old_mf fl.fid;
+    fl.mf <- target_mf;
+    Macroflow.add_member target_mf;
+    for _ = 1 to requests_to_move do
+      Macroflow.request target_mf fl.fid
+    done;
+    drop_membership t old_mf
+  end
+
+let rec new_macroflow ?controller t =
+  let mfid = t.next_mfid in
+  t.next_mfid <- t.next_mfid + 1;
+  let controller = Option.value controller ~default:t.controller in
+  (* tie the knot: the grant/maintenance hooks need the macroflow they
+     serve, which Macroflow.create has not returned yet.  No hook can run
+     before create returns (grants and ticks fire from engine events). *)
+  let mf_cell = ref None in
+  let mf_of_cell () = Option.get !mf_cell in
+  let on_reclaim, on_tick =
+    match t.auditor with
+    | None -> (None, None)
+    | Some a ->
+        ( Some
+            (fun fid _reserved ->
+              match Hashtbl.find_opt t.flows_by_id fid with
+              | Some fl when fl.open_ -> suspect t a fl "grant_hoard"
+              | _ -> ()),
+          Some (fun mf -> audit_tick t a mf) )
+  in
+  let mf =
+    Macroflow.create t.engine ~id:mfid ~mtu:t.mtu ~controller ~scheduler:t.scheduler
+      ~deliver_grant:(fun fid ~reserved -> deliver_grant t (mf_of_cell ()) fid ~reserved)
+      ~on_state_change:(fun () -> ())
+      ?on_reclaim ?on_tick ?watchdog:t.watchdog ?grant_reclaim_after:t.grant_reclaim_after
+      ?idle_restart:t.idle_restart ()
+  in
+  mf_cell := Some mf;
+  Hashtbl.replace t.all_mf mfid mf;
+  wire_macroflow_telemetry t mf;
+  mf
+
+(* ---- misbehaviour scoring & quarantine -------------------------------- *)
+
+and suspect t a fl reason =
+  fl.suspicion <- fl.suspicion + 1;
+  if Telemetry.Trace.on t.trace then
+    Telemetry.Trace.instant t.trace ~cat:"cm" "cm.suspect"
+      [
+        ("flow", Telemetry.Trace.Int fl.fid);
+        ("reason", Telemetry.Trace.Str reason);
+        ("score", Telemetry.Trace.Int fl.suspicion);
+      ];
+  if (not fl.quarantined) && fl.suspicion >= a.quarantine_threshold then quarantine t a fl
+
+and quarantine t a fl =
+  (* Split the offender into its own macroflow with a conservative,
+     tightly-capped controller: it can no longer consume the honest
+     macroflow's window, and its unresolved charge leaves with it. *)
+  fl.quarantined <- true;
+  t.c_quarantines <- t.c_quarantines + 1;
+  if Telemetry.Trace.on t.trace then
+    Telemetry.Trace.instant t.trace ~cat:"cm" "cm.quarantine"
+      [
+        ("flow", Telemetry.Trace.Int fl.fid);
+        ("score", Telemetry.Trace.Int fl.suspicion);
+        ("from_mf", Telemetry.Trace.Int (Macroflow.id fl.mf));
+      ];
+  let policed = new_macroflow ~controller:a.policed_controller t in
+  move_flow t fl policed
+
+(* per-flow staleness audit, run from each macroflow's maintenance tick:
+   a flow holding unresolved window charge that has not sent feedback for
+   [silent_after] is suspect even when honest peers keep the macroflow's
+   own feedback clock fresh *)
+and audit_tick t a mf =
+  let now = Engine.now t.engine in
+  let mfid = Macroflow.id mf in
+  Hashtbl.iter
+    (fun _ fl ->
+      if fl.open_ && (not fl.quarantined) && Macroflow.id fl.mf = mfid then begin
+        if
+          unresolved fl > 2 * t.mtu
+          && Time.diff now fl.last_update > a.silent_after
+        then begin
+          (* one strike per silent_after: the timestamp doubles as the
+             rate limiter *)
+          fl.last_update <- now;
+          suspect t a fl "silent"
+        end;
+        (* charge inflation: a flow can keep its feedback fresh while its
+           charged-but-never-resolved bytes grow without bound (e.g. a
+           double-notifier, whose phantom charges no feedback will ever
+           explain).  Honest unresolved charge is bounded by the pipe:
+           inflight plus lost-but-not-yet-declared bytes (each at most a
+           window) plus a feedback delay's worth of throughput (about
+           another window) — three windows plus a fixed slack.  The bound
+           must track cwnd: phantom charge blocks the window, collapsing
+           cwnd, and a fixed-only bound would let the attack deadlock the
+           macroflow while sitting just under the threshold. *)
+        if
+          unresolved fl > (3 * Macroflow.cwnd fl.mf) + (a.inflation_slack_pkts * t.mtu)
+          && Time.diff now fl.last_inflation > a.silent_after
+        then begin
+          fl.last_inflation <- now;
+          suspect t a fl "charge_inflation"
+        end
+      end)
+    t.flows_by_id
+
+let mf_key_of t (key : Addr.flow) : mf_key =
+  ( key.Addr.dst.Addr.host,
+    match t.aggregation with By_destination -> 0 | By_destination_and_dscp -> key.Addr.dscp )
+
+let macroflow_for_key t k =
+  match Hashtbl.find_opt t.default_mf k with
+  | Some mf -> mf
+  | None ->
+      let mf = new_macroflow t in
+      Hashtbl.replace t.default_mf k mf;
+      mf
 
 (* ---- public API -------------------------------------------------------- *)
 
@@ -241,6 +409,14 @@ let open_flow t key =
       last_reported_rate = 0.;
       update_pending = false;
       open_ = true;
+      a_granted = 0;
+      a_notified = 0;
+      a_charged = 0;
+      a_nsent = 0;
+      last_update = Engine.now t.engine;
+      last_inflation = Engine.now t.engine;
+      suspicion = 0;
+      quarantined = false;
     }
   in
   Hashtbl.replace t.flows_by_id fid fl;
@@ -255,17 +431,37 @@ let open_flow t key =
       ];
   fid
 
+(* shared teardown for close (voluntary) and reap (crash): give the
+   flow's unconsumed grants back to the window immediately — not via the
+   500 ms reclaim timer — and discharge its unresolved bytes, whose fate
+   no feedback can ever resolve once the flow is gone *)
+let remove_flow t fl ~event =
+  fl.open_ <- false;
+  let released = Macroflow.release_flow_grants fl.mf fl.fid in
+  t.c_released_grant_bytes <- t.c_released_grant_bytes + released;
+  Macroflow.discharge fl.mf (unresolved fl);
+  Macroflow.detach_flow fl.mf fl.fid;
+  Addr.Flow_table.remove t.flows_by_key fl.key;
+  Hashtbl.remove t.flows_by_id fl.fid;
+  if Telemetry.Trace.on t.trace then
+    Telemetry.Trace.instant t.trace ~cat:"cm" event
+      [ ("flow", Telemetry.Trace.Int fl.fid); ("mf", Telemetry.Trace.Int (Macroflow.id fl.mf)) ];
+  drop_membership t fl.mf
+
 let close_flow t fid =
   let fl = get_flow t fid in
-  fl.open_ <- false;
-  Macroflow.detach_flow fl.mf fid;
-  Addr.Flow_table.remove t.flows_by_key fl.key;
-  Hashtbl.remove t.flows_by_id fid;
   t.c_closes <- t.c_closes + 1;
-  if Telemetry.Trace.on t.trace then
-    Telemetry.Trace.instant t.trace ~cat:"cm" "cm.close"
-      [ ("flow", Telemetry.Trace.Int fid); ("mf", Telemetry.Trace.Int (Macroflow.id fl.mf)) ];
-  drop_membership t fl.mf
+  remove_flow t fl ~event:"cm.close"
+
+let reap t fid =
+  (* crash-tolerant close: never raises, reports whether anything was
+     reaped.  Libcm.destroy calls this for every flow of a dead process. *)
+  match Hashtbl.find_opt t.flows_by_id fid with
+  | Some fl when fl.open_ ->
+      t.c_reaps <- t.c_reaps + 1;
+      remove_flow t fl ~event:"cm.reap";
+      true
+  | _ -> false
 
 let mtu t fid =
   let _fl = get_flow t fid in
@@ -294,13 +490,63 @@ let request t fid =
 let update t fid ~nsent ~nrecd ~loss ?rtt () =
   let fl = get_flow t fid in
   t.c_updates <- t.c_updates + 1;
-  Macroflow.update fl.mf ~nsent ~nrecd ~loss ~rtt;
-  check_rate_callbacks t (Macroflow.id fl.mf)
+  let accept =
+    match t.auditor with
+    | None -> true
+    | Some a ->
+        (* kernel-facing path: inconsistent feedback is rejected and
+           counted, never raised.  A client cannot resolve more bytes
+           than it was ever charged for sending — claiming otherwise is
+           how a liar inflates the shared window. *)
+        if nsent < 0 || nrecd < 0 || nrecd > nsent then begin
+          t.c_rejected_updates <- t.c_rejected_updates + 1;
+          suspect t a fl "malformed_update";
+          false
+        end
+        else if fl.a_nsent + nsent > fl.a_charged + (a.overclaim_slack_pkts * t.mtu) then begin
+          t.c_rejected_updates <- t.c_rejected_updates + 1;
+          suspect t a fl "overclaim";
+          false
+        end
+        else true
+  in
+  if accept then begin
+    fl.a_nsent <- fl.a_nsent + nsent;
+    fl.last_update <- Engine.now t.engine;
+    Macroflow.update fl.mf ~nsent ~nrecd ~loss ~rtt;
+    if loss = Cm_types.Persistent then
+      (* a persistent-congestion report presumes everything this flow had
+         in flight was lost; square its own ledger with that.  Only the
+         reporting flow is absolved — blanket absolution would launder
+         another flow's phantom charges (e.g. a double-notifier's). *)
+      fl.a_nsent <- Stdlib.max fl.a_nsent fl.a_charged;
+    check_rate_callbacks t (Macroflow.id fl.mf)
+  end
 
 let notify t fid ~nbytes =
   let fl = get_flow t fid in
   t.c_notifies <- t.c_notifies + 1;
-  Macroflow.notify fl.mf ~nbytes
+  if nbytes = 0 then t.c_declined <- t.c_declined + 1;
+  fl.a_notified <- fl.a_notified + nbytes;
+  let charge =
+    match t.auditor with
+    | Some a when nbytes > 0 ->
+        (* a client may transmit somewhat ahead of its grants (buffered
+           sends), but sustained ungranted transmission is window theft:
+           cap the charge at the granted allowance so the audited
+           conservation invariant survives a blasting client, and score
+           the excess instead of charging it *)
+        let allowance = fl.a_granted + (a.grant_slack_pkts * t.mtu) in
+        if fl.a_notified > allowance then begin
+          t.c_rejected_notifies <- t.c_rejected_notifies + 1;
+          suspect t a fl "ungranted_tx";
+          Stdlib.max 0 (nbytes - (fl.a_notified - allowance))
+        end
+        else nbytes
+    | _ -> nbytes
+  in
+  fl.a_charged <- fl.a_charged + charge;
+  Macroflow.notify fl.mf ~fid ~nbytes:charge ()
 
 let query t fid =
   let fl = get_flow t fid in
@@ -313,20 +559,6 @@ let bulk_update t entries =
     entries
 
 let macroflow_id t fid = Macroflow.id (get_flow t fid).mf
-
-let move_flow t fl target_mf =
-  let old_mf = fl.mf in
-  if Macroflow.id old_mf <> Macroflow.id target_mf then begin
-    (* carry this flow's pending requests over to the new macroflow *)
-    let requests_to_move = Macroflow.pending_for_flow old_mf fl.fid in
-    Macroflow.detach_flow old_mf fl.fid;
-    fl.mf <- target_mf;
-    Macroflow.add_member target_mf;
-    for _ = 1 to requests_to_move do
-      Macroflow.request target_mf fl.fid
-    done;
-    drop_membership t old_mf
-  end
 
 let split t fid =
   let fl = get_flow t fid in
@@ -344,6 +576,8 @@ let set_weight t fid w =
 
 let lookup t key = Addr.Flow_table.find_opt t.flows_by_key key
 let flow_key t fid = (get_flow t fid).key
+let suspicion t fid = (get_flow t fid).suspicion
+let is_quarantined t fid = (get_flow t fid).quarantined
 
 let flows t =
   Hashtbl.fold (fun fid _ acc -> fid :: acc) t.flows_by_id [] |> List.sort Stdlib.compare
@@ -372,8 +606,17 @@ let attach_telemetry t tel =
   Telemetry.gauge tel "cm.grants" (fun () -> float_of_int t.c_grants);
   Telemetry.gauge tel "cm.updates" (fun () -> float_of_int t.c_updates);
   Telemetry.gauge tel "cm.notifies" (fun () -> float_of_int t.c_notifies);
+  Telemetry.gauge tel "cm.rejected_updates" (fun () -> float_of_int t.c_rejected_updates);
+  Telemetry.gauge tel "cm.rejected_notifies" (fun () -> float_of_int t.c_rejected_notifies);
+  Telemetry.gauge tel "cm.quarantines" (fun () -> float_of_int t.c_quarantines);
+  Telemetry.gauge tel "cm.reaps" (fun () -> float_of_int t.c_reaps);
+  Telemetry.gauge tel "cm.released_grant_bytes" (fun () ->
+      float_of_int t.c_released_grant_bytes);
+  Telemetry.gauge tel "cm.watchdog_fires" (fun () ->
+      float_of_int
+        (Hashtbl.fold (fun _ mf acc -> acc + Macroflow.watchdog_fires mf) t.all_mf 0));
   (* macroflows that already exist (e.g. the CM was attached mid-run) *)
-  Hashtbl.iter (fun _ mf -> wire_macroflow_telemetry t mf) t.default_mf
+  Hashtbl.iter (fun _ mf -> wire_macroflow_telemetry t mf) t.all_mf
 
 let trace t = t.trace
 
@@ -386,7 +629,145 @@ let counters t =
     updates = t.c_updates;
     notifies = t.c_notifies;
     declined_grants = t.c_declined;
+    rejected_updates = t.c_rejected_updates;
+    rejected_notifies = t.c_rejected_notifies;
+    quarantines = t.c_quarantines;
+    reaps = t.c_reaps;
   }
+
+let released_grant_bytes t = t.c_released_grant_bytes
+
+let watchdog_fires t =
+  Hashtbl.fold (fun _ mf acc -> acc + Macroflow.watchdog_fires mf) t.all_mf 0
+
+(* ---- audit view -------------------------------------------------------- *)
+
+type audit_view = {
+  av_mtu : int;
+  av_flows : (Cm_types.flow_id * Addr.flow * Macroflow.t) list;
+  av_key_entries : int;
+  av_macroflows : Macroflow.t list; (* every macroflow ever created *)
+  av_default_macroflows : Macroflow.t list;
+  av_counters : counters;
+}
+
+let audit_view t =
+  let by_fid (a, _, _) (b, _, _) = Stdlib.compare a b in
+  let by_id a b = Stdlib.compare (Macroflow.id a) (Macroflow.id b) in
+  {
+    av_mtu = t.mtu;
+    av_flows =
+      Hashtbl.fold (fun fid fl acc -> (fid, fl.key, fl.mf) :: acc) t.flows_by_id []
+      |> List.sort by_fid;
+    av_key_entries = Addr.Flow_table.length t.flows_by_key;
+    av_macroflows = Hashtbl.fold (fun _ mf acc -> mf :: acc) t.all_mf [] |> List.sort by_id;
+    av_default_macroflows =
+      Hashtbl.fold (fun _ mf acc -> mf :: acc) t.default_mf [] |> List.sort by_id;
+    av_counters = counters t;
+  }
+
+(* ---- invariant auditor -------------------------------------------------- *)
+
+(* Structural checks over a live CM, cheap enough to run periodically
+   under fault storms.  Everything reads snapshots only, so a clean audit
+   never perturbs the run. *)
+module Audit = struct
+  type report = {
+    checked_flows : int;
+    checked_macroflows : int;
+    violations : string list;
+  }
+
+  let ok r = r.violations = []
+
+  let run cm =
+    let v = audit_view cm in
+    let violations = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+    let default_ids = List.map Macroflow.id v.av_default_macroflows in
+    let members_of mfid =
+      List.length (List.filter (fun (_, _, mf) -> Macroflow.id mf = mfid) v.av_flows)
+    in
+    (* macroflow accounting *)
+    List.iter
+      (fun mf ->
+        let open Macroflow in
+        let mfid = id mf in
+        if outstanding mf < 0 then fail "mf%d: negative outstanding (%d)" mfid (outstanding mf);
+        if granted mf < 0 then fail "mf%d: negative granted (%d)" mfid (granted mf);
+        if members mf < 0 then fail "mf%d: negative member count (%d)" mfid (members mf);
+        if pending_requests mf < 0 then
+          fail "mf%d: negative pending requests (%d)" mfid (pending_requests mf);
+        if grants_issued mf < grants_reclaimed mf + grants_released mf then
+          fail "mf%d: more grants reclaimed+released (%d+%d) than ever issued (%d)" mfid
+            (grants_reclaimed mf) (grants_released mf) (grants_issued mf);
+        let attached = members_of mfid in
+        if members mf <> attached then
+          fail "mf%d: member count %d but %d open flows attached" mfid (members mf) attached;
+        (* window conservation, recorded at grant-issue time (a snapshot
+           check would false-positive whenever a loss halves cwnd while
+           the pipe drains) *)
+        if conservation_breaches mf > 0 then
+          fail "mf%d: window conservation breached %d times at grant issue" mfid
+            (conservation_breaches mf);
+        if alive mf then begin
+          (* a live empty non-default macroflow's timer would tick forever *)
+          if attached = 0 && not (List.mem mfid default_ids) then
+            fail "mf%d: leaked (alive, empty, not a per-destination macroflow)" mfid
+        end
+        else begin
+          if attached > 0 then fail "mf%d: dead but %d open flows still attached" mfid attached;
+          if granted mf > 0 then fail "mf%d: dead with %d granted bytes" mfid (granted mf)
+        end)
+      v.av_macroflows;
+    (* flow-table bijection *)
+    List.iter
+      (fun (fid, key, mf) ->
+        (match lookup cm key with
+        | Some fid' when fid' = fid -> ()
+        | Some fid' -> fail "flow %d: key table resolves its 5-tuple to flow %d" fid fid'
+        | None -> fail "flow %d: missing from the key table" fid);
+        if not (Macroflow.alive mf) then
+          fail "flow %d: attached to dead macroflow %d" fid (Macroflow.id mf))
+      v.av_flows;
+    if v.av_key_entries <> List.length v.av_flows then
+      fail "flow tables disagree: %d key entries, %d open flows" v.av_key_entries
+        (List.length v.av_flows);
+    (* counter sanity *)
+    let c = v.av_counters in
+    if c.closes + c.reaps > c.opens then
+      fail "counters: %d closes + %d reaps exceed %d opens" c.closes c.reaps c.opens;
+    List.iter
+      (fun (name, n) -> if n < 0 then fail "counters: %s negative (%d)" name n)
+      [
+        ("opens", c.opens);
+        ("closes", c.closes);
+        ("requests", c.requests);
+        ("grants", c.grants);
+        ("updates", c.updates);
+        ("notifies", c.notifies);
+        ("declined_grants", c.declined_grants);
+        ("rejected_updates", c.rejected_updates);
+        ("rejected_notifies", c.rejected_notifies);
+        ("quarantines", c.quarantines);
+        ("reaps", c.reaps);
+      ];
+    {
+      checked_flows = List.length v.av_flows;
+      checked_macroflows = List.length v.av_macroflows;
+      violations = List.rev !violations;
+    }
+
+  let pp fmt r =
+    if ok r then
+      Format.fprintf fmt "audit ok (%d flows, %d macroflows)" r.checked_flows
+        r.checked_macroflows
+    else begin
+      Format.fprintf fmt "audit FAILED (%d flows, %d macroflows):" r.checked_flows
+        r.checked_macroflows;
+      List.iter (fun v -> Format.fprintf fmt "@.  - %s" v) r.violations
+    end
+end
 
 let pp_summary fmt t =
   let c = counters t in
@@ -394,6 +775,9 @@ let pp_summary fmt t =
     (Hashtbl.length t.default_mf);
   Format.fprintf fmt "  api: %d opens, %d requests, %d grants (%d declined), %d updates, %d notifies@."
     c.opens c.requests c.grants c.declined_grants c.updates c.notifies;
+  if c.rejected_updates + c.rejected_notifies + c.quarantines + c.reaps > 0 then
+    Format.fprintf fmt "  defense: %d rejected updates, %d rejected notifies, %d quarantines, %d reaps@."
+      c.rejected_updates c.rejected_notifies c.quarantines c.reaps;
   Hashtbl.iter
     (fun _ fl ->
       let mf = fl.mf in

@@ -48,6 +48,38 @@ type aggregation =
           different DSCPs receive different network service, so they get
           separate macroflows. *)
 
+type auditor = {
+  grant_slack_pkts : int;
+      (** Tolerated excess of notified over granted bytes, in MTUs
+          (buffered senders legitimately run ahead of their grants). *)
+  overclaim_slack_pkts : int;
+      (** Tolerated excess of cumulative [nsent] over charged bytes, in
+          MTUs. *)
+  inflation_slack_pkts : int;
+      (** Fixed part (in MTUs) of the charge-inflation bound: a flow
+          earns a strike when its unresolved charge exceeds three
+          macroflow windows plus this slack — honest unresolved charge is
+          bounded by the pipe, phantom charge is not. *)
+  silent_after : Time.span;
+      (** A flow holding unresolved window charge earns a strike each
+          time it sends no feedback for this long. *)
+  quarantine_threshold : int;
+      (** Suspicion score at which the flow is quarantined. *)
+  policed_controller : Controller.factory;
+      (** Controller for quarantine macroflows (conservative, capped). *)
+}
+(** Misbehaviour-auditor parameters.  The auditor cross-checks each
+    flow's [notify]-charged bytes against its grants and its cumulative
+    [nsent] against its charged bytes; inconsistent feedback is rejected
+    — counted, never raised, on this kernel-facing path — and repeat
+    offenders are quarantined by {!split}ting them into a policed
+    macroflow, restoring the honest members' shared window. *)
+
+val default_auditor : auditor
+(** 64-MTU grant slack, 2-MTU overclaim slack, 16-MTU inflation slack,
+    1 s silence strikes, quarantine at 3 strikes, and an AIMD policed
+    controller capped at four packets. *)
+
 val create :
   Engine.t ->
   ?mtu:int ->
@@ -56,6 +88,8 @@ val create :
   ?scheduler:Scheduler.factory ->
   ?grant_reclaim_after:Time.span ->
   ?idle_restart:Time.span ->
+  ?feedback_watchdog:Macroflow.watchdog ->
+  ?auditor:auditor ->
   unit ->
   t
 (** [create eng ()] builds a CM.  [mtu] is the usable payload per packet
@@ -64,7 +98,11 @@ val create :
     {!Controller.aimd} with an initial window of one MTU; [scheduler]
     defaults to {!Scheduler.round_robin}.  [idle_restart] enables
     slow-start restart after that much idle time (off by default: the
-    persistence is what Fig. 7 exploits). *)
+    persistence is what Fig. 7 exploits).  [feedback_watchdog] ages
+    macroflow windows whose feedback has gone stale
+    ({!Macroflow.default_watchdog} is a reasonable choice) and [auditor]
+    enables the misbehaving-application defenses; both default to off,
+    which preserves the trusting pre-defense behaviour exactly. *)
 
 val attach : t -> Host.t -> unit
 (** Install the CM's transmit hook on the host's IP output path, so every
@@ -82,7 +120,16 @@ val open_flow : t -> Addr.flow -> Cm_types.flow_id
 
 val close_flow : t -> Cm_types.flow_id -> unit
 (** [cm_close]: release the flow; its macroflow is destroyed when the last
-    member closes.  Closing an unknown flow raises [Invalid_argument]. *)
+    member closes.  The flow's unconsumed grants are returned to the
+    macroflow window immediately (not via the 500 ms reclaim timer) and
+    its unresolved outstanding charge is discharged — no feedback can
+    resolve it once the flow is gone.  Closing an unknown flow raises
+    [Invalid_argument]. *)
+
+val reap : t -> Cm_types.flow_id -> bool
+(** Crash-tolerant close, used when a client process dies rather than
+    closes ({!Libcm.destroy}): same reclamation as {!close_flow} but
+    never raises.  Returns whether an open flow was actually reaped. *)
 
 val mtu : t -> Cm_types.flow_id -> int
 (** [cm_mtu]: usable payload bytes per transmission for this flow. *)
@@ -114,7 +161,10 @@ val update :
   unit
 (** [cm_update]: feedback from the flow's receiver — [nsent] payload bytes
     resolved, of which [nrecd] arrived; [loss] classifies congestion;
-    [rtt] is a fresh RTT sample if available. *)
+    [rtt] is a fresh RTT sample if available.  With an {!auditor},
+    malformed or overclaiming feedback is rejected and counted instead of
+    applied (and, without one, malformed feedback raises
+    [Invalid_argument] as before). *)
 
 val notify : t -> Cm_types.flow_id -> nbytes:int -> unit
 (** [cm_notify]: [nbytes] payload bytes of this flow were handed to the
@@ -158,6 +208,13 @@ val lookup : t -> Addr.flow -> Cm_types.flow_id option
 val flow_key : t -> Cm_types.flow_id -> Addr.flow
 (** The 5-tuple of an open flow. *)
 
+val suspicion : t -> Cm_types.flow_id -> int
+(** The flow's misbehaviour score (0 without an auditor). *)
+
+val is_quarantined : t -> Cm_types.flow_id -> bool
+(** Whether the auditor has quarantined the flow into a policed
+    macroflow. *)
+
 val flows : t -> Cm_types.flow_id list
 (** All open flows (ascending id). *)
 
@@ -189,12 +246,75 @@ type counters = {
   grants : int;
   updates : int;
   notifies : int;
-  declined_grants : int;  (** Grants whose flow had vanished or had no callback. *)
+  declined_grants : int;
+      (** Grants relinquished with [notify ~nbytes:0], plus grants whose
+          flow had vanished or had no callback. *)
+  rejected_updates : int;  (** Feedback the auditor refused to apply. *)
+  rejected_notifies : int;  (** Notifies charged only up to the granted allowance. *)
+  quarantines : int;  (** Flows split into policed macroflows. *)
+  reaps : int;  (** Flows reclaimed from crashed processes. *)
 }
 (** Cumulative API-usage counters. *)
 
 val counters : t -> counters
 (** Snapshot of the counters. *)
+
+val released_grant_bytes : t -> int
+(** Cumulative grant bytes returned to windows by close / reap /
+    quarantine (the immediate path, not the reclaim timer). *)
+
+val watchdog_fires : t -> int
+(** Cumulative feedback-watchdog aging steps across all macroflows. *)
+
+type audit_view = {
+  av_mtu : int;
+  av_flows : (Cm_types.flow_id * Addr.flow * Macroflow.t) list;
+      (** Every open flow, ascending id, with its key and macroflow. *)
+  av_key_entries : int;  (** Size of the key → id table. *)
+  av_macroflows : Macroflow.t list;  (** Every macroflow ever created. *)
+  av_default_macroflows : Macroflow.t list;
+      (** The per-destination macroflows (these may persist empty). *)
+  av_counters : counters;
+}
+(** Read-only snapshot of the CM's internal structure for {!Audit}. *)
+
+val audit_view : t -> audit_view
+(** Snapshot the structure the invariant auditor checks. *)
+
+(** CM invariant auditor.
+
+    Structural checks over a live {!t}, cheap enough to run periodically
+    under fault storms:
+
+    - window conservation: [outstanding + granted ≤ cwnd + one MTU] of
+      slack, recorded at grant-issue time — the only moment it is
+      meaningful, since after a loss halves cwnd the outstanding charge
+      legitimately exceeds it while the pipe drains;
+    - non-negative accounting (outstanding, granted, members, pending
+      requests, every counter);
+    - grant ledger sanity (never more reclaimed + released than issued);
+    - flow-table bijection (each open flow's 5-tuple resolves back to it;
+      both tables agree on size);
+    - no leaks after close / crash: member counts match attached flows,
+      no flow references a dead macroflow, dead macroflows hold no
+      grants, and no non-default macroflow stays alive empty (its
+      maintenance timer would tick forever). *)
+module Audit : sig
+  type report = {
+    checked_flows : int;
+    checked_macroflows : int;
+    violations : string list;  (** Human-readable, in discovery order. *)
+  }
+
+  val run : t -> report
+  (** Check every invariant; never raises. *)
+
+  val ok : report -> bool
+  (** [violations = []]. *)
+
+  val pp : Format.formatter -> report -> unit
+  (** One line when clean; the violation list otherwise. *)
+end
 
 val pp_summary : Format.formatter -> t -> unit
 (** Render a diagnostic snapshot: open flows, macroflows, window state and

@@ -5,6 +5,7 @@ type t = {
   in_slow_start : unit -> bool;
   on_ack : nbytes:int -> unit;
   on_loss : Cm_types.loss_mode -> unit;
+  age : unit -> unit;
   reset : unit -> unit;
 }
 
@@ -48,6 +49,12 @@ let aimd ?(initial_window_pkts = 1) ?(max_window = 4 * 1024 * 1024) ?initial_sst
     acked_accum := 0;
     clamp ()
   in
+  let age () =
+    (* stale feedback: decay toward the initial window without touching
+       ssthresh, so slow start reopens the window once feedback resumes *)
+    cwnd := Stdlib.max iw (!cwnd / 2);
+    acked_accum := 0
+  in
   let reset () =
     cwnd := iw;
     ssthresh := init_ssthresh;
@@ -60,6 +67,7 @@ let aimd ?(initial_window_pkts = 1) ?(max_window = 4 * 1024 * 1024) ?initial_sst
     in_slow_start = (fun () -> !cwnd < !ssthresh);
     on_ack;
     on_loss;
+    age;
     reset;
   }
 
@@ -97,6 +105,7 @@ let binomial ~k ~l ?(alpha = 1.0) ?(beta = 0.5) ?(initial_window_pkts = 1)
         cwnd := fmtu);
     clamp ()
   in
+  let age () = cwnd := Float.max iw (!cwnd /. 2.) in
   let reset () =
     cwnd := iw;
     ssthresh := ssthresh_init
@@ -108,6 +117,7 @@ let binomial ~k ~l ?(alpha = 1.0) ?(beta = 0.5) ?(initial_window_pkts = 1)
     in_slow_start = (fun () -> !cwnd < !ssthresh);
     on_ack;
     on_loss;
+    age;
     reset;
   }
 
@@ -161,6 +171,10 @@ let equation ?(initial_window_pkts = 1) ?(max_window = 4 * 1024 * 1024) () ~mtu 
         cwnd := clamp (int_of_float (equation_window () /. 2.)));
     ()
   in
+  let age () =
+    cwnd := clamp (Stdlib.max iw (!cwnd / 2));
+    bytes_since_loss := 0
+  in
   let reset () =
     cwnd := iw;
     bytes_since_loss := 0;
@@ -173,5 +187,6 @@ let equation ?(initial_window_pkts = 1) ?(max_window = 4 * 1024 * 1024) () ~mtu 
     in_slow_start = (fun () -> not (Cm_util.Ewma.initialized interval));
     on_ack;
     on_loss;
+    age;
     reset;
   }

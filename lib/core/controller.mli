@@ -17,6 +17,12 @@ type t = {
       (** A congestion event of the given severity occurred.  Callers
           gate reporting to at most one event per window/RTT, as TCP
           does. *)
+  age : unit -> unit;
+      (** Feedback has gone stale while data was outstanding (RFC 2861 in
+          spirit): decay the window one step toward the initial window
+          without treating it as a congestion event.  Called by the
+          macroflow feedback watchdog; repeated calls converge
+          exponentially on the initial window. *)
   reset : unit -> unit;  (** Return to the initial (post-open) state. *)
 }
 (** A controller instance, private to one macroflow. *)

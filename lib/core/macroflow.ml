@@ -3,7 +3,11 @@ open Eventsim
 
 let log = Sim_log.src "cm"
 
-type grant_record = { at : Time.t; reserved : int }
+type grant_record = { at : Time.t; reserved : int; g_fid : Cm_types.flow_id }
+
+type watchdog = { wd_rtts : float; wd_floor : Time.span }
+
+let default_watchdog = { wd_rtts = 3.; wd_floor = Time.ms 300 }
 
 type t = {
   engine : Engine.t;
@@ -11,8 +15,11 @@ type t = {
   mtu : int;
   ctrl : Controller.t;
   sched : Scheduler.t;
-  deliver_grant : Cm_types.flow_id -> unit;
+  deliver_grant : Cm_types.flow_id -> reserved:int -> unit;
   on_state_change : unit -> unit;
+  on_reclaim : (Cm_types.flow_id -> int -> unit) option;
+  on_tick : (t -> unit) option;
+  watchdog : watchdog option;
   grant_reclaim_after : Time.span;
   idle_restart : Time.span option;
   mutable last_tx : Time.t;
@@ -34,8 +41,12 @@ type t = {
   mutable grant_event_pending : bool;
   maintenance : Timer.t option ref;
   mutable last_feedback : Time.t;
+  mutable last_watchdog : Time.t;
   mutable grants_issued : int;
   mutable grants_reclaimed : int;
+  mutable grants_released : int;
+  mutable conservation_breaches : int;
+  mutable watchdog_fires : int;
   (* telemetry: Trace.nil unless Cm.attach_telemetry wired a live sink *)
   mutable trace : Telemetry.Trace.t;
 }
@@ -57,10 +68,17 @@ let rec run_grants t =
       | None -> ()
       | Some fid ->
           let reserved = reservation t in
-          Queue.push { at = Engine.now t.engine; reserved } t.grants;
+          Queue.push { at = Engine.now t.engine; reserved; g_fid = fid } t.grants;
           t.granted_bytes <- t.granted_bytes + reserved;
           t.grants_issued <- t.grants_issued + 1;
-          t.deliver_grant fid;
+          (* window conservation is only meaningful at the moment credit
+             is extended: after a loss halves cwnd, outstanding may
+             legitimately exceed it while the pipe drains.  The guard
+             above makes this unreachable; the counter is what the
+             invariant auditor checks. *)
+          if t.outstanding + t.granted_bytes > t.ctrl.Controller.cwnd () + t.mtu then
+            t.conservation_breaches <- t.conservation_breaches + 1;
+          t.deliver_grant fid ~reserved;
           loop ()
     end
   in
@@ -86,6 +104,7 @@ let maintenance_tick t =
     let g = Queue.pop t.grants in
     t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - g.reserved);
     t.grants_reclaimed <- t.grants_reclaimed + 1;
+    (match t.on_reclaim with Some f -> f g.g_fid g.reserved | None -> ());
     reclaimed := true
   done;
   (* Error handling: if feedback has stopped arriving while bytes remain
@@ -95,10 +114,39 @@ let maintenance_tick t =
     t.outstanding <- t.outstanding / 2;
     reclaimed := true
   end;
+  (* Feedback watchdog: outstanding bytes with no cm_update for k·srtt
+     means the window was computed from information the path has outgrown.
+     Age cwnd one halving toward the initial window per elapsed threshold;
+     repeated silence converges exponentially on the initial window. *)
+  (match t.watchdog with
+  | Some wd when t.outstanding > 0 ->
+      let threshold =
+        if t.rtt_valid then Stdlib.max wd.wd_floor (int_of_float (wd.wd_rtts *. t.srtt))
+        else wd.wd_floor
+      in
+      if
+        Time.diff now t.last_feedback > threshold
+        && Time.diff now t.last_watchdog > threshold
+      then begin
+        let cwnd_before = t.ctrl.Controller.cwnd () in
+        t.ctrl.Controller.age ();
+        t.last_watchdog <- now;
+        t.watchdog_fires <- t.watchdog_fires + 1;
+        if Telemetry.Trace.on t.trace then
+          Telemetry.Trace.instant t.trace ~cat:"cm" "cm.watchdog"
+            [
+              ("mf", Telemetry.Trace.Int t.id);
+              ("cwnd_before", Telemetry.Trace.Int cwnd_before);
+              ("cwnd_after", Telemetry.Trace.Int (t.ctrl.Controller.cwnd ()));
+              ("silence_ns", Telemetry.Trace.Int (Time.diff now t.last_feedback));
+            ]
+      end
+  | _ -> ());
+  (match t.on_tick with Some f -> f t | None -> ());
   if !reclaimed then maybe_grant t
 
-let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_change
-    ?(grant_reclaim_after = Time.ms 500) ?idle_restart () =
+let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_change ?on_reclaim
+    ?on_tick ?watchdog ?(grant_reclaim_after = Time.ms 500) ?idle_restart () =
   if mtu <= 0 then invalid_arg "Macroflow.create: mtu must be positive";
   let t =
     {
@@ -109,6 +157,9 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
       sched = scheduler ();
       deliver_grant;
       on_state_change;
+      on_reclaim;
+      on_tick;
+      watchdog;
       grant_reclaim_after;
       idle_restart;
       last_tx = Engine.now engine;
@@ -124,8 +175,12 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
       grant_event_pending = false;
       maintenance = ref None;
       last_feedback = Engine.now engine;
+      last_watchdog = Engine.now engine;
       grants_issued = 0;
       grants_reclaimed = 0;
+      grants_released = 0;
+      conservation_breaches = 0;
+      watchdog_fires = 0;
       trace = Telemetry.Trace.nil;
     }
   in
@@ -163,14 +218,40 @@ let request t fid =
   t.sched.Scheduler.enqueue fid;
   maybe_grant t
 
-let notify t ~nbytes =
+(* Consume the flow's oldest grant.  The common case — flows transmit in
+   the order they were granted — is an O(1) front pop; out-of-order
+   consumption falls back to an order-preserving rebuild.  A flow with no
+   grant outstanding consumes nothing (the transmission is charged
+   directly), so one flow can no longer burn another's grant. *)
+let take_grant t fid =
+  if Queue.is_empty t.grants then None
+  else
+    match fid with
+    | None -> Some (Queue.pop t.grants)
+    | Some f ->
+        if (Queue.peek t.grants).g_fid = f then Some (Queue.pop t.grants)
+        else begin
+          let keep = Queue.create () in
+          let found = ref None in
+          Queue.iter
+            (fun g -> if !found = None && g.g_fid = f then found := Some g else Queue.push g keep)
+            t.grants;
+          match !found with
+          | None -> None
+          | Some _ ->
+              Queue.clear t.grants;
+              Queue.transfer keep t.grants;
+              !found
+        end
+
+let notify t ?fid ~nbytes () =
   if nbytes < 0 then invalid_arg "Macroflow.notify: negative byte count";
-  (* Consume the oldest grant; transmissions that arrive without a grant
-     (e.g. buffered sends charged by the IP hook) are charged directly. *)
-  if not (Queue.is_empty t.grants) then begin
-    let g = Queue.pop t.grants in
-    t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - g.reserved)
-  end;
+  (* Consume the flow's oldest grant; transmissions that arrive without a
+     grant (e.g. buffered sends charged by the IP hook) are charged
+     directly. *)
+  (match take_grant t fid with
+  | Some g -> t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - g.reserved)
+  | None -> ());
   t.outstanding <- t.outstanding + nbytes;
   if nbytes > 0 then begin
     t.last_tx <- Engine.now t.engine;
@@ -182,6 +263,43 @@ let notify t ~nbytes =
   else if window_avail t >= reservation t then
     (* a small transmission may have freed most of its reservation *)
     maybe_grant t
+
+let release_flow_grants t fid =
+  (* Return a closing/crashed flow's unconsumed grants to the window
+     immediately rather than waiting out the reclaim timer. *)
+  let released = ref 0 in
+  if not (Queue.is_empty t.grants) then begin
+    let keep = Queue.create () in
+    Queue.iter
+      (fun g ->
+        if g.g_fid = fid then begin
+          released := !released + g.reserved;
+          t.grants_released <- t.grants_released + 1
+        end
+        else Queue.push g keep)
+      t.grants;
+    if !released > 0 then begin
+      Queue.clear t.grants;
+      Queue.transfer keep t.grants;
+      t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - !released);
+      maybe_grant t
+    end
+  end;
+  !released
+
+let discharge t nbytes =
+  if nbytes > 0 then begin
+    t.outstanding <- Stdlib.max 0 (t.outstanding - nbytes);
+    maybe_grant t
+  end
+
+let transfer_outstanding ~src ~dst nbytes =
+  let n = Stdlib.min nbytes src.outstanding in
+  if n > 0 then begin
+    src.outstanding <- src.outstanding - n;
+    dst.outstanding <- dst.outstanding + n;
+    maybe_grant src
+  end
 
 let update_rtt t sample =
   let s = float_of_int sample in
@@ -276,6 +394,11 @@ let set_weight t fid w = t.sched.Scheduler.set_weight fid w
 let pending_requests t = t.sched.Scheduler.pending ()
 let grants_issued t = t.grants_issued
 let grants_reclaimed t = t.grants_reclaimed
+let grants_released t = t.grants_released
+let conservation_breaches t = t.conservation_breaches
+let watchdog_fires t = t.watchdog_fires
+let last_feedback t = t.last_feedback
+let alive t = Option.is_some !(t.maintenance)
 let controller_name t = t.ctrl.Controller.name
 let reset_congestion_state t = t.ctrl.Controller.reset ()
 

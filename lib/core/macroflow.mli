@@ -20,27 +20,44 @@ open Eventsim
 type t
 (** A macroflow. *)
 
+type watchdog = { wd_rtts : float; wd_floor : Time.span }
+(** Feedback-watchdog parameters: with data outstanding, cwnd is aged one
+    step (see {!Controller.t.age}) each time no [cm_update] arrives for
+    [max wd_floor (wd_rtts · srtt)].  The floor covers macroflows with no
+    RTT estimate yet. *)
+
+val default_watchdog : watchdog
+(** [{ wd_rtts = 3.0; wd_floor = 300 ms }] — about three RTTs of silence
+    per aging step. *)
+
 val create :
   Engine.t ->
   id:int ->
   mtu:int ->
   controller:Controller.factory ->
   scheduler:Scheduler.factory ->
-  deliver_grant:(Cm_types.flow_id -> unit) ->
+  deliver_grant:(Cm_types.flow_id -> reserved:int -> unit) ->
   on_state_change:(unit -> unit) ->
+  ?on_reclaim:(Cm_types.flow_id -> int -> unit) ->
+  ?on_tick:(t -> unit) ->
+  ?watchdog:watchdog ->
   ?grant_reclaim_after:Time.span ->
   ?idle_restart:Time.span ->
   unit ->
   t
 (** [create eng ~id ~mtu ~controller ~scheduler ~deliver_grant
     ~on_state_change ()] builds an idle macroflow.  [deliver_grant] is
-    invoked (from an engine event) once per grant; [on_state_change] after
-    any feedback that may alter rate estimates.  Grants unclaimed after
-    [grant_reclaim_after] (default 500 ms) are returned to the window.
-    With [idle_restart], a request arriving after that much transmission
-    silence resets the controller to its initial window (slow-start
-    restart); by default congestion state persists — that persistence is
-    the Fig. 7 benefit. *)
+    invoked (from an engine event) once per grant with the bytes reserved
+    for it; [on_state_change] after any feedback that may alter rate
+    estimates.  Grants unclaimed after [grant_reclaim_after] (default
+    500 ms) are returned to the window, reporting each to [on_reclaim]
+    with the granted flow and reserved bytes (hoard detection).
+    [on_tick] runs on every maintenance tick (the CM's per-flow staleness
+    audit).  [watchdog] enables feedback-staleness window aging; absent ⇒
+    previous behaviour.  With [idle_restart], a request arriving after
+    that much transmission silence resets the controller to its initial
+    window (slow-start restart); by default congestion state persists —
+    that persistence is the Fig. 7 benefit. *)
 
 val id : t -> int
 (** Macroflow identifier. *)
@@ -74,9 +91,28 @@ val request : t -> Cm_types.flow_id -> unit
 (** One implicit request to send up to an MTU on behalf of the flow
     ([cm_request]). *)
 
-val notify : t -> nbytes:int -> unit
+val notify : t -> ?fid:Cm_types.flow_id -> nbytes:int -> unit -> unit
 (** A packet of [nbytes] payload bytes of this macroflow was handed to the
-    network ([cm_notify]); [nbytes = 0] returns an unused grant. *)
+    network ([cm_notify]); [nbytes = 0] returns an unused grant.  With
+    [fid], the consumed grant is the flow's own oldest one (O(1) when
+    flows transmit in grant order); a flow with no outstanding grant
+    consumes nothing and is charged directly.  Without [fid] the oldest
+    grant overall is consumed (legacy behaviour). *)
+
+val release_flow_grants : t -> Cm_types.flow_id -> int
+(** Return all of the flow's unconsumed grants to the window immediately
+    (close/crash path — not waiting for the reclaim timer) and wake the
+    grant machinery.  Returns the bytes released. *)
+
+val discharge : t -> int -> unit
+(** Remove up to [nbytes] from [outstanding] without running controller
+    feedback: the bytes' fate can never be learned (their flow closed or
+    its process died). *)
+
+val transfer_outstanding : src:t -> dst:t -> int -> unit
+(** Move up to [nbytes] of outstanding charge from [src] to [dst]
+    (clamped to [src]'s outstanding).  Used when a flow with unresolved
+    bytes is moved between macroflows, e.g. on quarantine. *)
 
 val update :
   t -> nsent:int -> nrecd:int -> loss:Cm_types.loss_mode -> rtt:Time.span option -> unit
@@ -112,6 +148,26 @@ val grants_issued : t -> int
 
 val grants_reclaimed : t -> int
 (** Cumulative grants reclaimed by the maintenance timer. *)
+
+val grants_released : t -> int
+(** Cumulative grants released early by {!release_flow_grants}. *)
+
+val conservation_breaches : t -> int
+(** Times a grant was issued while [outstanding + granted] exceeded
+    [cwnd + one MTU] — checked at the moment credit is extended (the only
+    moment it is meaningful: after a loss halves cwnd, outstanding may
+    legitimately exceed it while the pipe drains).  Always 0 unless the
+    granting logic regresses; the invariant auditor checks it. *)
+
+val watchdog_fires : t -> int
+(** Cumulative feedback-watchdog aging steps. *)
+
+val last_feedback : t -> Time.t
+(** Time of the most recent [cm_update] (creation time if none yet). *)
+
+val alive : t -> bool
+(** Whether the macroflow is live (maintenance timer running); [false]
+    after {!shutdown}. *)
 
 val controller_name : t -> string
 (** Name of the active controller (diagnostics). *)

@@ -1,0 +1,130 @@
+open Cm_util
+open Eventsim
+
+(* Endpoint (application) fault injection, mirroring Scenario/Faults:
+   declarative seeded steps compiled onto the engine.  The module knows
+   nothing about the CM — targets expose mutable misbehaviour flags that
+   the application harness consults, plus a crash thunk. *)
+
+type behaviour = {
+  mutable silent : bool;
+  mutable lie_no_loss : bool;
+  mutable hoard : bool;
+  mutable double_notify : bool;
+}
+
+let behaviour () = { silent = false; lie_no_loss = false; hoard = false; double_notify = false }
+
+type target = { name : string; flags : behaviour; crash : unit -> unit }
+
+let target ~name ?(crash = fun () -> ()) flags = { name; flags; crash }
+
+type kind =
+  | Crash
+  | Go_silent of Time.span
+  | Lie_no_loss of Time.span
+  | Grant_hoard of Time.span
+  | Double_notify of Time.span
+
+type step = { at : Time.t; target : string; kind : kind }
+type t = { name : string; steps : step list }
+
+let kind_name = function
+  | Crash -> "crash"
+  | Go_silent _ -> "go_silent"
+  | Lie_no_loss _ -> "lie_no_loss"
+  | Grant_hoard _ -> "grant_hoard"
+  | Double_notify _ -> "double_notify"
+
+let validate_step i s =
+  let ctx = Printf.sprintf "App_faults %s step %d (%s)" s.target i (kind_name s.kind) in
+  if s.at < Time.zero then invalid_arg (ctx ^ ": negative start time");
+  if s.target = "" then invalid_arg (ctx ^ ": empty target name");
+  match s.kind with
+  | Crash -> ()
+  | Go_silent d | Lie_no_loss d | Grant_hoard d | Double_notify d ->
+      if d < 0 then invalid_arg (ctx ^ ": negative duration")
+
+let make ~name steps =
+  List.iteri validate_step steps;
+  { name; steps }
+
+let validate ~targets t =
+  let known = List.map (fun (tg : target) -> tg.name) targets in
+  List.iter
+    (fun s ->
+      if not (List.mem s.target known) then
+        invalid_arg
+          (Printf.sprintf "App_faults %s: unknown target %S (have: %s)" t.name s.target
+             (String.concat ", " known)))
+    t.steps
+
+(* first fault onset and last fault end (crashes never "end") *)
+let fault_window t =
+  match t.steps with
+  | [] -> None
+  | s0 :: rest ->
+      let endpoint s =
+        match s.kind with
+        | Crash -> s.at
+        | Go_silent d | Lie_no_loss d | Grant_hoard d | Double_notify d -> Time.add s.at d
+      in
+      Some
+        (List.fold_left
+           (fun (lo, hi) s -> (Stdlib.min lo s.at, Stdlib.max hi (endpoint s)))
+           (s0.at, endpoint s0) rest)
+
+let at_or_now engine at f =
+  if at <= Engine.now engine then f () else ignore (Engine.schedule_at engine at f)
+
+let compile engine ~targets t =
+  validate ~targets t;
+  let find name = List.find (fun (tg : target) -> tg.name = name) targets in
+  List.iter
+    (fun s ->
+      let tg = find s.target in
+      let windowed d set =
+        at_or_now engine s.at (fun () ->
+            set true;
+            ignore (Engine.schedule_after engine d (fun () -> set false)))
+      in
+      match s.kind with
+      | Crash -> at_or_now engine s.at tg.crash
+      | Go_silent d -> windowed d (fun v -> tg.flags.silent <- v)
+      | Lie_no_loss d -> windowed d (fun v -> tg.flags.lie_no_loss <- v)
+      | Grant_hoard d -> windowed d (fun v -> tg.flags.hoard <- v)
+      | Double_notify d -> windowed d (fun v -> tg.flags.double_notify <- v))
+    t.steps
+
+(* ---- seeded storm generators ------------------------------------------- *)
+
+let jittered ~rng ~at ~spread assignments =
+  (* one fault per target at a seed-determined onset in [at, at+spread);
+     samples are drawn in declaration order, so the schedule is a pure
+     function of the seed *)
+  if spread < 0 then invalid_arg "App_faults.jittered: negative spread";
+  let steps =
+    List.map
+      (fun (name, kind) ->
+        let jitter = if spread = 0 then 0 else Rng.uniform_span rng spread in
+        { at = Time.add at jitter; target = name; kind })
+      assignments
+  in
+  make ~name:"jittered-storm" steps
+
+let storm ~rng ~at ~spread ?(duration = Time.sec 4.) targets =
+  (* fully randomized: each target draws a fault kind and an onset *)
+  let kinds =
+    [|
+      (fun () -> Crash);
+      (fun () -> Go_silent duration);
+      (fun () -> Lie_no_loss duration);
+      (fun () -> Grant_hoard duration);
+      (fun () -> Double_notify duration);
+    |]
+  in
+  let assignments =
+    List.map (fun name -> (name, kinds.(Rng.int rng (Array.length kinds)) ())) targets
+  in
+  let t = jittered ~rng ~at ~spread assignments in
+  { t with name = "random-storm" }

@@ -1,0 +1,74 @@
+(** Endpoint (application) fault injection.
+
+    PR 2's {!Scenario} makes the {e network} hostile; this module makes
+    the {e endpoints} hostile: CM client applications that crash, go
+    silent (stop sending [cm_update] feedback), lie (fabricate no-loss
+    delivery claims), hoard grants without transmitting, or double-count
+    their notifies.
+
+    Same design as {!Scenario}: a declarative, validated step list
+    compiled onto the engine, deterministic for a fixed seed.  The module
+    knows nothing about the CM — each {!target} exposes mutable
+    misbehaviour {!behaviour} flags that the application harness consults
+    at every decision point, plus a crash thunk (typically
+    [Libcm.destroy]). *)
+
+open Cm_util
+open Eventsim
+
+type behaviour = {
+  mutable silent : bool;  (** Stop sending [cm_update] feedback. *)
+  mutable lie_no_loss : bool;  (** Fabricate inflated no-loss delivery claims. *)
+  mutable hoard : bool;  (** Accept grants but never transmit. *)
+  mutable double_notify : bool;  (** Report each transmission twice. *)
+}
+(** Live misbehaviour switches, read by the application at each decision
+    point and toggled by the compiled schedule. *)
+
+val behaviour : unit -> behaviour
+(** All flags off. *)
+
+type target = { name : string; flags : behaviour; crash : unit -> unit }
+(** A faultable application process. *)
+
+val target : name:string -> ?crash:(unit -> unit) -> behaviour -> target
+(** [target ~name ~crash flags].  [crash] defaults to a no-op (for
+    harnesses that only exercise the flag faults). *)
+
+type kind =
+  | Crash  (** Process death at [at] — permanent. *)
+  | Go_silent of Time.span
+  | Lie_no_loss of Time.span
+  | Grant_hoard of Time.span
+  | Double_notify of Time.span  (** Flag faults hold for the given duration. *)
+
+type step = { at : Time.t; target : string; kind : kind }
+type t = { name : string; steps : step list }
+
+val make : name:string -> step list -> t
+(** Validate (non-negative times and durations, non-empty target names)
+    and pack; raises [Invalid_argument] with context on bad steps. *)
+
+val validate : targets:target list -> t -> unit
+(** Check every step's target name resolves; raises [Invalid_argument]
+    naming the unknown target otherwise.  [compile] calls this first. *)
+
+val fault_window : t -> (Time.t * Time.t) option
+(** First fault onset and last fault end across all steps (a crash's end
+    is its onset — it never clears).  [None] for an empty schedule. *)
+
+val compile : Engine.t -> targets:target list -> t -> unit
+(** Arm the schedule: flag faults set the target's flag at [at] and clear
+    it [duration] later; [Crash] invokes the target's crash thunk.  Steps
+    whose time has already passed act immediately. *)
+
+val jittered : rng:Rng.t -> at:Time.t -> spread:Time.span -> (string * kind) list -> t
+(** One chosen fault per target, each at a seed-determined onset in
+    [[at, at + spread)].  Samples are drawn in declaration order, so the
+    schedule is a pure function of the seed. *)
+
+val storm :
+  rng:Rng.t -> at:Time.t -> spread:Time.span -> ?duration:Time.span -> string list -> t
+(** Fully randomized storm: every named target draws a fault kind
+    (uniformly among all five) and an onset in [[at, at + spread)];
+    flag faults hold for [duration] (default 4 s). *)

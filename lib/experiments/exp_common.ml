@@ -4,10 +4,24 @@ open Netsim
 
 type telemetry_request = { period : Time.span; mutable captured : Telemetry.t list }
 
-type params = { seed : int; full : bool; telemetry : telemetry_request option }
+type params = {
+  seed : int;
+  full : bool;
+  telemetry : telemetry_request option;
+  defenses : bool;
+}
 
-let default_params = { seed = 42; full = false; telemetry = None }
+let default_params = { seed = 42; full = false; telemetry = None; defenses = false }
 let request_telemetry ?(period = Time.ms 100) () = { period; captured = [] }
+
+(* Every experiment builds its CM through here so the endpoint-fault
+   defenses (feedback watchdog + misbehaviour auditor) can be toggled
+   uniformly — the bench measures their overhead this way. *)
+let create_cm params engine ?mtu ?grant_reclaim_after () =
+  if params.defenses then
+    Cm.create engine ?mtu ?grant_reclaim_after
+      ~feedback_watchdog:Cm.Macroflow.default_watchdog ~auditor:Cm.default_auditor ()
+  else Cm.create engine ?mtu ?grant_reclaim_after ()
 
 (* One call per simulated system inside an experiment: builds the
    telemetry instance (when the run asked for one), wires the interesting

@@ -9,13 +9,26 @@ type telemetry_request = { period : Time.span; mutable captured : Telemetry.t li
     {!Telemetry.t} sampling every [period], and the instances are
     accumulated in [captured] (newest first) for the caller to export. *)
 
-type params = { seed : int; full : bool; telemetry : telemetry_request option }
+type params = {
+  seed : int;
+  full : bool;
+  telemetry : telemetry_request option;
+  defenses : bool;
+}
 (** [seed] drives every RNG; [full] enables the long variants (e.g. the
     10^6-buffer point of Figs. 4–5); [telemetry] (default [None]) makes
-    instrumented experiments wire up metrics / time series / tracing. *)
+    instrumented experiments wire up metrics / time series / tracing;
+    [defenses] turns on the endpoint-fault defenses (feedback watchdog +
+    misbehaviour auditor) in experiments built via {!create_cm} — off by
+    default, matching the paper's trusting CM. *)
 
 val default_params : params
-(** [seed = 42], [full = false], no telemetry. *)
+(** [seed = 42], [full = false], no telemetry, no defenses. *)
+
+val create_cm :
+  params -> Eventsim.Engine.t -> ?mtu:int -> ?grant_reclaim_after:Time.span -> unit -> Cm.t
+(** Build a CM honoring [params.defenses] ({!Cm.default_auditor} and
+    {!Cm.Macroflow.default_watchdog} when on). *)
 
 val request_telemetry : ?period:Time.span -> unit -> telemetry_request
 (** A fresh request sampling every [period] (default 100 ms virtual). *)

@@ -36,7 +36,7 @@ let make_net params =
 let run_udp variant params ~size ~n =
   let engine, net = make_net params in
   (* the app's packets are [size] bytes; grants reserve one packet each *)
-  let cm = Cm.create engine ~mtu:size () in
+  let cm = Exp_common.create_cm params engine ~mtu:size () in
   Cm.attach cm net.Topology.a;
   let tel =
     Exp_common.instrument params ~engine
@@ -135,7 +135,7 @@ let run_udp variant params ~size ~n =
 
 let run_tcp variant params ~size ~n =
   let engine, net = make_net params in
-  let cm = Cm.create engine ~mtu:size () in
+  let cm = Exp_common.create_cm params engine ~mtu:size () in
   Cm.attach cm net.Topology.a;
   let tel =
     Exp_common.instrument params ~engine

@@ -44,13 +44,27 @@ val cm : t -> Cm.t
 val mode : t -> mode
 (** The notification mode chosen at creation. *)
 
+val destroy : t -> unit
+(** Simulated process death (crash or exit without cleanup).  The control
+    socket closes: the poll timer stops, no further callbacks are
+    delivered, and the CM {!Cm.reap}s every flow the process still owned,
+    returning granted-but-unsent bytes to the macroflow windows
+    immediately.  Idempotent; subsequent [cm_*] calls on this instance
+    raise [Invalid_argument]. *)
+
+val is_alive : t -> bool
+(** Whether the process is still alive ([false] after {!destroy}). *)
+
 (** {1 The cm_* API, with boundary costs} *)
 
 val open_flow : t -> Addr.flow -> Cm.Cm_types.flow_id
 (** [cm_open]. *)
 
 val close_flow : t -> Cm.Cm_types.flow_id -> unit
-(** [cm_close]. *)
+(** [cm_close].  The CM-side close runs first: if it raises (unknown or
+    already-closed flow), the library's callback tables, mtu cache and
+    ownership record are left untouched, so a failed close cannot strand
+    the library in a half-closed state. *)
 
 val mtu : t -> Cm.Cm_types.flow_id -> int
 (** [cm_mtu] (free: cached in the library). *)

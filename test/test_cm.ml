@@ -384,6 +384,55 @@ let test_grant_reclaim () =
   Alcotest.(check int) "grant reclaimed by maintenance" 0 (Macroflow.granted mf);
   Alcotest.(check bool) "reclaim counted" true (Macroflow.grants_reclaimed mf >= 1)
 
+let test_close_returns_granted_bytes () =
+  (* granted-but-unnotified bytes come back the moment the flow closes,
+     not 500 ms later when the reclaim timer would catch them *)
+  let engine, cm = make_env () in
+  let f1 = Cm.open_flow cm (flow_key ~sport:100 ()) in
+  let f2 = Cm.open_flow cm (flow_key ~sport:101 ()) in
+  (* f1 takes its grant and sits on it: never transmits, never declines *)
+  Cm.register_send cm f1 (fun _ -> ());
+  let f2_grants = ref 0 in
+  Cm.register_send cm f2 (fun _ ->
+      incr f2_grants;
+      Cm.notify cm f2 ~nbytes:mtu);
+  Cm.request cm f1;
+  Engine.run_for engine (Time.ms 1);
+  let mf = Cm.macroflow_of cm f1 in
+  Alcotest.(check int) "grant held by f1" mtu (Macroflow.granted mf);
+  (* the initial window is one mtu, so f2's request stalls behind it *)
+  Cm.request cm f2;
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "f2 stalled behind the hoarded grant" 0 !f2_grants;
+  Cm.close_flow cm f1;
+  Alcotest.(check int) "granted bytes returned synchronously" 0 (Macroflow.granted mf);
+  Alcotest.(check bool) "release counted" true (Macroflow.grants_released mf >= 1);
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "f2 granted without waiting for reclaim" 1 !f2_grants
+
+let test_decline_restores_window () =
+  (* cm_notify(0) on a flow with no competitor: the grant is returned to
+     the window (nothing charged) and the decline is counted *)
+  let engine, cm = make_env () in
+  let fid = Cm.open_flow cm (flow_key ()) in
+  Cm.register_send cm fid (fun _ -> Cm.notify cm fid ~nbytes:0);
+  Cm.request cm fid;
+  Engine.run_for engine (Time.ms 1);
+  let mf = Cm.macroflow_of cm fid in
+  Alcotest.(check int) "no bytes granted after decline" 0 (Macroflow.granted mf);
+  Alcotest.(check int) "no bytes charged" 0 (Macroflow.outstanding mf);
+  let c = Cm.counters cm in
+  Alcotest.(check int) "decline counted" 1 c.Cm.declined_grants;
+  Alcotest.(check int) "grant still counted as issued" 1 c.Cm.grants;
+  (* the flow is unharmed: a later request is granted again *)
+  let granted_again = ref 0 in
+  Cm.register_send cm fid (fun _ ->
+      incr granted_again;
+      Cm.notify cm fid ~nbytes:mtu);
+  Cm.request cm fid;
+  Engine.run_for engine (Time.ms 1);
+  Alcotest.(check int) "regranted after decline" 1 !granted_again
+
 let test_counters () =
   let engine, cm = make_env () in
   let fid = Cm.open_flow cm (flow_key ()) in
@@ -614,6 +663,8 @@ let () =
           Alcotest.test_case "ip hook charges macroflow" `Quick test_attach_charges_outstanding;
           Alcotest.test_case "persistent clears outstanding" `Quick test_persistent_resets_outstanding;
           Alcotest.test_case "grant reclaim" `Quick test_grant_reclaim;
+          Alcotest.test_case "close returns granted bytes" `Quick test_close_returns_granted_bytes;
+          Alcotest.test_case "decline restores window" `Quick test_decline_restores_window;
           Alcotest.test_case "api counters" `Quick test_counters;
           Alcotest.test_case "bulk request/update" `Quick test_bulk_calls;
           Alcotest.test_case "macroflow state persists (fig7)" `Quick

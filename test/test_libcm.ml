@@ -100,6 +100,56 @@ let test_sigio_mode_dispatches () =
   Alcotest.(check int) "sigio delivery" 1 !grants;
   "sigio counted" => (Libcm.Ops.count (Libcm.meter lib) Libcm.Ops.Sigio >= 1)
 
+let test_failed_close_keeps_library_state () =
+  (* regression: when the CM-side close raises (flow already gone in the
+     kernel), the library must not half-forget the flow — its caches and
+     ownership record stay intact, and the library remains usable *)
+  let _engine, _net, cm, lib = make () in
+  let fid = Libcm.open_flow lib (flow_key ()) in
+  (* the flow disappears kernel-side behind the library's back *)
+  Cm.close_flow cm fid;
+  let raised =
+    try
+      Libcm.close_flow lib fid;
+      false
+    with Invalid_argument _ -> true
+  in
+  "failed close raises" => raised;
+  (* library state untouched: the mtu cache still answers for the fid *)
+  Alcotest.(check int) "mtu still served from the cache" 1000 (Libcm.mtu lib fid);
+  (* a second failed close is equally safe *)
+  let raised_again =
+    try
+      Libcm.close_flow lib fid;
+      false
+    with Invalid_argument _ -> true
+  in
+  "second failed close raises too" => raised_again;
+  (* and the library is still fully usable for new flows *)
+  let f2 = Libcm.open_flow lib (flow_key ~sport:101 ()) in
+  Alcotest.(check int) "new flow opens fine" 1000 (Libcm.mtu lib f2);
+  Libcm.close_flow lib f2;
+  Alcotest.(check (option int)) "new flow closes fine" None
+    (Cm.lookup cm (flow_key ~sport:101 ()))
+
+let test_decline_grant_counted () =
+  (* cm_notify(0) through the library: the grant returns to the window
+     and the kernel counts the decline *)
+  let engine, _net, cm, lib = make () in
+  let fid = Libcm.open_flow lib (flow_key ()) in
+  let declines = ref 0 in
+  Libcm.register_send lib fid (fun _ ->
+      incr declines;
+      Libcm.notify lib fid ~nbytes:0);
+  Libcm.request lib fid;
+  Engine.run_for engine (Time.ms 10);
+  Alcotest.(check int) "grant delivered and declined" 1 !declines;
+  Alcotest.(check int) "kernel counted the decline" 1 (Cm.counters cm).Cm.declined_grants;
+  let mf = Cm.macroflow_of cm fid in
+  Alcotest.(check int) "window restored: nothing granted" 0 (Cm.Macroflow.granted mf);
+  Alcotest.(check int) "window restored: nothing outstanding" 0 (Cm.Macroflow.outstanding mf);
+  "notify ioctl metered" => (Libcm.Ops.count (Libcm.meter lib) Libcm.Ops.Ioctl_notify >= 1)
+
 let test_meter_counts_and_charges () =
   let _engine, net, _cm, lib = make ~costs:Costs.pentium3 () in
   let fid = Libcm.open_flow lib (flow_key ()) in
@@ -161,6 +211,9 @@ let () =
           Alcotest.test_case "batched grant extraction" `Quick test_batched_dispatch_single_ioctl;
           Alcotest.test_case "update callback re-queries" `Quick
             test_update_callback_requeries_status;
+          Alcotest.test_case "failed close keeps library state" `Quick
+            test_failed_close_keeps_library_state;
+          Alcotest.test_case "declined grant counted" `Quick test_decline_grant_counted;
         ] );
       ( "modes",
         [

@@ -205,7 +205,7 @@ let test_instrumented_run_matches_uninstrumented () =
   (* telemetry must observe, not perturb: the simulation's outcome is
      identical with and without the nil sink replaced by a live one *)
   let run telemetry =
-    let params = { Experiments.Exp_common.seed = 3; full = false; telemetry } in
+    let params = { Experiments.Exp_common.seed = 3; full = false; telemetry; defenses = false } in
     let m = Experiments.Fig6.measure_macro params Experiments.Fig6.Tcp_cm ~size:1448 ~n:500 in
     (m.Experiments.Fig6.m_events, m.Experiments.Fig6.m_final_clock)
   in
