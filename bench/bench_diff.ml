@@ -1,0 +1,284 @@
+(* bench_diff — CI regression gate over two BENCH_*.json files.
+
+   Usage: bench_diff OLD.json NEW.json [threshold_pct]
+
+   Fails (exit 1) when:
+     - macro.events_per_sec in NEW is more than threshold_pct (default 15)
+       below OLD's;
+     - any scale point present in BOTH files (matched by scheduler and
+       flow count) regressed its events_per_sec by more than
+       threshold_pct;
+     - within NEW alone, a scheduler's events/sec at N=4096 fell below
+       half of its N=64 figure — i.e. per-event cost more than doubled
+       over a 64× flow-count increase, the many-flow scalability
+       acceptance bound.
+
+   Both files are expected to come from the same machine (the committed
+   baselines are produced together); this tool compares them, it does not
+   normalise across hosts.  Files older than the scale section (e.g.
+   BENCH_PR4.json) simply have no matching scale points, so only the
+   macro gate applies to them.
+
+   The parser below is a deliberately small recursive-descent JSON reader
+   — enough for the bench schema (objects, arrays, strings, numbers,
+   bools, null), no external dependencies. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'
+          | Some '\\' -> Buffer.add_char b '\\'
+          | Some '/' -> Buffer.add_char b '/'
+          | Some 'n' -> Buffer.add_char b '\n'
+          | Some 't' -> Buffer.add_char b '\t'
+          | Some 'r' -> Buffer.add_char b '\r'
+          | Some 'b' -> Buffer.add_char b '\b'
+          | Some 'f' -> Buffer.add_char b '\012'
+          | Some 'u' ->
+              (* bench output is ASCII; keep the escape verbatim *)
+              Buffer.add_string b "\\u"
+          | _ -> fail "bad escape");
+          advance ();
+          loop ()
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elements [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---- accessors --------------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let path json keys =
+  List.fold_left (fun acc k -> match acc with Some j -> member k j | None -> None) (Some json) keys
+
+let number json keys =
+  match path json keys with Some (Num f) -> Some f | _ -> None
+
+let string_of_field json keys =
+  match path json keys with Some (Str s) -> Some s | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* scale points as (scheduler, flows, events_per_sec) *)
+let scale_points json =
+  match path json [ "scale"; "points" ] with
+  | Some (Arr pts) ->
+      List.filter_map
+        (fun pt ->
+          match (string_of_field pt [ "scheduler" ], number pt [ "flows" ], number pt [ "events_per_sec" ]) with
+          | Some sched, Some flows, Some eps -> Some (sched, int_of_float flows, eps)
+          | _ -> None)
+        pts
+  | _ -> []
+
+(* ---- the gates --------------------------------------------------------- *)
+
+let failures = ref 0
+
+let check ~what ~old_v ~new_v ~threshold_pct =
+  let drop_pct = (old_v -. new_v) /. old_v *. 100. in
+  let bad = drop_pct > threshold_pct in
+  Printf.printf "%-52s old %12.0f  new %12.0f  %+6.1f%%  %s\n" what old_v new_v (-.drop_pct)
+    (if bad then "FAIL" else "ok");
+  if bad then incr failures
+
+let () =
+  let usage () =
+    prerr_endline "usage: bench_diff OLD.json NEW.json [threshold_pct]";
+    exit 2
+  in
+  let old_path, new_path, threshold_pct =
+    match Sys.argv with
+    | [| _; o; n |] -> (o, n, 15.)
+    | [| _; o; n; t |] -> (
+        ( o,
+          n,
+          match float_of_string_opt t with Some f -> f | None -> usage () ))
+    | _ -> usage ()
+  in
+  let load p =
+    try parse (read_file p) with
+    | Sys_error e ->
+        Printf.eprintf "bench_diff: %s\n" e;
+        exit 2
+    | Parse_error e ->
+        Printf.eprintf "bench_diff: %s: %s\n" p e;
+        exit 2
+  in
+  let old_j = load old_path and new_j = load new_path in
+  Printf.printf "bench_diff: %s -> %s (threshold %.0f%%)\n\n" old_path new_path threshold_pct;
+  (* 1. macro events/sec *)
+  (match (number old_j [ "macro"; "events_per_sec" ], number new_j [ "macro"; "events_per_sec" ]) with
+  | Some o, Some n -> check ~what:"macro events/sec (fig6 TCP/CM)" ~old_v:o ~new_v:n ~threshold_pct
+  | _ ->
+      Printf.eprintf "bench_diff: macro.events_per_sec missing\n";
+      exit 2);
+  (* 2. scale points present in both files *)
+  let old_scale = scale_points old_j and new_scale = scale_points new_j in
+  List.iter
+    (fun (sched, flows, new_eps) ->
+      match
+        List.find_opt (fun (s, f, _) -> s = sched && f = flows) old_scale
+      with
+      | Some (_, _, old_eps) ->
+          check
+            ~what:(Printf.sprintf "scale events/sec (%s, N=%d)" sched flows)
+            ~old_v:old_eps ~new_v:new_eps ~threshold_pct
+      | None -> ())
+    new_scale;
+  if old_scale = [] && new_scale <> [] then
+    print_endline "(old file has no scale section; scale compared within the new file only)";
+  (* 3. within-NEW sub-linearity: events/sec at N=4096 must stay within
+     2x of N=64 for each scheduler *)
+  let scheds = List.sort_uniq compare (List.map (fun (s, _, _) -> s) new_scale) in
+  List.iter
+    (fun sched ->
+      let eps n =
+        List.find_map (fun (s, f, e) -> if s = sched && f = n then Some e else None) new_scale
+      in
+      match (eps 64, eps 4096) with
+      | Some e64, Some e4096 ->
+          let ratio = e64 /. e4096 in
+          let bad = ratio > 2.0 in
+          Printf.printf "%-52s N=64 %10.0f  N=4096 %10.0f  %5.2fx  %s\n"
+            (Printf.sprintf "scale sub-linearity (%s)" sched)
+            e64 e4096 ratio
+            (if bad then "FAIL (>2x slowdown)" else "ok");
+          if bad then incr failures
+      | _ -> ())
+    scheds;
+  print_newline ();
+  if !failures > 0 then begin
+    Printf.printf "bench_diff: %d regression(s) beyond the gate\n" !failures;
+    exit 1
+  end
+  else print_endline "bench_diff: all gates passed"

@@ -2,9 +2,10 @@
    evaluation (§4), runs bechamel microbenchmarks of the CM's hot paths
    (including the telemetry layer's), measures the telemetry overhead and
    the endpoint-fault-defense overhead (watchdog + auditor, budget ≤ 5 %
-   each) on the Fig. 6 macro workload, and emits a machine-readable
-   BENCH_PR4.json so later PRs have a perf trajectory to compare against
-   (schema: DESIGN.md §6).
+   each) on the Fig. 6 macro workload, runs the many-flow [scale] family
+   (events/sec at N = 64 … 16384 flows under both schedulers), and emits
+   a machine-readable BENCH_PR5.json so later PRs have a perf trajectory
+   to compare against (schema: DESIGN.md §6; diffable with bench_diff).
 
    Set CM_BENCH_FULL=1 for the long variants (10^6-buffer Fig. 4/5 point,
    200k-packet Fig. 6); CM_BENCH_SEED to change the seed; CM_BENCH_SMOKE=1
@@ -21,7 +22,7 @@ let params =
   { Experiments.Exp_common.seed; full; telemetry = None; defenses = false }
 
 let smoke = Sys.getenv_opt "CM_BENCH_SMOKE" = Some "1"
-let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR4.json"
+let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR5.json"
 
 (* wall times of every experiment, for the JSON trajectory *)
 let experiment_walls : (string * float) list ref = ref []
@@ -82,9 +83,26 @@ type macro_result = {
 
 let run_macro () =
   let n = if smoke then 500 else if params.Experiments.Exp_common.full then 200_000 else 20_000 in
-  let t0 = Unix.gettimeofday () in
-  let m = Experiments.Fig6.measure_macro params Experiments.Fig6.Tcp_cm ~size:1448 ~n in
-  let wall = Unix.gettimeofday () -. t0 in
+  (* best of 5 (min wall, compacted heap before each): a single ~70 ms
+     sample is one scheduler quantum of OS noise, and the figure gates a
+     15% PR-over-PR regression check — the minimum over a few runs is the
+     standard way to estimate the code's cost rather than the machine's
+     mood *)
+  let runs = if smoke then 1 else 5 in
+  let wall = ref infinity in
+  let measured = ref None in
+  for _ = 1 to runs do
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let m = Experiments.Fig6.measure_macro params Experiments.Fig6.Tcp_cm ~size:1448 ~n in
+    let w = Unix.gettimeofday () -. t0 in
+    if w < !wall then begin
+      wall := w;
+      measured := Some m
+    end
+  done;
+  let m = Option.get !measured in
+  let wall = !wall in
   let r =
     {
       mc_workload = "fig6 TCP/CM 1448B";
@@ -181,6 +199,66 @@ let run_defense_overhead () =
   { do_packets = n; do_off_wall_s = off; do_on_wall_s = on; do_overhead_pct = pct }
 
 (* ------------------------------------------------------------------ *)
+(* Many-flow scalability: the [scale] closed-loop workload (N flows over
+   N/32 macroflows driving request → grant → notify → update cycles
+   straight against the CM) at every family size, under both schedulers.
+   The headline figure is wall-clock events/sec; sub-linear per-grant
+   cost means it stays within 2× between N=64 and N=4096 (the acceptance
+   gate, enforced by bench_diff's within-file check). *)
+
+let run_scale () =
+  let sizes =
+    if smoke then [ 64 ] else Experiments.Scale.family
+  in
+  Printf.printf "\n== Scale: many-flow CM control paths (events/sec vs N) ==\n%!";
+  let points =
+    List.concat_map
+      (fun sched ->
+        List.map
+          (fun flows ->
+            (* Per-event cost at different N is only comparable when every
+               sample covers the same measurement window: with the
+               standard 24 rounds an N=64 run lasts ~1 ms — short enough
+               to dodge its share of GC and scheduler noise entirely —
+               while an N=4096 run lasts ~200 ms and cannot.  So rounds
+               are scaled inversely with N (same ~790k events per sample,
+               ~0.3 s each), each sample starts from a compacted heap (the
+               19 experiments before leave a big dead major heap whose
+               sweep would tax the measured run), and the minimum wall of
+               [reps] identical runs filters the ±15% machine-load swings
+               out.  The runs are deterministic, so repetitions differ
+               only in wall time. *)
+            let rounds =
+              if smoke then Experiments.Scale.rounds
+              else
+                Stdlib.max Experiments.Scale.rounds
+                  (Experiments.Scale.rounds * 16384 / flows)
+            in
+            let reps = if smoke then 1 else 3 in
+            let best = ref infinity in
+            let pt = ref None in
+            for _ = 1 to reps do
+              Gc.compact ();
+              let p = Experiments.Scale.run_point ~rounds params ~sched ~flows in
+              if p.Experiments.Scale.p_wall_s < !best then begin
+                best := p.Experiments.Scale.p_wall_s;
+                pt := Some p
+              end
+            done;
+            let pt = Option.get !pt in
+            let eps = float_of_int pt.Experiments.Scale.p_events /. pt.Experiments.Scale.p_wall_s in
+            Printf.printf
+              "%-15s N=%6d: %8d events in %6.3fs wall = %9.0f events/sec  (p99 grant lat %.0f us)\n%!"
+              (Experiments.Scale.sched_name sched)
+              flows pt.Experiments.Scale.p_events pt.Experiments.Scale.p_wall_s eps
+              pt.Experiments.Scale.p_lat_p99_us;
+            pt)
+          sizes)
+      [ Experiments.Scale.Rr; Experiments.Scale.Stride ]
+  in
+  points
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost and minor-heap allocation of
    the implementation's hot paths on this machine. *)
 
@@ -261,6 +339,19 @@ let bench_scheduler () =
     ignore (s.Cm.Scheduler.dequeue ());
     ignore (s.Cm.Scheduler.dequeue ())
 
+(* stride dequeue at depth: 4096 backlogged flows held steady, so every
+   op is one heap fix-up (O(log 4096)) plus one re-enqueue *)
+let bench_stride_scheduler () =
+  let s = Cm.Scheduler.weighted () in
+  for i = 1 to 4096 do
+    s.Cm.Scheduler.set_weight i (float_of_int (1 + (i mod 3)));
+    s.Cm.Scheduler.enqueue i
+  done;
+  fun () ->
+    match s.Cm.Scheduler.dequeue () with
+    | Some f -> s.Cm.Scheduler.enqueue f
+    | None -> ()
+
 let bench_controller () =
   let c = Cm.Controller.aimd () ~mtu:1448 in
   fun () ->
@@ -324,6 +415,7 @@ let hot_paths : (string * (unit -> unit)) list =
     ("heap insert+extract", bench_heap ());
     ("heap update_prio", bench_heap_update_prio ());
     ("rr scheduler cycle", bench_scheduler ());
+    ("stride dequeue+enqueue (4096 flows)", bench_stride_scheduler ());
     ("aimd on_ack", bench_controller ());
     ("rto observe", bench_rto ());
     ("telemetry counter incr", bench_telemetry_counter ());
@@ -398,12 +490,12 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let emit_json ~macro ~micro ~telem ~defense () =
+let emit_json ~macro ~micro ~telem ~defense ~scale () =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema_version\": 1,\n";
-  p "  \"pr\": 4,\n";
+  p "  \"pr\": 5,\n";
   p "  \"seed\": %d,\n" params.Experiments.Exp_common.seed;
   p "  \"full\": %b,\n" params.Experiments.Exp_common.full;
   p "  \"smoke\": %b,\n" smoke;
@@ -440,6 +532,26 @@ let emit_json ~macro ~micro ~telem ~defense () =
   p "    \"overhead_pct\": %.2f,\n" defense.do_overhead_pct;
   p "    \"budget_pct\": 5.0\n";
   p "  },\n";
+  p "  \"scale\": {\n";
+  p "    \"flows_per_macroflow\": 32,\n";
+  p "    \"rounds\": %d,\n" Experiments.Scale.rounds;
+  p "    \"points\": [\n";
+  List.iteri
+    (fun i pt ->
+      let open Experiments.Scale in
+      p
+        "      {\"scheduler\": \"%s\", \"flows\": %d, \"macroflows\": %d, \"grants\": %d, \
+         \"events\": %d, \"wall_s\": %.4f, \"events_per_sec\": %.0f, \"grants_per_sec\": %.0f, \
+         \"grant_lat_p99_us\": %.0f}%s\n"
+        (json_escape (sched_name pt.p_sched))
+        pt.p_flows pt.p_macroflows pt.p_grants pt.p_events pt.p_wall_s
+        (float_of_int pt.p_events /. pt.p_wall_s)
+        (float_of_int pt.p_grants /. pt.p_wall_s)
+        pt.p_lat_p99_us
+        (if i = List.length scale - 1 then "" else ","))
+    scale;
+  p "    ]\n";
+  p "  },\n";
   p "  \"micro\": [\n";
   List.iteri
     (fun i (name, ns, w) ->
@@ -459,5 +571,6 @@ let () =
   let macro = run_macro () in
   let telem = run_telemetry_overhead () in
   let defense = run_defense_overhead () in
+  let scale = run_scale () in
   let micro = run_microbenchmarks () in
-  emit_json ~macro ~micro ~telem ~defense ()
+  emit_json ~macro ~micro ~telem ~defense ~scale ()

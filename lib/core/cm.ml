@@ -68,12 +68,70 @@ let default_auditor =
 
 type aggregation = By_destination | By_destination_and_dscp
 
+(* Reverse index: the open flows attached to one macroflow, plus how many
+   of them registered a rate callback.  Every per-grant / per-update /
+   per-tick control path walks this member set (or skips it outright when
+   no member watches rates) instead of folding over the global flow table,
+   so the cost of serving one macroflow no longer grows with the number of
+   flows the CM serves overall. *)
+type mf_index = {
+  mx_flows : (Cm_types.flow_id, flow) Hashtbl.t;
+  mutable mx_watchers : int; (* members with an update_cb registered *)
+}
+
 (* macroflow aggregation key: destination host — "all flows destined to the
    same end host take the same path in the common case" (§2) — plus,
    optionally, the differentiated-services codepoint: under diffserv,
    flows to one host with different service classes no longer share a
    bottleneck fate (§5) *)
 type mf_key = int * int
+
+(* Dense flow directory: flow ids are handed out sequentially, so the
+   per-packet API paths (request / notify / update / grant delivery, each
+   of which starts with a lookup by id) index an array directly instead
+   of probing a hash table — one predictable load, no bucket chase.
+   Capacity tracks the highest id ever issued; ids are not recycled, so a
+   very long-lived CM pays one word per flow ever opened (id recycling is
+   a ROADMAP item). *)
+module Fid_dir = struct
+  type 'a t = { mutable arr : 'a option array; mutable count : int }
+
+  let create n = { arr = Array.make (Stdlib.max 1 n) None; count = 0 }
+
+  let find_opt t fid =
+    if fid >= 0 && fid < Array.length t.arr then Array.unsafe_get t.arr fid else None
+
+  let replace t fid v =
+    if fid >= Array.length t.arr then begin
+      let cap = ref (2 * Array.length t.arr) in
+      while fid >= !cap do
+        cap := !cap * 2
+      done;
+      let grown = Array.make !cap None in
+      Array.blit t.arr 0 grown 0 (Array.length t.arr);
+      t.arr <- grown
+    end;
+    (match t.arr.(fid) with None -> t.count <- t.count + 1 | Some _ -> ());
+    t.arr.(fid) <- Some v
+
+  let remove t fid =
+    if fid >= 0 && fid < Array.length t.arr then
+      match t.arr.(fid) with
+      | Some _ ->
+          t.arr.(fid) <- None;
+          t.count <- t.count - 1
+      | None -> ()
+
+  let length t = t.count
+
+  let iter f t =
+    Array.iteri (fun fid v -> match v with Some fl -> f fid fl | None -> ()) t.arr
+
+  let fold f t acc =
+    let acc = ref acc in
+    Array.iteri (fun fid v -> match v with Some fl -> acc := f fid fl !acc | None -> ()) t.arr;
+    !acc
+end
 
 type t = {
   engine : Engine.t;
@@ -85,11 +143,12 @@ type t = {
   idle_restart : Time.span option;
   watchdog : Macroflow.watchdog option;
   auditor : auditor option;
-  flows_by_id : (Cm_types.flow_id, flow) Hashtbl.t;
+  flows_by_id : flow Fid_dir.t;
   flows_by_key : Cm_types.flow_id Addr.Flow_table.t;
   default_mf : (mf_key, Macroflow.t) Hashtbl.t; (* per-destination macroflows *)
+  default_ids : (int, unit) Hashtbl.t; (* ids of the default_mf values *)
   all_mf : (int, Macroflow.t) Hashtbl.t; (* every macroflow ever created *)
-  mf_members : (int, int) Hashtbl.t; (* macroflow id -> member count *)
+  mf_index : (int, mf_index) Hashtbl.t; (* live macroflow id -> members *)
   mutable next_fid : int;
   mutable next_mfid : int;
   mutable c_opens : int;
@@ -104,6 +163,11 @@ type t = {
   mutable c_quarantines : int;
   mutable c_reaps : int;
   mutable c_released_grant_bytes : int;
+  (* work counter for the scaling tests: macroflows examined by the
+     close/reap teardown path.  Constant per close by construction; the
+     counter-based regression test pins that contract without relying on
+     wall clocks. *)
+  mutable c_teardown_probes : int;
   (* telemetry: None (and the nil trace) until [attach_telemetry] *)
   mutable telemetry : Telemetry.t option;
   mutable trace : Telemetry.Trace.t;
@@ -122,11 +186,12 @@ let create engine ?(mtu = 1448) ?(aggregation = By_destination)
     idle_restart;
     watchdog = feedback_watchdog;
     auditor;
-    flows_by_id = Hashtbl.create 64;
+    flows_by_id = Fid_dir.create 64;
     flows_by_key = Addr.Flow_table.create 64;
     default_mf = Hashtbl.create 16;
+    default_ids = Hashtbl.create 16;
     all_mf = Hashtbl.create 16;
-    mf_members = Hashtbl.create 16;
+    mf_index = Hashtbl.create 16;
     next_fid = 1;
     next_mfid = 1;
     c_opens = 0;
@@ -141,6 +206,7 @@ let create engine ?(mtu = 1448) ?(aggregation = By_destination)
     c_quarantines = 0;
     c_reaps = 0;
     c_released_grant_bytes = 0;
+    c_teardown_probes = 0;
     telemetry = None;
     trace = Telemetry.Trace.nil;
   }
@@ -148,9 +214,33 @@ let create engine ?(mtu = 1448) ?(aggregation = By_destination)
 let engine t = t.engine
 
 let get_flow t fid =
-  match Hashtbl.find_opt t.flows_by_id fid with
+  match Fid_dir.find_opt t.flows_by_id fid with
   | Some fl when fl.open_ -> fl
   | _ -> invalid_arg (Printf.sprintf "Cm: unknown or closed flow %d" fid)
+
+(* ---- macroflow reverse index ------------------------------------------ *)
+
+let index_of t mfid =
+  match Hashtbl.find_opt t.mf_index mfid with
+  | Some ix -> ix
+  | None ->
+      let ix = { mx_flows = Hashtbl.create 8; mx_watchers = 0 } in
+      Hashtbl.replace t.mf_index mfid ix;
+      ix
+
+let index_add t mf fl =
+  let ix = index_of t (Macroflow.id mf) in
+  Hashtbl.replace ix.mx_flows fl.fid fl;
+  if fl.update_cb <> None then ix.mx_watchers <- ix.mx_watchers + 1
+
+let index_remove t mf fl =
+  match Hashtbl.find_opt t.mf_index (Macroflow.id mf) with
+  | None -> ()
+  | Some ix ->
+      if Hashtbl.mem ix.mx_flows fl.fid then begin
+        Hashtbl.remove ix.mx_flows fl.fid;
+        if fl.update_cb <> None then ix.mx_watchers <- ix.mx_watchers - 1
+      end
 
 (* ---- rate-change callbacks ------------------------------------------- *)
 
@@ -162,32 +252,41 @@ let flow_status fl =
   let st = Macroflow.status fl.mf in
   { st with Cm_types.rate_bps = flow_rate fl }
 
+(* Rate apportioning: when a macroflow's estimate moves, check only that
+   macroflow's members — and skip even that walk when none of them
+   registered a rate callback (the common case for kernel clients).  The
+   old implementation folded over every flow the CM had ever opened, which
+   made each cm_update O(total flows). *)
 let check_rate_callbacks t mf_id =
-  let consider _ fl =
-    if fl.open_ && Macroflow.id fl.mf = mf_id then begin
-      match fl.update_cb with
-      | None -> ()
-      | Some cb ->
-          let rate = flow_rate fl in
-          let last = fl.last_reported_rate in
-          let crossed =
-            last <= 0.
-            || rate <= last *. fl.thresh_down
-            || rate >= last *. fl.thresh_up
-          in
-          if crossed && rate > 0. && not fl.update_pending then begin
-            fl.update_pending <- true;
-            ignore
-              (Engine.schedule_after t.engine 0 (fun () ->
-                   fl.update_pending <- false;
-                   if fl.open_ then begin
-                     fl.last_reported_rate <- flow_rate fl;
-                     cb (flow_status fl)
-                   end))
-          end
-    end
-  in
-  Hashtbl.iter consider t.flows_by_id
+  match Hashtbl.find_opt t.mf_index mf_id with
+  | None -> ()
+  | Some ix when ix.mx_watchers = 0 -> ()
+  | Some ix ->
+      let consider _ fl =
+        if fl.open_ then begin
+          match fl.update_cb with
+          | None -> ()
+          | Some cb ->
+              let rate = flow_rate fl in
+              let last = fl.last_reported_rate in
+              let crossed =
+                last <= 0.
+                || rate <= last *. fl.thresh_down
+                || rate >= last *. fl.thresh_up
+              in
+              if crossed && rate > 0. && not fl.update_pending then begin
+                fl.update_pending <- true;
+                ignore
+                  (Engine.schedule_after t.engine 0 (fun () ->
+                       fl.update_pending <- false;
+                       if fl.open_ then begin
+                         fl.last_reported_rate <- flow_rate fl;
+                         cb (flow_status fl)
+                       end))
+              end
+        end
+      in
+      Hashtbl.iter consider ix.mx_flows
 
 (* ---- grant dispatch --------------------------------------------------- *)
 
@@ -197,7 +296,7 @@ let unresolved fl = Stdlib.max 0 (fl.a_charged - fl.a_nsent)
 
 let deliver_grant t mf fid ~reserved =
   t.c_grants <- t.c_grants + 1;
-  match Hashtbl.find_opt t.flows_by_id fid with
+  match Fid_dir.find_opt t.flows_by_id fid with
   | Some fl when fl.open_ -> (
       ignore reserved;
       (* a grant permits up to one MTU regardless of what the macroflow
@@ -245,16 +344,18 @@ let wire_macroflow_telemetry t mf =
 let drop_membership t mf =
   let mfid = Macroflow.id mf in
   let members = Macroflow.members mf in
+  t.c_teardown_probes <- t.c_teardown_probes + 1;
   (* Per-destination macroflows persist after their last flow closes: the
      congestion state they hold is exactly what lets a subsequent
      connection to the same host skip slow start (paper §4.3, Fig. 7).
-     Only detached (split-off) macroflows are discarded when empty. *)
-  let is_default =
-    Hashtbl.fold (fun _ m acc -> acc || Macroflow.id m = mfid) t.default_mf false
-  in
+     Only detached (split-off) macroflows are discarded when empty.  The
+     default check is one membership probe in [default_ids] — the old
+     fold over every per-destination macroflow made each close O(hosts
+     ever contacted). *)
+  let is_default = Hashtbl.mem t.default_ids mfid in
   if members = 0 && not is_default then begin
     Macroflow.shutdown mf;
-    Hashtbl.remove t.mf_members mfid
+    Hashtbl.remove t.mf_index mfid
   end
 
 let move_flow t fl target_mf =
@@ -268,8 +369,10 @@ let move_flow t fl target_mf =
     t.c_released_grant_bytes <- t.c_released_grant_bytes + released;
     Macroflow.transfer_outstanding ~src:old_mf ~dst:target_mf (unresolved fl);
     Macroflow.detach_flow old_mf fl.fid;
+    index_remove t old_mf fl;
     fl.mf <- target_mf;
     Macroflow.add_member target_mf;
+    index_add t target_mf fl;
     for _ = 1 to requests_to_move do
       Macroflow.request target_mf fl.fid
     done;
@@ -291,7 +394,7 @@ let rec new_macroflow ?controller t =
     | Some a ->
         ( Some
             (fun fid _reserved ->
-              match Hashtbl.find_opt t.flows_by_id fid with
+              match Fid_dir.find_opt t.flows_by_id fid with
               | Some fl when fl.open_ -> suspect t a fl "grant_hoard"
               | _ -> ()),
           Some (fun mf -> audit_tick t a mf) )
@@ -343,10 +446,14 @@ and quarantine t a fl =
    own feedback clock fresh *)
 and audit_tick t a mf =
   let now = Engine.now t.engine in
-  let mfid = Macroflow.id mf in
+  let members =
+    match Hashtbl.find_opt t.mf_index (Macroflow.id mf) with
+    | Some ix -> ix.mx_flows
+    | None -> Hashtbl.create 0
+  in
   Hashtbl.iter
     (fun _ fl ->
-      if fl.open_ && (not fl.quarantined) && Macroflow.id fl.mf = mfid then begin
+      if fl.open_ && not fl.quarantined then begin
         if
           unresolved fl > 2 * t.mtu
           && Time.diff now fl.last_update > a.silent_after
@@ -374,7 +481,7 @@ and audit_tick t a mf =
           suspect t a fl "charge_inflation"
         end
       end)
-    t.flows_by_id
+    members
 
 let mf_key_of t (key : Addr.flow) : mf_key =
   ( key.Addr.dst.Addr.host,
@@ -386,6 +493,7 @@ let macroflow_for_key t k =
   | None ->
       let mf = new_macroflow t in
       Hashtbl.replace t.default_mf k mf;
+      Hashtbl.replace t.default_ids (Macroflow.id mf) ();
       mf
 
 (* ---- public API -------------------------------------------------------- *)
@@ -419,8 +527,9 @@ let open_flow t key =
       quarantined = false;
     }
   in
-  Hashtbl.replace t.flows_by_id fid fl;
+  Fid_dir.replace t.flows_by_id fid fl;
   Addr.Flow_table.replace t.flows_by_key key fid;
+  index_add t mf fl;
   t.c_opens <- t.c_opens + 1;
   if Telemetry.Trace.on t.trace then
     Telemetry.Trace.instant t.trace ~cat:"cm" "cm.open"
@@ -436,13 +545,14 @@ let open_flow t key =
    500 ms reclaim timer — and discharge its unresolved bytes, whose fate
    no feedback can ever resolve once the flow is gone *)
 let remove_flow t fl ~event =
+  index_remove t fl.mf fl;
   fl.open_ <- false;
   let released = Macroflow.release_flow_grants fl.mf fl.fid in
   t.c_released_grant_bytes <- t.c_released_grant_bytes + released;
   Macroflow.discharge fl.mf (unresolved fl);
   Macroflow.detach_flow fl.mf fl.fid;
   Addr.Flow_table.remove t.flows_by_key fl.key;
-  Hashtbl.remove t.flows_by_id fl.fid;
+  Fid_dir.remove t.flows_by_id fl.fid;
   if Telemetry.Trace.on t.trace then
     Telemetry.Trace.instant t.trace ~cat:"cm" event
       [ ("flow", Telemetry.Trace.Int fl.fid); ("mf", Telemetry.Trace.Int (Macroflow.id fl.mf)) ];
@@ -456,7 +566,7 @@ let close_flow t fid =
 let reap t fid =
   (* crash-tolerant close: never raises, reports whether anything was
      reaped.  Libcm.destroy calls this for every flow of a dead process. *)
-  match Hashtbl.find_opt t.flows_by_id fid with
+  match Fid_dir.find_opt t.flows_by_id fid with
   | Some fl when fl.open_ ->
       t.c_reaps <- t.c_reaps + 1;
       remove_flow t fl ~event:"cm.reap";
@@ -473,6 +583,14 @@ let register_send t fid cb =
 
 let register_update t fid cb =
   let fl = get_flow t fid in
+  (* first registration turns this flow into a rate watcher; the member
+     index counts watchers so updates on watcher-free macroflows skip the
+     apportioning walk entirely *)
+  if fl.update_cb = None then begin
+    match Hashtbl.find_opt t.mf_index (Macroflow.id fl.mf) with
+    | Some ix -> ix.mx_watchers <- ix.mx_watchers + 1
+    | None -> ()
+  end;
   fl.update_cb <- Some cb
 
 let set_thresh t fid ~down ~up =
@@ -580,7 +698,7 @@ let suspicion t fid = (get_flow t fid).suspicion
 let is_quarantined t fid = (get_flow t fid).quarantined
 
 let flows t =
-  Hashtbl.fold (fun fid _ acc -> fid :: acc) t.flows_by_id [] |> List.sort Stdlib.compare
+  Fid_dir.fold (fun fid _ acc -> fid :: acc) t.flows_by_id [] |> List.sort Stdlib.compare
 
 let macroflow_of t fid = (get_flow t fid).mf
 
@@ -600,7 +718,7 @@ let attach t host =
 let attach_telemetry t tel =
   t.telemetry <- Some tel;
   t.trace <- Telemetry.trace tel;
-  Telemetry.gauge tel "cm.flows" (fun () -> float_of_int (Hashtbl.length t.flows_by_id));
+  Telemetry.gauge tel "cm.flows" (fun () -> float_of_int (Fid_dir.length t.flows_by_id));
   Telemetry.gauge tel "cm.macroflows" (fun () -> float_of_int (Hashtbl.length t.default_mf));
   Telemetry.gauge tel "cm.requests" (fun () -> float_of_int t.c_requests);
   Telemetry.gauge tel "cm.grants" (fun () -> float_of_int t.c_grants);
@@ -636,6 +754,7 @@ let counters t =
   }
 
 let released_grant_bytes t = t.c_released_grant_bytes
+let teardown_probes t = t.c_teardown_probes
 
 let watchdog_fires t =
   Hashtbl.fold (fun _ mf acc -> acc + Macroflow.watchdog_fires mf) t.all_mf 0
@@ -657,7 +776,7 @@ let audit_view t =
   {
     av_mtu = t.mtu;
     av_flows =
-      Hashtbl.fold (fun fid fl acc -> (fid, fl.key, fl.mf) :: acc) t.flows_by_id []
+      Fid_dir.fold (fun fid fl acc -> (fid, fl.key, fl.mf) :: acc) t.flows_by_id []
       |> List.sort by_fid;
     av_key_entries = Addr.Flow_table.length t.flows_by_key;
     av_macroflows = Hashtbl.fold (fun _ mf acc -> mf :: acc) t.all_mf [] |> List.sort by_id;
@@ -771,14 +890,14 @@ end
 
 let pp_summary fmt t =
   let c = counters t in
-  Format.fprintf fmt "CM: %d open flows, %d macroflows@." (Hashtbl.length t.flows_by_id)
+  Format.fprintf fmt "CM: %d open flows, %d macroflows@." (Fid_dir.length t.flows_by_id)
     (Hashtbl.length t.default_mf);
   Format.fprintf fmt "  api: %d opens, %d requests, %d grants (%d declined), %d updates, %d notifies@."
     c.opens c.requests c.grants c.declined_grants c.updates c.notifies;
   if c.rejected_updates + c.rejected_notifies + c.quarantines + c.reaps > 0 then
     Format.fprintf fmt "  defense: %d rejected updates, %d rejected notifies, %d quarantines, %d reaps@."
       c.rejected_updates c.rejected_notifies c.quarantines c.reaps;
-  Hashtbl.iter
+  Fid_dir.iter
     (fun _ fl ->
       let mf = fl.mf in
       Format.fprintf fmt "  flow %d (%a): macroflow %d cwnd=%d out=%d srtt=%s@." fl.fid

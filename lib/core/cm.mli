@@ -263,6 +263,13 @@ val released_grant_bytes : t -> int
 (** Cumulative grant bytes returned to windows by close / reap /
     quarantine (the immediate path, not the reclaim timer). *)
 
+val teardown_probes : t -> int
+(** Cumulative count of macroflows examined by the close / reap / move
+    teardown path.  Constant per teardown by construction (the default-
+    macroflow check is a single id-set probe); the scaling regression test
+    asserts the per-close delta does not grow with the number of
+    macroflows, without resorting to wall clocks. *)
+
 val watchdog_fires : t -> int
 (** Cumulative feedback-watchdog aging steps across all macroflows. *)
 

@@ -39,6 +39,10 @@ type t = {
   loss_ewma : Ewma.t;
   mutable members : int;
   mutable grant_event_pending : bool;
+  (* the grant-batch event callback, allocated once at create: grants are
+     issued in batches (one engine event drains every issuable grant), so
+     the per-batch cost must not include building a fresh closure *)
+  mutable grant_thunk : unit -> unit;
   maintenance : Timer.t option ref;
   mutable last_feedback : Time.t;
   mutable last_watchdog : Time.t;
@@ -60,7 +64,7 @@ let reservation t =
 
 let window_avail t = t.ctrl.Controller.cwnd () - t.outstanding - t.granted_bytes
 
-let rec run_grants t =
+let run_grants t =
   t.grant_event_pending <- false;
   let rec loop () =
     if window_avail t >= reservation t then begin
@@ -84,14 +88,14 @@ let rec run_grants t =
   in
   loop ()
 
-and maybe_grant t =
+let maybe_grant t =
   if
     (not t.grant_event_pending)
     && t.sched.Scheduler.pending () > 0
     && window_avail t >= reservation t
   then begin
     t.grant_event_pending <- true;
-    ignore (Engine.schedule_after t.engine 0 (fun () -> run_grants t))
+    ignore (Engine.schedule_after t.engine 0 t.grant_thunk)
   end
 
 let maintenance_tick t =
@@ -173,6 +177,7 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
       loss_ewma = Ewma.create ~gain:0.25;
       members = 0;
       grant_event_pending = false;
+      grant_thunk = ignore;
       maintenance = ref None;
       last_feedback = Engine.now engine;
       last_watchdog = Engine.now engine;
@@ -184,6 +189,7 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
       trace = Telemetry.Trace.nil;
     }
   in
+  t.grant_thunk <- (fun () -> run_grants t);
   let timer = Timer.create engine ~callback:(fun () -> maintenance_tick t) in
   Timer.start_periodic timer (Time.ms 100);
   t.maintenance := Some timer;

@@ -11,7 +11,9 @@ type t = {
 type factory = unit -> t
 
 let round_robin () =
-  (* ring of flow ids that currently have >= 1 pending request *)
+  (* active-set ring: flow ids that currently have >= 1 pending request.
+     Every operation is O(1) (dequeue amortized: a removed flow leaves at
+     most one stale ring entry, skipped exactly once). *)
   let ring : Cm_types.flow_id Queue.t = Queue.create () in
   let counts : (Cm_types.flow_id, int) Hashtbl.t = Hashtbl.create 8 in
   let total = ref 0 in
@@ -49,59 +51,99 @@ let round_robin () =
     pending_for = count;
   }
 
-let weighted () =
-  (* stride scheduling: each backlogged flow has a pass value; the flow
-     with the least pass is granted and its pass advances by stride_k /
-     weight.  Linear scan — macroflows hold few flows. *)
-  let stride_k = 1_000_000. in
-  let counts : (Cm_types.flow_id, int) Hashtbl.t = Hashtbl.create 8 in
-  let weights : (Cm_types.flow_id, float) Hashtbl.t = Hashtbl.create 8 in
-  let passes : (Cm_types.flow_id, float) Hashtbl.t = Hashtbl.create 8 in
+(* ---- weighted (stride) scheduling ------------------------------------- *)
+
+(* Per-flow scheduler state.  [pass] is the flow's next service tag; while
+   the flow is backlogged its heap entry's priority equals [pass], so
+   dequeue is extract-min over backlogged flows: O(log n) however many
+   flows are registered, instead of the full-table scan this replaces. *)
+type stride_entry = {
+  mutable s_count : int; (* pending requests *)
+  mutable s_weight : float;
+  mutable s_pass : float; (* next service tag *)
+  mutable s_handle : Cm_types.flow_id Cm_util.Fheap.handle option;
+      (* live heap entry iff backlogged *)
+}
+
+let stride_k = 1_000_000.
+
+(* Default rebase threshold.  Beyond ~2^52 float addition can no longer
+   represent a small stride increment (pass +. stride == pass), silently
+   starving heavy-weight flows; rebasing long before that — while the
+   threshold still dwarfs any single stride — keeps every addition exact
+   to well under one quantum.  10^12 grants at the default stride sit
+   three decades below this, but a server-lifetime process gets there. *)
+let default_rebase_threshold = 1e15
+
+let weighted_stride ?(rebase_threshold = default_rebase_threshold) () =
+  let flows : (Cm_types.flow_id, stride_entry) Hashtbl.t = Hashtbl.create 8 in
+  let heap : Cm_types.flow_id Cm_util.Fheap.t = Cm_util.Fheap.create () in
   let total = ref 0 in
   let global_pass = ref 0. in
-  let count fid = Option.value (Hashtbl.find_opt counts fid) ~default:0 in
-  let weight fid = Option.value (Hashtbl.find_opt weights fid) ~default:1.0 in
+  let entry fid =
+    match Hashtbl.find_opt flows fid with
+    | Some e -> e
+    | None ->
+        let e = { s_count = 0; s_weight = 1.0; s_pass = !global_pass; s_handle = None } in
+        Hashtbl.replace flows fid e;
+        e
+  in
+  (* Subtract the accumulated pass base from every tag.  A uniform shift
+     preserves all pairwise orderings (and the heap shape), so rebasing is
+     invisible to the grant sequence; it only keeps the floats small. *)
+  let rebase () =
+    let base = !global_pass in
+    Cm_util.Fheap.shift_all heap (-.base);
+    Hashtbl.iter (fun _ e -> e.s_pass <- e.s_pass -. base) flows;
+    global_pass := 0.
+  in
   let enqueue fid =
-    let c = count fid in
-    Hashtbl.replace counts fid (c + 1);
+    let e = entry fid in
+    e.s_count <- e.s_count + 1;
     incr total;
-    if c = 0 && not (Hashtbl.mem passes fid) then Hashtbl.replace passes fid !global_pass;
-    (* a newly backlogged flow re-enters at the current global pass so it
-       cannot hoard credit accumulated while idle *)
-    if c = 0 then Hashtbl.replace passes fid (Float.max !global_pass (Option.value (Hashtbl.find_opt passes fid) ~default:0.))
+    if e.s_count = 1 then begin
+      (* a newly backlogged flow re-enters at the current global pass so it
+         cannot hoard credit accumulated while idle *)
+      e.s_pass <- Float.max !global_pass e.s_pass;
+      e.s_handle <- Some (Cm_util.Fheap.insert heap ~prio:e.s_pass fid)
+    end
   in
   let dequeue () =
     if !total = 0 then None
     else begin
-      let best = ref None in
-      Hashtbl.iter
-        (fun fid c ->
-          if c > 0 then begin
-            let pass = Option.value (Hashtbl.find_opt passes fid) ~default:0. in
-            match !best with
-            | Some (_, best_pass) when best_pass <= pass -> ()
-            | _ -> best := Some (fid, pass)
-          end)
-        counts;
-      match !best with
-      | None -> None
-      | Some (fid, pass) ->
-          Hashtbl.replace counts fid (count fid - 1);
-          decr total;
-          global_pass := pass;
-          Hashtbl.replace passes fid (pass +. (stride_k /. weight fid));
-          Some fid
+      let hd = Cm_util.Fheap.min_handle heap in
+      let fid = Cm_util.Fheap.handle_value hd in
+      let e = entry fid in
+      let pass = e.s_pass in
+      e.s_count <- e.s_count - 1;
+      decr total;
+      global_pass := pass;
+      e.s_pass <- pass +. (stride_k /. e.s_weight);
+      if e.s_count > 0 then ignore (Cm_util.Fheap.update_prio heap hd ~prio:e.s_pass)
+      else begin
+        ignore (Cm_util.Fheap.remove heap hd);
+        e.s_handle <- None
+      end;
+      if !global_pass > rebase_threshold then rebase ();
+      Some fid
     end
   in
   let remove fid =
-    total := !total - count fid;
-    Hashtbl.remove counts fid;
-    Hashtbl.remove weights fid;
-    Hashtbl.remove passes fid
+    match Hashtbl.find_opt flows fid with
+    | None -> ()
+    | Some e ->
+        total := !total - e.s_count;
+        (match e.s_handle with
+        | Some hd -> ignore (Cm_util.Fheap.remove heap hd)
+        | None -> ());
+        Hashtbl.remove flows fid
   in
   let set_weight fid w =
     if w <= 0. then invalid_arg "Scheduler.weighted: weight must be positive";
-    Hashtbl.replace weights fid w
+    (entry fid).s_weight <- w
+  in
+  let pending_for fid =
+    match Hashtbl.find_opt flows fid with Some e -> e.s_count | None -> 0
   in
   {
     name = "weighted-stride";
@@ -110,5 +152,7 @@ let weighted () =
     remove;
     set_weight;
     pending = (fun () -> !total);
-    pending_for = count;
+    pending_for;
   }
+
+let weighted () = weighted_stride ()

@@ -26,8 +26,23 @@ type factory = unit -> t
 
 val round_robin : factory
 (** The paper's default: cycle over flows that have pending requests,
-    one grant per turn, FIFO among a flow's own requests. *)
+    one grant per turn, FIFO among a flow's own requests.  Every
+    operation is O(1) (an active-set ring plus a pending-count table). *)
 
 val weighted : factory
 (** Stride scheduling: flows receive grants in proportion to their
-    weights (default weight 1.0). *)
+    weights (default weight 1.0).  Backlogged flows are indexed in a
+    min-pass priority queue ({!Cm_util.Fheap}), so [dequeue] is O(log n)
+    in the number of {e backlogged} flows — independent of how many flows
+    are registered — and equal pass values grant in FIFO order.
+    Equivalent to [weighted_stride ()]. *)
+
+val weighted_stride : ?rebase_threshold:float -> factory
+(** {!weighted} with an explicit pass-rebase threshold.  Pass values grow
+    monotonically by [stride = 10^6 / weight] per grant; once the global
+    pass exceeds [rebase_threshold] (default 10^15) every pass is shifted
+    down by the global pass in O(flows) — a uniform shift, invisible to
+    the grant order — so float addition never reaches the magnitude
+    (~2^52) where a small stride stops being representable and a
+    heavy-weight flow would silently starve.  Tests use a tiny threshold
+    to force frequent rebases. *)

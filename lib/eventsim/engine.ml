@@ -3,16 +3,28 @@ open Cm_util
 (* One mutable cell per scheduled event.  [fn] doubles as the liveness
    flag: cancellation and execution both overwrite it with the shared
    [dead] closure, so cancel is O(1) (lazy: the entry stays in the heap
-   and is skipped when it reaches the top) and a handle is exactly one
-   heap entry — no tuple, no option. *)
-type event = { mutable fn : unit -> unit }
-type handle = event Heap.handle
+   and is skipped when it reaches the top).
+
+   Event cells and their heap entries are pooled: once an event has been
+   popped (executed or found dead), its entry goes on a free list and the
+   next [schedule_*] reuses it via {!Heap.reinsert}.  Without the pool a
+   deep queue promotes one entry per event out of the minor heap — at
+   thousands of outstanding events the GC promotion traffic, not the sift
+   depth, is what makes per-event cost grow with queue depth.  [stamp]
+   makes reuse safe: a handle captures the stamp at schedule time, and
+   cancel/reschedule on a stale handle (its cell since recycled for a
+   newer event) sees a stamp mismatch and reports [false], exactly as the
+   unpooled engine reported [false] for an already-fired event. *)
+type event = { mutable fn : unit -> unit; mutable stamp : int }
+type handle = { entry : event Heap.handle; h_stamp : int }
 
 let dead : unit -> unit = fun () -> ()
 
 type t = {
   mutable clock : Time.t;
   queue : event Heap.t;
+  mutable pool : event Heap.handle list; (* popped entries awaiting reuse *)
+  mutable next_stamp : int;
   mutable executed : int;
   mutable cancelled : int; (* dead events still sitting in [queue] *)
   mutable clamped : int; (* negative-delay schedules clamped to "now" *)
@@ -23,6 +35,8 @@ let create ?(start = Time.zero) () =
   {
     clock = start;
     queue = Heap.create ();
+    pool = [];
+    next_stamp = 0;
     executed = 0;
     cancelled = 0;
     clamped = 0;
@@ -36,15 +50,32 @@ let schedule_at t when_ fn =
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is in the past (now %a)" Time.pp when_ Time.pp
          t.clock);
-  Heap.insert t.queue ~prio:when_ { fn }
+  t.next_stamp <- t.next_stamp + 1;
+  let stamp = t.next_stamp in
+  match t.pool with
+  | entry :: rest ->
+      t.pool <- rest;
+      let ev = Heap.handle_value entry in
+      ev.fn <- fn;
+      ev.stamp <- stamp;
+      Heap.reinsert t.queue entry ~prio:when_;
+      { entry; h_stamp = stamp }
+  | [] -> { entry = Heap.insert t.queue ~prio:when_ { fn; stamp }; h_stamp = stamp }
 
 let schedule_after t d fn =
   if d < 0 then t.clamped <- t.clamped + 1;
   schedule_at t (Time.add t.clock (Stdlib.max d 0)) fn
 
+(* A handle is live iff its cell has not been recycled for a newer event
+   (stamp matches) and the event has neither fired nor been cancelled. *)
+let live h =
+  let ev = Heap.handle_value h.entry in
+  ev.stamp = h.h_stamp && ev.fn != dead
+
 (* Compact once dead entries dominate: rare (amortized O(1) per cancel),
    and only worthwhile when cancelled events would otherwise linger far in
-   the future, e.g. retransmit timers that keep being reset. *)
+   the future, e.g. retransmit timers that keep being reset.  Entries the
+   filter drops are simply GC'd rather than pooled. *)
 let maybe_compact t =
   if t.cancelled > 64 && t.cancelled > Heap.size t.queue / 2 then begin
     Heap.filter_in_place t.queue (fun ev -> ev.fn != dead);
@@ -52,10 +83,9 @@ let maybe_compact t =
   end
 
 let cancel t h =
-  let ev = Heap.handle_value h in
-  if ev.fn == dead then false
+  if not (live h) then false
   else begin
-    ev.fn <- dead;
+    (Heap.handle_value h.entry).fn <- dead;
     t.cancelled <- t.cancelled + 1;
     maybe_compact t;
     true
@@ -66,22 +96,22 @@ let reschedule t h when_ =
     invalid_arg
       (Format.asprintf "Engine.reschedule: %a is in the past (now %a)" Time.pp when_ Time.pp
          t.clock);
-  let ev = Heap.handle_value h in
-  if ev.fn == dead then false else Heap.update_prio t.queue h ~prio:when_
+  if not (live h) then false else Heap.update_prio t.queue h.entry ~prio:when_
 
 let pending t = Heap.size t.queue - t.cancelled
 
 let rec step t =
   if Heap.is_empty t.queue then false
   else begin
-    let h = Heap.pop_min t.queue in
-    let ev = Heap.handle_value h in
+    let entry = Heap.pop_min t.queue in
+    let ev = Heap.handle_value entry in
+    t.pool <- entry :: t.pool;
     if ev.fn == dead then begin
       t.cancelled <- t.cancelled - 1;
       step t
     end
     else begin
-      t.clock <- Heap.handle_prio h;
+      t.clock <- Heap.handle_prio entry;
       t.executed <- t.executed + 1;
       let f = ev.fn in
       ev.fn <- dead;
@@ -105,17 +135,19 @@ let run ?until t =
       while !continue do
         if Heap.is_empty t.queue then continue := false
         else begin
-          let h = Heap.min_handle t.queue in
-          let ev = Heap.handle_value h in
+          let entry = Heap.min_handle t.queue in
+          let ev = Heap.handle_value entry in
           if ev.fn == dead then begin
             ignore (Heap.pop_min t.queue);
+            t.pool <- entry :: t.pool;
             t.cancelled <- t.cancelled - 1
           end
           else begin
-            let when_ = Heap.handle_prio h in
+            let when_ = Heap.handle_prio entry in
             if when_ > limit then continue := false
             else begin
               ignore (Heap.pop_min t.queue);
+              t.pool <- entry :: t.pool;
               t.clock <- when_;
               t.executed <- t.executed + 1;
               let f = ev.fn in

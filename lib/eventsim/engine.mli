@@ -12,9 +12,12 @@ type t
 (** An engine instance. *)
 
 type handle
-(** Names a scheduled event so it can be cancelled or rescheduled.  A
-    handle is a single unboxed heap entry; cancellation is lazy (O(1)
-    mark-dead, skipped when it reaches the head of the queue). *)
+(** Names a scheduled event so it can be cancelled or rescheduled.
+    Cancellation is lazy (O(1) mark-dead, skipped when it reaches the head
+    of the queue).  Event cells are pooled and recycled across schedules;
+    a stamp in the handle keeps stale handles safe — cancel/reschedule on
+    an event that already ran simply return [false], even if its cell has
+    since been reused for a newer event. *)
 
 val create : ?start:Time.t -> unit -> t
 (** [create ()] is a fresh engine with the clock at [start]

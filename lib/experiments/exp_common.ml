@@ -17,11 +17,11 @@ let request_telemetry ?(period = Time.ms 100) () = { period; captured = [] }
 (* Every experiment builds its CM through here so the endpoint-fault
    defenses (feedback watchdog + misbehaviour auditor) can be toggled
    uniformly — the bench measures their overhead this way. *)
-let create_cm params engine ?mtu ?grant_reclaim_after () =
+let create_cm params engine ?mtu ?scheduler ?grant_reclaim_after () =
   if params.defenses then
-    Cm.create engine ?mtu ?grant_reclaim_after
+    Cm.create engine ?mtu ?scheduler ?grant_reclaim_after
       ~feedback_watchdog:Cm.Macroflow.default_watchdog ~auditor:Cm.default_auditor ()
-  else Cm.create engine ?mtu ?grant_reclaim_after ()
+  else Cm.create engine ?mtu ?scheduler ?grant_reclaim_after ()
 
 (* One call per simulated system inside an experiment: builds the
    telemetry instance (when the run asked for one), wires the interesting

@@ -26,9 +26,16 @@ val default_params : params
 (** [seed = 42], [full = false], no telemetry, no defenses. *)
 
 val create_cm :
-  params -> Eventsim.Engine.t -> ?mtu:int -> ?grant_reclaim_after:Time.span -> unit -> Cm.t
+  params ->
+  Eventsim.Engine.t ->
+  ?mtu:int ->
+  ?scheduler:Cm.Scheduler.factory ->
+  ?grant_reclaim_after:Time.span ->
+  unit ->
+  Cm.t
 (** Build a CM honoring [params.defenses] ({!Cm.default_auditor} and
-    {!Cm.Macroflow.default_watchdog} when on). *)
+    {!Cm.Macroflow.default_watchdog} when on).  [scheduler] passes
+    through to {!Cm.create} (the scale family runs both). *)
 
 val request_telemetry : ?period:Time.span -> unit -> telemetry_request
 (** A fresh request sampling every [period] (default 100 ms virtual). *)

@@ -1,0 +1,57 @@
+(** Many-flow scalability experiment family.
+
+    A web-server-like closed-loop workload driven straight against the CM
+    API: N ∈ \{64, 512, 4096, 16384\} concurrent flows spread over N/32
+    destination hosts (hundreds of macroflows at the top end), each
+    running a fixed number of request → grant → notify → update cycles
+    over a synthetic ~2 ms path, with a slice of flows closing and
+    reopening mid-run and everything closed at the end.  Run under both
+    schedulers (round-robin and weighted stride).
+
+    The deterministic JSON ({!to_json}) reports virtual-time metrics only
+    — grant counts, engine events, events-per-grant, request→grant
+    latency percentiles, teardown probes — and is byte-identical for a
+    fixed seed (the CI scale determinism gate diffs it).  Host wall-clock
+    throughput (events/sec) is reported separately by [bench/] in
+    BENCH_PR5.json, where sub-linear per-grant cost appears as events/sec
+    staying within 2× between N=64 and N=4096. *)
+
+type sched = Rr | Stride
+
+val sched_name : sched -> string
+
+type point = {
+  p_sched : sched;
+  p_flows : int;
+  p_macroflows : int;  (** per-destination macroflows actually created *)
+  p_rounds : int;  (** grant cycles per flow *)
+  p_grants : int;
+  p_closes : int;
+  p_events : int;  (** engine callbacks executed *)
+  p_virtual_s : float;
+  p_lat_p50_us : float;  (** request → grant latency (virtual time) *)
+  p_lat_p99_us : float;
+  p_teardown_probes : int;  (** {!Cm.teardown_probes} after close-all *)
+  p_wall_s : float;  (** host wall clock; excluded from {!to_json} *)
+}
+
+val family : int list
+(** The standard flow counts: [64; 512; 4096; 16384]. *)
+
+val rounds : int
+(** Grant cycles per flow (fixed, so events/sec is comparable across N). *)
+
+val run_point : ?rounds:int -> Exp_common.params -> sched:sched -> flows:int -> point
+(** One (scheduler, N) cell.  [rounds] defaults to {!rounds}; the bench
+    raises it at small N so every sample covers a comparable wall-clock
+    window (a ~1 ms N=64 run with the standard 24 rounds would dodge its
+    share of GC and scheduler noise). *)
+
+val run : ?sizes:int list -> Exp_common.params -> point list
+(** Every (scheduler, N) cell; [sizes] defaults to {!family}. *)
+
+val to_json : Exp_common.params -> point list -> Exp_common.Json.t
+(** Virtual-time metrics only — deterministic for a fixed seed. *)
+
+val print : Exp_common.params -> point list -> unit
+(** Header plus the {!to_json} document on one line. *)

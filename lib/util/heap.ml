@@ -15,59 +15,143 @@ type 'a handle = 'a entry
 let sentinel_block : unit entry = { prio = max_int; seq = max_int; value = (); pos = -1 }
 let sentinel () : 'a entry = Obj.magic sentinel_block
 
+(* Layout: a 4-ary heap over [arr], with the (prio, seq) key of slot [i]
+   mirrored into the flat int array at [key.(2i)] / [key.(2i+1)].  Sift
+   comparisons read only [key] — cache-line-local unboxed ints — instead of
+   chasing a boxed entry pointer per level; entry records are touched only
+   when a slot actually moves.  Keys are unique (the seq tie-break), so the
+   pop order is a total order independent of heap shape: switching arity or
+   rebuilding the layout cannot change any observable extraction sequence. *)
 type 'a t = {
   mutable arr : 'a entry array;
+  mutable key : int array; (* 2 ints per slot: prio at 2i, seq at 2i+1 *)
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { arr = Array.make 16 (sentinel ()); len = 0; next_seq = 0 }
+let create () =
+  { arr = Array.make 16 (sentinel ()); key = Array.make 32 0; len = 0; next_seq = 0 }
+
 let size h = h.len
 let is_empty h = h.len = 0
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let less_idx h i j =
+  let k = h.key in
+  let pi = Array.unsafe_get k (2 * i) and pj = Array.unsafe_get k (2 * j) in
+  pi < pj
+  || (pi = pj && Array.unsafe_get k ((2 * i) + 1) < Array.unsafe_get k ((2 * j) + 1))
 
 let set h i e =
   h.arr.(i) <- e;
+  h.key.((2 * i)) <- e.prio;
+  h.key.((2 * i) + 1) <- e.seq;
   e.pos <- i
 
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    let e = h.arr.(i) and p = h.arr.(parent) in
-    if less e p then begin
-      set h parent e;
-      set h i p;
-      sift_up h parent
+(* Both sifts move a hole instead of swapping: the displaced element's key
+   stays in registers while neighbours shift through the flat key array,
+   so each level touches exactly one entry block (the neighbour's [pos]
+   update) instead of re-reading boxed [prio]/[seq] fields — the dependent
+   load that dominates sift cost once the heap outgrows L1. *)
+let sift_up h i0 =
+  if i0 > 0 then begin
+    let e = h.arr.(i0) in
+    let k = h.key in
+    let ep = Array.unsafe_get k (2 * i0) and es = Array.unsafe_get k ((2 * i0) + 1) in
+    let i = ref i0 in
+    let continue = ref true in
+    while !continue do
+      if !i = 0 then continue := false
+      else begin
+        let parent = (!i - 1) / 4 in
+        let pp = Array.unsafe_get k (2 * parent)
+        and ps = Array.unsafe_get k ((2 * parent) + 1) in
+        if ep < pp || (ep = pp && es < ps) then begin
+          let moved = h.arr.(parent) in
+          h.arr.(!i) <- moved;
+          moved.pos <- !i;
+          Array.unsafe_set k (2 * !i) pp;
+          Array.unsafe_set k ((2 * !i) + 1) ps;
+          i := parent
+        end
+        else continue := false
+      end
+    done;
+    if !i <> i0 then begin
+      h.arr.(!i) <- e;
+      e.pos <- !i;
+      Array.unsafe_set k (2 * !i) ep;
+      Array.unsafe_set k ((2 * !i) + 1) es
     end
   end
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
-  if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let a = h.arr.(i) and b = h.arr.(!smallest) in
-    set h i b;
-    set h !smallest a;
-    sift_down h !smallest
+let sift_down h i0 =
+  let e = h.arr.(i0) in
+  let k = h.key in
+  let ep = Array.unsafe_get k (2 * i0) and es = Array.unsafe_get k ((2 * i0) + 1) in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let base = (4 * !i) + 1 in
+    if base >= h.len then continue := false
+    else begin
+      let last = Stdlib.min (base + 3) (h.len - 1) in
+      let m = ref base in
+      for c = base + 1 to last do
+        if less_idx h c !m then m := c
+      done;
+      let mp = Array.unsafe_get k (2 * !m) and ms = Array.unsafe_get k ((2 * !m) + 1) in
+      if mp < ep || (mp = ep && ms < es) then begin
+        let child = h.arr.(!m) in
+        h.arr.(!i) <- child;
+        child.pos <- !i;
+        Array.unsafe_set k (2 * !i) mp;
+        Array.unsafe_set k ((2 * !i) + 1) ms;
+        i := !m
+      end
+      else continue := false
+    end
+  done;
+  if !i <> i0 then begin
+    h.arr.(!i) <- e;
+    e.pos <- !i;
+    Array.unsafe_set k (2 * !i) ep;
+    Array.unsafe_set k ((2 * !i) + 1) es
   end
 
 let grow h =
   if h.len = Array.length h.arr then begin
-    let bigger = Array.make (2 * Array.length h.arr) (sentinel ()) in
+    let cap = 2 * Array.length h.arr in
+    let bigger = Array.make cap (sentinel ()) in
     Array.blit h.arr 0 bigger 0 h.len;
-    h.arr <- bigger
+    h.arr <- bigger;
+    let bigger_key = Array.make (2 * cap) 0 in
+    Array.blit h.key 0 bigger_key 0 (2 * h.len);
+    h.key <- bigger_key
   end
 
 let insert h ~prio value =
   grow h;
   let e = { prio; seq = h.next_seq; value; pos = h.len } in
   h.next_seq <- h.next_seq + 1;
-  h.arr.(h.len) <- e;
   h.len <- h.len + 1;
+  set h (h.len - 1) e;
   sift_up h (h.len - 1);
   e
+
+(* Re-insertion of an extracted entry: the block (and its value) is reused
+   instead of allocating a fresh entry, which keeps long-lived queues from
+   promoting one record per insert out of the minor heap.  Takes a fresh
+   sequence number from the same counter as [insert], so the observable
+   FIFO order among equal priorities is identical to a fresh insert. *)
+let reinsert h (e : 'a handle) ~prio =
+  if e.pos >= 0 then invalid_arg "Heap.reinsert: handle still in heap";
+  grow h;
+  e.prio <- prio;
+  e.seq <- h.next_seq;
+  h.next_seq <- h.next_seq + 1;
+  h.len <- h.len + 1;
+  set h (h.len - 1) e;
+  sift_up h (h.len - 1)
 
 let min_elt h = if h.len = 0 then None else Some (h.arr.(0).prio, h.arr.(0).value)
 let min_handle h = if h.len = 0 then invalid_arg "Heap.min_handle: empty" else h.arr.(0)
@@ -120,6 +204,8 @@ let update_prio h hd ~prio =
     hd.prio <- prio;
     hd.seq <- h.next_seq;
     h.next_seq <- h.next_seq + 1;
+    h.key.((2 * hd.pos)) <- prio;
+    h.key.((2 * hd.pos) + 1) <- hd.seq;
     sift_up h hd.pos;
     sift_down h hd.pos;
     true
@@ -129,9 +215,10 @@ let update_prio h hd ~prio =
    determined by the (prio, seq) comparator, so rebuilding preserves the
    observable extraction order. *)
 let heapify h =
-  for i = (h.len / 2) - 1 downto 0 do
-    sift_down h i
-  done
+  if h.len > 1 then
+    for i = (h.len - 2) / 4 downto 0 do
+      sift_down h i
+    done
 
 let filter_in_place h keep =
   let kept = ref 0 in

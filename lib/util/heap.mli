@@ -1,9 +1,14 @@
-(** Removable binary min-heap.
+(** Removable indexed min-heap (4-ary, flat key mirror).
 
     Backs the event queue: O(log n) insert and extract-min, O(log n)
     removal of an arbitrary element through its handle.  Elements are
     ordered by a priority supplied at insertion plus an insertion sequence
-    number, so equal priorities pop in FIFO order (stable). *)
+    number, so equal priorities pop in FIFO order (stable).  The layout is
+    a 4-ary heap with the (priority, seq) keys mirrored into a flat int
+    array: half the levels of a binary heap, and sift comparisons touch
+    only unboxed cache-line-local ints rather than one boxed entry per
+    level.  Keys are unique, so the extraction order is independent of
+    heap arity or internal layout. *)
 
 type 'a t
 (** A heap of values of type ['a] keyed by integer priority. *)
@@ -24,6 +29,14 @@ val is_empty : 'a t -> bool
 val insert : 'a t -> prio:int -> 'a -> 'a handle
 (** [insert h ~prio v] adds [v] with priority [prio] and returns its
     handle. *)
+
+val reinsert : 'a t -> 'a handle -> prio:int -> unit
+(** [reinsert h hd ~prio] puts an extracted (or removed) entry back into
+    the heap at [prio], reusing the entry block and its value instead of
+    allocating — the recycling half of an object-pooling discipline for
+    long-lived queues.  The entry takes a fresh sequence number, so among
+    equal priorities it behaves exactly like a fresh {!insert}.  Raises
+    [Invalid_argument] if the handle is still live. *)
 
 val min_elt : 'a t -> (int * 'a) option
 (** Smallest (priority, value) without removing it. *)

@@ -228,6 +228,68 @@ let test_weighted_proportional () =
     true
     (n1 >= 27 && n1 <= 33 && n1 + n2 = 40)
 
+(* satellite (b): pass rebasing must be invisible to fairness.  A tiny
+   threshold forces thousands of rebases over 10M grants; the 10:1 weight
+   split has to survive every one of them. *)
+let test_stride_rebase_fairness () =
+  let s = Scheduler.weighted_stride ~rebase_threshold:1e9 () in
+  s.Scheduler.set_weight 1 1.0;
+  s.Scheduler.set_weight 2 10.0;
+  s.Scheduler.enqueue 1;
+  s.Scheduler.enqueue 2;
+  let n1 = ref 0 and n2 = ref 0 in
+  let total = 10_000_000 in
+  for _ = 1 to total do
+    match s.Scheduler.dequeue () with
+    | Some 1 ->
+        incr n1;
+        s.Scheduler.enqueue 1
+    | Some 2 ->
+        incr n2;
+        s.Scheduler.enqueue 2
+    | _ -> Alcotest.fail "scheduler ran dry"
+  done;
+  let ratio = float_of_int !n2 /. float_of_int !n1 in
+  Alcotest.(check int) "every grant accounted" total (!n1 + !n2);
+  Alcotest.(check bool)
+    (Printf.sprintf "10:1 split after 10M grants across rebases (%d vs %d)" !n2 !n1)
+    true
+    (ratio > 9.9 && ratio < 10.1)
+
+(* satellite (c): at N=4096, over full cycles with every flow backlogged,
+   each flow's grant count stays within +/-1 of its weighted share *)
+let check_full_cycle_share s ~weights ~cycles =
+  let n = Array.length weights in
+  let sum_w = Array.fold_left ( + ) 0 weights in
+  for i = 0 to n - 1 do
+    for _ = 1 to (cycles * weights.(i)) + 2 do
+      s.Scheduler.enqueue i
+    done
+  done;
+  let got = Array.make n 0 in
+  for _ = 1 to cycles * sum_w do
+    match s.Scheduler.dequeue () with
+    | Some i -> got.(i) <- got.(i) + 1
+    | None -> Alcotest.fail "scheduler ran dry"
+  done;
+  Array.iteri
+    (fun i g ->
+      let ideal = cycles * weights.(i) in
+      if abs (g - ideal) > 1 then
+        Alcotest.failf "flow %d got %d grants, weighted share %d (weight %d)" i g ideal
+          weights.(i))
+    got
+
+let test_rr_share_at_4096 () =
+  let weights = Array.make 4096 1 in
+  check_full_cycle_share (Scheduler.round_robin ()) ~weights ~cycles:3
+
+let test_stride_share_at_4096 () =
+  let weights = Array.init 4096 (fun i -> 1 + (i mod 3)) in
+  let s = Scheduler.weighted () in
+  Array.iteri (fun i w -> s.Scheduler.set_weight i (float_of_int w)) weights;
+  check_full_cycle_share s ~weights ~cycles:3
+
 (* ------------------------------------------------------------------ *)
 (* CM API tests *)
 
@@ -625,6 +687,30 @@ let prop_controller_invariants =
       c.Controller.reset ();
       !ok && c.Controller.cwnd () = mtu)
 
+(* satellite (a): closing one flow must examine a bounded number of
+   macroflows no matter how many destinations the CM has ever talked to.
+   [Cm.teardown_probes] counts macroflows examined by the teardown path;
+   before the reverse index it grew with hosts-ever-contacted. *)
+let close_probe_delta ~macroflows =
+  let _engine, cm = make_env () in
+  let keep =
+    List.init macroflows (fun d -> Cm.open_flow cm (flow_key ~sport:100 ~dst:(1 + d) ()))
+  in
+  let victim = Cm.open_flow cm (flow_key ~sport:101 ~dst:1 ()) in
+  let before = Cm.teardown_probes cm in
+  Cm.close_flow cm victim;
+  let delta = Cm.teardown_probes cm - before in
+  List.iter (Cm.close_flow cm) keep;
+  delta
+
+let test_close_cost_constant () =
+  let small = close_probe_delta ~macroflows:4 in
+  let large = close_probe_delta ~macroflows:256 in
+  Alcotest.(check int)
+    (Printf.sprintf "probes per close equal at 4 and 256 macroflows (%d vs %d)" small large)
+    small large;
+  Alcotest.(check bool) "constant per close" true (small <= 2)
+
 let () =
   Alcotest.run "cm"
     [
@@ -649,6 +735,10 @@ let () =
           Alcotest.test_case "remove purges requests" `Quick test_rr_remove_purges;
           Alcotest.test_case "pending counts" `Quick test_rr_pending_counts;
           Alcotest.test_case "weighted is proportional" `Quick test_weighted_proportional;
+          Alcotest.test_case "stride fairness across 10M-grant rebases" `Slow
+            test_stride_rebase_fairness;
+          Alcotest.test_case "rr share +/-1 at 4096 flows" `Quick test_rr_share_at_4096;
+          Alcotest.test_case "stride share +/-1 at 4096 flows" `Quick test_stride_share_at_4096;
         ] );
       ( "api",
         [
@@ -675,6 +765,8 @@ let () =
           Alcotest.test_case "dscp range check" `Quick test_dscp_rejected_out_of_range;
           Alcotest.test_case "summary dump renders" `Quick test_pp_summary_renders;
           Alcotest.test_case "idle restart option" `Quick test_idle_restart_resets_window;
+          Alcotest.test_case "close cost independent of macroflow count" `Quick
+            test_close_cost_constant;
         ] );
       ( "properties",
         [

@@ -105,6 +105,20 @@ let test_reschedule_cancelled_returns_false () =
   Engine.run e;
   Alcotest.(check int) "nothing executed" 0 (Engine.events_executed e)
 
+let test_stale_handle_after_reuse () =
+  (* event cells are pooled: after an event fires, the next schedule
+     recycles its cell.  A handle to the fired event must stay inert —
+     cancel/reschedule return false and must not touch the new tenant. *)
+  let e = Engine.create () in
+  let fired = ref [] in
+  let h1 = Engine.schedule_at e (Time.ms 10) (fun () -> fired := 1 :: !fired) in
+  Engine.run e;
+  let _h2 = Engine.schedule_at e (Time.ms 20) (fun () -> fired := 2 :: !fired) in
+  "cancel of fired handle is inert" => not (Engine.cancel e h1);
+  "reschedule of fired handle is inert" => not (Engine.reschedule e h1 (Time.ms 99));
+  Engine.run e;
+  Alcotest.(check (list int)) "both events fired, reused cell unharmed" [ 2; 1 ] !fired
+
 let test_clamped_counter () =
   let e = Engine.create () in
   Alcotest.(check int) "starts at zero" 0 (Engine.schedules_clamped e);
@@ -316,6 +330,8 @@ let () =
           Alcotest.test_case "step and counters" `Quick test_step_and_counters;
           Alcotest.test_case "reschedule" `Quick test_reschedule;
           Alcotest.test_case "reschedule cancelled" `Quick test_reschedule_cancelled_returns_false;
+          Alcotest.test_case "stale handle after cell reuse" `Quick
+            test_stale_handle_after_reuse;
           Alcotest.test_case "clamped counter" `Quick test_clamped_counter;
           Alcotest.test_case "lazy cancel pending" `Quick test_lazy_cancel_pending;
           Alcotest.test_case "run_for windows" `Quick test_run_for;

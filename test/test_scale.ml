@@ -1,0 +1,48 @@
+(* Tests for the many-flow scale experiment family: deterministic JSON
+   (the CI gate diffs same-seed runs byte-for-byte) and the workload's
+   accounting invariants. *)
+
+let params seed = { Experiments.Exp_common.default_params with Experiments.Exp_common.seed }
+
+let json p points =
+  Experiments.Exp_common.Json.to_string (Experiments.Scale.to_json p points)
+
+(* same seed, same JSON — the wall clock is deliberately outside it *)
+let test_deterministic () =
+  let p = params 7 in
+  let run () = Experiments.Scale.run ~sizes:[ 64 ] p in
+  Alcotest.(check string) "same-seed runs serialize identically" (json p (run ()))
+    (json p (run ()))
+
+let test_seed_matters () =
+  let run seed = json (params seed) (Experiments.Scale.run ~sizes:[ 64 ] (params seed)) in
+  Alcotest.(check bool) "different seeds give different latency profiles" true
+    (run 7 <> run 8)
+
+let test_accounting () =
+  let p = params 7 in
+  let pt = Experiments.Scale.run_point p ~sched:Experiments.Scale.Rr ~flows:64 in
+  let open Experiments.Scale in
+  Alcotest.(check int) "every flow completes its rounds" (64 * rounds) pt.p_grants;
+  Alcotest.(check bool) "churn closes on top of the final close-all" true (pt.p_closes > 64);
+  Alcotest.(check int) "teardown probes: one per close" pt.p_closes pt.p_teardown_probes;
+  Alcotest.(check int) "macroflows = flows / 32" 2 pt.p_macroflows
+
+(* both schedulers drive the same workload to completion *)
+let test_stride_point () =
+  let p = params 7 in
+  let pt = Experiments.Scale.run_point p ~sched:Experiments.Scale.Stride ~flows:64 in
+  Alcotest.(check int) "every flow completes its rounds" (64 * Experiments.Scale.rounds)
+    pt.Experiments.Scale.p_grants
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "scale",
+        [
+          Alcotest.test_case "deterministic JSON for a fixed seed" `Quick test_deterministic;
+          Alcotest.test_case "seed changes the run" `Quick test_seed_matters;
+          Alcotest.test_case "grant/close accounting" `Quick test_accounting;
+          Alcotest.test_case "stride scheduler completes the workload" `Quick test_stride_point;
+        ] );
+    ]

@@ -169,6 +169,26 @@ let test_heap_update_prio_refreshes_fifo () =
   let order = List.init 2 (fun _ -> Heap.extract_min h) |> List.filter_map Fun.id |> List.map snd in
   Alcotest.(check (list string)) "re-keyed element moved behind" [ "second"; "rekeyed" ] order
 
+let test_heap_reinsert () =
+  (* an extracted entry can be recycled: same value, fresh key, and FIFO
+     behaviour identical to a fresh insert among equal priorities *)
+  let h = Heap.create () in
+  let a = Heap.insert h ~prio:10 "recycled" in
+  ignore (Heap.extract_min h);
+  "extracted handle is dead" => not (Heap.mem h a);
+  ignore (Heap.insert h ~prio:7 "tie-first");
+  Heap.reinsert h a ~prio:7;
+  "reinserted handle is live" => Heap.mem h a;
+  let out = List.init 2 (fun _ -> Heap.extract_min h) |> List.filter_map Fun.id in
+  Alcotest.(check (list (pair int string)))
+    "reinserted entry behaves like a fresh insert"
+    [ (7, "tie-first"); (7, "recycled") ]
+    out;
+  (try
+     Heap.reinsert h (Heap.insert h ~prio:1 "live") ~prio:2;
+     Alcotest.fail "reinsert of a live handle must raise"
+   with Invalid_argument _ -> ())
+
 (* Model-based randomized test: drive the heap and a sorted-list reference
    with the same operation stream (insert / extract_min / remove /
    update_prio) and require identical observable behaviour, including the
@@ -379,6 +399,87 @@ let prop_byte_queue_conserves =
       drain ();
       ok1 && !popped = total && Byte_queue.bytes q = 0)
 
+(* ---- Fheap (float-priority indexed heap) ---------------------------- *)
+
+let test_fheap_orders () =
+  let h = Fheap.create () in
+  List.iter (fun p -> ignore (Fheap.insert h ~prio:p p)) [ 5.; 1.5; 4.; 1.5; 3.; 9.; 0.25 ];
+  let out = List.init 7 (fun _ -> Fheap.extract_min h) |> List.filter_map Fun.id in
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "sorted output"
+    [ (0.25, 0.25); (1.5, 1.5); (1.5, 1.5); (3., 3.); (4., 4.); (5., 5.); (9., 9.) ]
+    out
+
+let test_fheap_fifo_ties () =
+  let h = Fheap.create () in
+  ignore (Fheap.insert h ~prio:7. "first");
+  ignore (Fheap.insert h ~prio:7. "second");
+  ignore (Fheap.insert h ~prio:7. "third");
+  let order =
+    List.init 3 (fun _ -> Fheap.extract_min h) |> List.filter_map Fun.id |> List.map snd
+  in
+  Alcotest.(check (list string)) "FIFO among equal priorities" [ "first"; "second"; "third" ] order
+
+let test_fheap_update_prio () =
+  let h = Fheap.create () in
+  let a = Fheap.insert h ~prio:1. "a" in
+  let b = Fheap.insert h ~prio:2. "b" in
+  let _c = Fheap.insert h ~prio:3. "c" in
+  let next h = Option.map snd (Fheap.extract_min h) in
+  "update live handle" => Fheap.update_prio h b ~prio:0.5;
+  Alcotest.(check (option string)) "b floats to the top" (Some "b") (next h);
+  "update live handle" => Fheap.update_prio h a ~prio:10.;
+  Alcotest.(check (option string)) "a sinks below c" (Some "c") (next h);
+  Alcotest.(check (option string)) "a last" (Some "a") (next h)
+
+let test_fheap_remove () =
+  let h = Fheap.create () in
+  let _a = Fheap.insert h ~prio:1. "a" in
+  let b = Fheap.insert h ~prio:2. "b" in
+  let _c = Fheap.insert h ~prio:3. "c" in
+  "remove live handle" => Fheap.remove h b;
+  Alcotest.(check bool) "b gone" false (Fheap.mem h b);
+  Alcotest.(check int) "size 2" 2 (Fheap.size h);
+  let out =
+    List.init 2 (fun _ -> Fheap.extract_min h) |> List.filter_map Fun.id |> List.map snd
+  in
+  Alcotest.(check (list string)) "remaining order" [ "a"; "c" ] out
+
+(* shift_all is the stride scheduler's pass rebase: a uniform shift must
+   preserve the extraction order exactly (same relative keys, same FIFO
+   ranks), only the absolute priorities change *)
+let test_fheap_shift_preserves_order () =
+  let mk () =
+    let h = Fheap.create () in
+    List.iteri
+      (fun i p -> ignore (Fheap.insert h ~prio:p (i, p)))
+      [ 12.5; 3.; 3.; 77.; 0.5; 12.5; 8. ];
+    h
+  in
+  let h1 = mk () and h2 = mk () in
+  Fheap.shift_all h2 (-1e6);
+  let drain h = List.init 7 (fun _ -> Fheap.extract_min h) |> List.filter_map Fun.id in
+  let vals = List.map snd and prios = List.map fst in
+  let o1 = drain h1 and o2 = drain h2 in
+  Alcotest.(check (list (pair int (float 0.))))
+    "same values in the same order" (vals o1) (vals o2);
+  List.iter2
+    (fun p1 p2 -> Alcotest.(check (float 1e-9)) "priority shifted by delta" (p1 -. 1e6) p2)
+    (prios o1) (prios o2)
+
+let prop_fheap_sorts =
+  QCheck.Test.make ~name:"fheap extracts in nondecreasing order" ~count:200
+    QCheck.(list (float_bound_exclusive 1e9))
+    (fun prios ->
+      let h = Fheap.create () in
+      List.iter (fun p -> ignore (Fheap.insert h ~prio:p p)) prios;
+      let rec drain last =
+        match Fheap.extract_min h with
+        | None -> true
+        | Some (p, _) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
 let () =
   Alcotest.run "util"
     [
@@ -406,9 +507,19 @@ let () =
           Alcotest.test_case "update_prio re-keys" `Quick test_heap_update_prio;
           Alcotest.test_case "update_prio refreshes FIFO rank" `Quick
             test_heap_update_prio_refreshes_fifo;
+          Alcotest.test_case "reinsert recycles an extracted entry" `Quick test_heap_reinsert;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
           QCheck_alcotest.to_alcotest prop_heap_removal_consistent;
           QCheck_alcotest.to_alcotest prop_heap_model;
+        ] );
+      ( "fheap",
+        [
+          Alcotest.test_case "orders by priority" `Quick test_fheap_orders;
+          Alcotest.test_case "fifo among ties" `Quick test_fheap_fifo_ties;
+          Alcotest.test_case "update_prio re-keys" `Quick test_fheap_update_prio;
+          Alcotest.test_case "removal" `Quick test_fheap_remove;
+          Alcotest.test_case "shift_all preserves order" `Quick test_fheap_shift_preserves_order;
+          QCheck_alcotest.to_alcotest prop_fheap_sorts;
         ] );
       ( "stats",
         [
