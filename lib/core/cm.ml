@@ -9,17 +9,19 @@ module Controller = Controller
 module Scheduler = Scheduler
 module Macroflow = Macroflow
 
+(* Field order is deliberate: the fields every request/notify/update
+   touches (id and liveness, macroflow and member pointers, the ledger)
+   come first so the per-packet paths stay within the record's leading
+   cache lines; close-path and policy fields trail. *)
 type flow = {
   fid : Cm_types.flow_id;
-  key : Addr.flow;
-  mutable mf : Macroflow.t;
-  mutable send_cb : (Cm_types.flow_id -> unit) option;
-  mutable update_cb : (Cm_types.status -> unit) option;
-  mutable thresh_down : float;
-  mutable thresh_up : float;
-  mutable last_reported_rate : float;
-  mutable update_pending : bool;
   mutable open_ : bool;
+  mutable mf : Macroflow.t;
+  (* the flow's member handle within [mf]: its scheduler slot and grant
+     chain, so request/notify/teardown reach macroflow state by pointer
+     instead of by id lookup; rewired by [move_flow] *)
+  mutable fl_mem : Macroflow.member;
+  mutable send_cb : (Cm_types.flow_id -> unit) option;
   (* per-flow cross-check ledger (bytes, cumulative since open).  The
      misbehaviour auditor compares these: an honest client keeps
      notified ≲ granted and nsent ≤ charged. *)
@@ -28,9 +30,29 @@ type flow = {
   mutable a_charged : int; (* bytes actually charged to the window *)
   mutable a_nsent : int; (* bytes resolved by accepted cm_update feedback *)
   mutable last_update : Time.t;
+  (* the member index of [mf], cached so the per-update watcher check is a
+     field read instead of a hash lookup; refreshed by [index_add] *)
+  mutable fl_ix : mf_index;
+  key : Addr.flow;
+  mutable update_cb : (Cm_types.status -> unit) option;
+  mutable thresh_down : float;
+  mutable thresh_up : float;
+  mutable last_reported_rate : float;
+  mutable update_pending : bool;
   mutable last_inflation : Time.t; (* rate limiter for charge-inflation strikes *)
   mutable suspicion : int;
   mutable quarantined : bool;
+}
+
+(* Reverse index: the open flows attached to one macroflow, plus how many
+   of them registered a rate callback.  Every per-grant / per-update /
+   per-tick control path walks this member set (or skips it outright when
+   no member watches rates) instead of folding over the global flow table,
+   so the cost of serving one macroflow no longer grows with the number of
+   flows the CM serves overall. *)
+and mf_index = {
+  mx_flows : (Cm_types.flow_id, flow) Hashtbl.t;
+  mutable mx_watchers : int; (* members with an update_cb registered *)
 }
 
 type counters = {
@@ -68,17 +90,6 @@ let default_auditor =
 
 type aggregation = By_destination | By_destination_and_dscp
 
-(* Reverse index: the open flows attached to one macroflow, plus how many
-   of them registered a rate callback.  Every per-grant / per-update /
-   per-tick control path walks this member set (or skips it outright when
-   no member watches rates) instead of folding over the global flow table,
-   so the cost of serving one macroflow no longer grows with the number of
-   flows the CM serves overall. *)
-type mf_index = {
-  mx_flows : (Cm_types.flow_id, flow) Hashtbl.t;
-  mutable mx_watchers : int; (* members with an update_cb registered *)
-}
-
 (* macroflow aggregation key: destination host — "all flows destined to the
    same end host take the same path in the common case" (§2) — plus,
    optionally, the differentiated-services codepoint: under diffserv,
@@ -86,50 +97,112 @@ type mf_index = {
    bottleneck fate (§5) *)
 type mf_key = int * int
 
-(* Dense flow directory: flow ids are handed out sequentially, so the
-   per-packet API paths (request / notify / update / grant delivery, each
-   of which starts with a lookup by id) index an array directly instead
-   of probing a hash table — one predictable load, no bucket chase.
-   Capacity tracks the highest id ever issued; ids are not recycled, so a
-   very long-lived CM pays one word per flow ever opened (id recycling is
-   a ROADMAP item). *)
+(* Dense flow directory with id recycling.  A flow id packs a slot index
+   (low 24 bits) and a generation (high bits), so the per-packet API
+   paths (request / notify / update / grant delivery, each of which
+   starts with a lookup by id) still index an array directly instead of
+   probing a hash table — one predictable load plus a generation compare,
+   no bucket chase.  On close the slot's generation is bumped and the
+   slot goes on a free list: capacity is bounded by peak concurrency
+   rather than flows ever opened, and a lookup through a stale id (old
+   generation) misses, mirroring the engine's stamped event handles.
+   Slot 0 is never issued, so the first ids are 1, 2, 3, ... exactly as
+   the pre-recycling sequential allocator handed out. *)
 module Fid_dir = struct
-  type 'a t = { mutable arr : 'a option array; mutable count : int }
+  let slot_bits = 24
+  let slot_mask = (1 lsl slot_bits) - 1
 
-  let create n = { arr = Array.make (Stdlib.max 1 n) None; count = 0 }
+  (* Empty-slot sentinel: an immediate that no tenant record can be
+     physically equal to, so slots store tenants directly rather than
+     behind an option box — the hot lookup is one load and one pointer
+     compare, with no per-alloc [Some] cell.  Callers must never
+     dereference a returned [miss].  (Only sound because the directory is
+     instantiated with a record type — a float tenant would tempt the
+     compiler into flat float arrays and corrupt the sentinel.) *)
+  let miss : 'a. 'a = Obj.magic 0
 
-  let find_opt t fid =
-    if fid >= 0 && fid < Array.length t.arr then Array.unsafe_get t.arr fid else None
+  type 'a t = {
+    mutable arr : 'a array; (* slot -> current tenant, or [miss] *)
+    mutable gen : int array; (* slot -> generation of the current tenant *)
+    mutable free : int list; (* recycled slots, LIFO *)
+    mutable high : int; (* watermark: slots in [1, high) have been issued *)
+    mutable count : int; (* live entries, O(1) for the cm.flows gauge *)
+  }
 
-  let replace t fid v =
-    if fid >= Array.length t.arr then begin
-      let cap = ref (2 * Array.length t.arr) in
-      while fid >= !cap do
-        cap := !cap * 2
-      done;
-      let grown = Array.make !cap None in
-      Array.blit t.arr 0 grown 0 (Array.length t.arr);
-      t.arr <- grown
-    end;
-    (match t.arr.(fid) with None -> t.count <- t.count + 1 | Some _ -> ());
-    t.arr.(fid) <- Some v
+  let create n =
+    {
+      arr = Array.make (Stdlib.max 2 n) miss;
+      gen = Array.make (Stdlib.max 2 n) 0;
+      free = [];
+      high = 1;
+      count = 0;
+    }
+
+  (* distinct slots ever issued: the memory bound the recycle test pins *)
+  let capacity t = t.high - 1
+
+  (* [find] does not compare generations: the id embeds the generation in
+     its high bits, and every caller re-checks the tenant's own stored id
+     against the query ([fl.fid = fid]), which subsumes the generation
+     compare without a second array load here. *)
+  let find t fid =
+    let slot = fid land slot_mask in
+    if slot > 0 && slot < t.high then Array.unsafe_get t.arr slot else miss
+
+  (* [alloc t mk] picks a slot, forms the id, and stores [mk id]; the
+     two happen together because the tenant record holds its own id in
+     an immutable field. *)
+  let alloc t mk =
+    let slot =
+      match t.free with
+      | s :: rest ->
+          t.free <- rest;
+          s
+      | [] ->
+          let s = t.high in
+          if s > slot_mask then failwith "Fid_dir: out of flow-id slots";
+          t.high <- t.high + 1;
+          if s >= Array.length t.arr then begin
+            let cap = 2 * Array.length t.arr in
+            let grown = Array.make cap miss in
+            Array.blit t.arr 0 grown 0 (Array.length t.arr);
+            t.arr <- grown;
+            let grown_gen = Array.make cap 0 in
+            Array.blit t.gen 0 grown_gen 0 (Array.length t.gen);
+            t.gen <- grown_gen
+          end;
+          s
+    in
+    let fid = (t.gen.(slot) lsl slot_bits) lor slot in
+    t.arr.(slot) <- mk fid;
+    t.count <- t.count + 1;
+    fid
 
   let remove t fid =
-    if fid >= 0 && fid < Array.length t.arr then
-      match t.arr.(fid) with
-      | Some _ ->
-          t.arr.(fid) <- None;
-          t.count <- t.count - 1
-      | None -> ()
+    let slot = fid land slot_mask in
+    if
+      slot > 0 && slot < t.high
+      && t.gen.(slot) = fid asr slot_bits
+      && Array.unsafe_get t.arr slot != miss
+    then begin
+      t.arr.(slot) <- miss;
+      t.count <- t.count - 1;
+      (* retire this generation: lookups through the old id now miss *)
+      t.gen.(slot) <- t.gen.(slot) + 1;
+      t.free <- slot :: t.free
+    end
 
   let length t = t.count
 
   let iter f t =
-    Array.iteri (fun fid v -> match v with Some fl -> f fid fl | None -> ()) t.arr
+    for slot = 1 to t.high - 1 do
+      let v = Array.unsafe_get t.arr slot in
+      if v != miss then f ((t.gen.(slot) lsl slot_bits) lor slot) v
+    done
 
   let fold f t acc =
     let acc = ref acc in
-    Array.iteri (fun fid v -> match v with Some fl -> acc := f fid fl !acc | None -> ()) t.arr;
+    iter (fun fid v -> acc := f fid v !acc) t;
     !acc
 end
 
@@ -149,7 +222,6 @@ type t = {
   default_ids : (int, unit) Hashtbl.t; (* ids of the default_mf values *)
   all_mf : (int, Macroflow.t) Hashtbl.t; (* every macroflow ever created *)
   mf_index : (int, mf_index) Hashtbl.t; (* live macroflow id -> members *)
-  mutable next_fid : int;
   mutable next_mfid : int;
   mutable c_opens : int;
   mutable c_closes : int;
@@ -192,7 +264,6 @@ let create engine ?(mtu = 1448) ?(aggregation = By_destination)
     default_ids = Hashtbl.create 16;
     all_mf = Hashtbl.create 16;
     mf_index = Hashtbl.create 16;
-    next_fid = 1;
     next_mfid = 1;
     c_opens = 0;
     c_closes = 0;
@@ -213,12 +284,18 @@ let create engine ?(mtu = 1448) ?(aggregation = By_destination)
 
 let engine t = t.engine
 
+(* The generation check is the [fl.fid = fid] compare: a stale id (its
+   slot since recycled) reaches a tenant whose stored id differs. *)
 let get_flow t fid =
-  match Fid_dir.find_opt t.flows_by_id fid with
-  | Some fl when fl.open_ -> fl
-  | _ -> invalid_arg (Printf.sprintf "Cm: unknown or closed flow %d" fid)
+  let fl = Fid_dir.find t.flows_by_id fid in
+  if fl != Fid_dir.miss && fl.fid = fid && fl.open_ then fl
+  else invalid_arg (Printf.sprintf "Cm: unknown or closed flow %d" fid)
 
 (* ---- macroflow reverse index ------------------------------------------ *)
+
+(* placeholder index for a flow between construction and [index_add] —
+   never walked (its watcher count stays 0) *)
+let nil_ix = { mx_flows = Hashtbl.create 1; mx_watchers = 0 }
 
 let index_of t mfid =
   match Hashtbl.find_opt t.mf_index mfid with
@@ -230,6 +307,7 @@ let index_of t mfid =
 
 let index_add t mf fl =
   let ix = index_of t (Macroflow.id mf) in
+  fl.fl_ix <- ix;
   Hashtbl.replace ix.mx_flows fl.fid fl;
   if fl.update_cb <> None then ix.mx_watchers <- ix.mx_watchers + 1
 
@@ -257,12 +335,9 @@ let flow_status fl =
    registered a rate callback (the common case for kernel clients).  The
    old implementation folded over every flow the CM had ever opened, which
    made each cm_update O(total flows). *)
-let check_rate_callbacks t mf_id =
-  match Hashtbl.find_opt t.mf_index mf_id with
-  | None -> ()
-  | Some ix when ix.mx_watchers = 0 -> ()
-  | Some ix ->
-      let consider _ fl =
+let check_rate_callbacks t ix =
+  if ix.mx_watchers > 0 then begin
+    let consider _ fl =
         if fl.open_ then begin
           match fl.update_cb with
           | None -> ()
@@ -276,17 +351,17 @@ let check_rate_callbacks t mf_id =
               in
               if crossed && rate > 0. && not fl.update_pending then begin
                 fl.update_pending <- true;
-                ignore
-                  (Engine.schedule_after t.engine 0 (fun () ->
-                       fl.update_pending <- false;
-                       if fl.open_ then begin
-                         fl.last_reported_rate <- flow_rate fl;
-                         cb (flow_status fl)
-                       end))
+                Engine.post t.engine 0 (fun () ->
+                    fl.update_pending <- false;
+                    if fl.open_ then begin
+                      fl.last_reported_rate <- flow_rate fl;
+                      cb (flow_status fl)
+                    end)
               end
         end
-      in
-      Hashtbl.iter consider ix.mx_flows
+    in
+    Hashtbl.iter consider ix.mx_flows
+  end
 
 (* ---- grant dispatch --------------------------------------------------- *)
 
@@ -294,25 +369,28 @@ let check_rate_callbacks t mf_id =
    resolved; what close/crash must discharge and quarantine must carry *)
 let unresolved fl = Stdlib.max 0 (fl.a_charged - fl.a_nsent)
 
-let deliver_grant t mf fid ~reserved =
+let deliver_grant t mf m ~reserved =
   t.c_grants <- t.c_grants + 1;
-  match Fid_dir.find_opt t.flows_by_id fid with
-  | Some fl when fl.open_ -> (
-      ignore reserved;
-      (* a grant permits up to one MTU regardless of what the macroflow
-         reserved (the learned average may round well below what the
-         client actually sends), so the misbehaviour allowance accrues a
-         full MTU per grant — honest full-sized senders never drift *)
-      fl.a_granted <- fl.a_granted + t.mtu;
-      match fl.send_cb with
-      | Some cb -> cb fid
-      | None ->
-          t.c_declined <- t.c_declined + 1;
-          Macroflow.notify fl.mf ~fid ~nbytes:0 ())
-  | _ ->
-      (* the flow vanished between request and grant: return the grant *)
-      t.c_declined <- t.c_declined + 1;
-      Macroflow.notify mf ~fid ~nbytes:0 ()
+  let fid = Macroflow.member_fid m in
+  let fl = Fid_dir.find t.flows_by_id fid in
+  if fl != Fid_dir.miss && fl.fid = fid && fl.open_ then begin
+    ignore reserved;
+    (* a grant permits up to one MTU regardless of what the macroflow
+       reserved (the learned average may round well below what the
+       client actually sends), so the misbehaviour allowance accrues a
+       full MTU per grant — honest full-sized senders never drift *)
+    fl.a_granted <- fl.a_granted + t.mtu;
+    match fl.send_cb with
+    | Some cb -> cb fid
+    | None ->
+        t.c_declined <- t.c_declined + 1;
+        Macroflow.notify fl.mf ~m:fl.fl_mem ~nbytes:0 ()
+  end
+  else begin
+    (* the flow vanished between request and grant: return the grant *)
+    t.c_declined <- t.c_declined + 1;
+    Macroflow.notify mf ~m ~nbytes:0 ()
+  end
 
 (* ---- macroflow lifecycle ---------------------------------------------- *)
 
@@ -364,17 +442,17 @@ let move_flow t fl target_mf =
     (* carry this flow's pending requests over to the new macroflow, give
        back any grants it was sitting on, and take its unresolved charge
        along so the old macroflow's window reopens immediately *)
-    let requests_to_move = Macroflow.pending_for_flow old_mf fl.fid in
-    let released = Macroflow.release_flow_grants old_mf fl.fid in
+    let requests_to_move = Macroflow.pending_for_flow old_mf fl.fl_mem in
+    let released = Macroflow.release_flow_grants old_mf fl.fl_mem in
     t.c_released_grant_bytes <- t.c_released_grant_bytes + released;
     Macroflow.transfer_outstanding ~src:old_mf ~dst:target_mf (unresolved fl);
-    Macroflow.detach_flow old_mf fl.fid;
+    Macroflow.detach_flow old_mf fl.fl_mem;
     index_remove t old_mf fl;
     fl.mf <- target_mf;
-    Macroflow.add_member target_mf;
+    fl.fl_mem <- Macroflow.add_member target_mf fl.fid;
     index_add t target_mf fl;
     for _ = 1 to requests_to_move do
-      Macroflow.request target_mf fl.fid
+      Macroflow.request target_mf fl.fl_mem
     done;
     drop_membership t old_mf
   end
@@ -394,14 +472,14 @@ let rec new_macroflow ?controller t =
     | Some a ->
         ( Some
             (fun fid _reserved ->
-              match Fid_dir.find_opt t.flows_by_id fid with
-              | Some fl when fl.open_ -> suspect t a fl "grant_hoard"
-              | _ -> ()),
+              let fl = Fid_dir.find t.flows_by_id fid in
+              if fl != Fid_dir.miss && fl.fid = fid && fl.open_ then
+                suspect t a fl "grant_hoard"),
           Some (fun mf -> audit_tick t a mf) )
   in
   let mf =
     Macroflow.create t.engine ~id:mfid ~mtu:t.mtu ~controller ~scheduler:t.scheduler
-      ~deliver_grant:(fun fid ~reserved -> deliver_grant t (mf_of_cell ()) fid ~reserved)
+      ~deliver_grant:(fun m ~reserved -> deliver_grant t (mf_of_cell ()) m ~reserved)
       ~on_state_change:(fun () -> ())
       ?on_reclaim ?on_tick ?watchdog:t.watchdog ?grant_reclaim_after:t.grant_reclaim_after
       ?idle_restart:t.idle_restart ()
@@ -501,33 +579,35 @@ let macroflow_for_key t k =
 let open_flow t key =
   if Addr.Flow_table.mem t.flows_by_key key then
     invalid_arg (Format.asprintf "Cm.open_flow: %a already open" Addr.pp_flow key);
-  let fid = t.next_fid in
-  t.next_fid <- t.next_fid + 1;
   let mf = macroflow_for_key t (mf_key_of t key) in
-  Macroflow.add_member mf;
-  let fl =
-    {
-      fid;
-      key;
-      mf;
-      send_cb = None;
-      update_cb = None;
-      thresh_down = 0.5;
-      thresh_up = 2.0;
-      last_reported_rate = 0.;
-      update_pending = false;
-      open_ = true;
-      a_granted = 0;
-      a_notified = 0;
-      a_charged = 0;
-      a_nsent = 0;
-      last_update = Engine.now t.engine;
-      last_inflation = Engine.now t.engine;
-      suspicion = 0;
-      quarantined = false;
-    }
+  let fid =
+    Fid_dir.alloc t.flows_by_id (fun fid ->
+        {
+          fid;
+          key;
+          mf;
+          send_cb = None;
+          update_cb = None;
+          thresh_down = 0.5;
+          thresh_up = 2.0;
+          last_reported_rate = 0.;
+          update_pending = false;
+          open_ = true;
+          a_granted = 0;
+          a_notified = 0;
+          a_charged = 0;
+          a_nsent = 0;
+          last_update = Engine.now t.engine;
+          last_inflation = Engine.now t.engine;
+          suspicion = 0;
+          quarantined = false;
+          fl_ix = nil_ix;
+          fl_mem = Macroflow.nil_member;
+        })
   in
-  Fid_dir.replace t.flows_by_id fid fl;
+  let fl = Fid_dir.find t.flows_by_id fid in
+  assert (fl != Fid_dir.miss);
+  fl.fl_mem <- Macroflow.add_member mf fid;
   Addr.Flow_table.replace t.flows_by_key key fid;
   index_add t mf fl;
   t.c_opens <- t.c_opens + 1;
@@ -547,10 +627,10 @@ let open_flow t key =
 let remove_flow t fl ~event =
   index_remove t fl.mf fl;
   fl.open_ <- false;
-  let released = Macroflow.release_flow_grants fl.mf fl.fid in
+  let released = Macroflow.release_flow_grants fl.mf fl.fl_mem in
   t.c_released_grant_bytes <- t.c_released_grant_bytes + released;
   Macroflow.discharge fl.mf (unresolved fl);
-  Macroflow.detach_flow fl.mf fl.fid;
+  Macroflow.detach_flow fl.mf fl.fl_mem;
   Addr.Flow_table.remove t.flows_by_key fl.key;
   Fid_dir.remove t.flows_by_id fl.fid;
   if Telemetry.Trace.on t.trace then
@@ -566,12 +646,13 @@ let close_flow t fid =
 let reap t fid =
   (* crash-tolerant close: never raises, reports whether anything was
      reaped.  Libcm.destroy calls this for every flow of a dead process. *)
-  match Fid_dir.find_opt t.flows_by_id fid with
-  | Some fl when fl.open_ ->
-      t.c_reaps <- t.c_reaps + 1;
-      remove_flow t fl ~event:"cm.reap";
-      true
-  | _ -> false
+  let fl = Fid_dir.find t.flows_by_id fid in
+  if fl != Fid_dir.miss && fl.fid = fid && fl.open_ then begin
+    t.c_reaps <- t.c_reaps + 1;
+    remove_flow t fl ~event:"cm.reap";
+    true
+  end
+  else false
 
 let mtu t fid =
   let _fl = get_flow t fid in
@@ -603,7 +684,7 @@ let set_thresh t fid ~down ~up =
 let request t fid =
   let fl = get_flow t fid in
   t.c_requests <- t.c_requests + 1;
-  Macroflow.request fl.mf fid
+  Macroflow.request fl.mf fl.fl_mem
 
 let update t fid ~nsent ~nrecd ~loss ?rtt () =
   let fl = get_flow t fid in
@@ -638,7 +719,7 @@ let update t fid ~nsent ~nrecd ~loss ?rtt () =
          reporting flow is absolved — blanket absolution would launder
          another flow's phantom charges (e.g. a double-notifier's). *)
       fl.a_nsent <- Stdlib.max fl.a_nsent fl.a_charged;
-    check_rate_callbacks t (Macroflow.id fl.mf)
+    check_rate_callbacks t fl.fl_ix
   end
 
 let notify t fid ~nbytes =
@@ -664,7 +745,7 @@ let notify t fid ~nbytes =
     | _ -> nbytes
   in
   fl.a_charged <- fl.a_charged + charge;
-  Macroflow.notify fl.mf ~fid ~nbytes:charge ()
+  Macroflow.notify fl.mf ~m:fl.fl_mem ~nbytes:charge ()
 
 let query t fid =
   let fl = get_flow t fid in
@@ -690,7 +771,7 @@ let merge t fid ~into =
 
 let set_weight t fid w =
   let fl = get_flow t fid in
-  Macroflow.set_weight fl.mf fid w
+  Macroflow.set_weight fl.mf fl.fl_mem w
 
 let lookup t key = Addr.Flow_table.find_opt t.flows_by_key key
 let flow_key t fid = (get_flow t fid).key
@@ -699,6 +780,9 @@ let is_quarantined t fid = (get_flow t fid).quarantined
 
 let flows t =
   Fid_dir.fold (fun fid _ acc -> fid :: acc) t.flows_by_id [] |> List.sort Stdlib.compare
+
+let live_flows t = Fid_dir.length t.flows_by_id
+let flow_slot_capacity t = Fid_dir.capacity t.flows_by_id
 
 let macroflow_of t fid = (get_flow t fid).mf
 

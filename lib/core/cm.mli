@@ -218,6 +218,16 @@ val is_quarantined : t -> Cm_types.flow_id -> bool
 val flows : t -> Cm_types.flow_id list
 (** All open flows (ascending id). *)
 
+val live_flows : t -> int
+(** Number of currently open flows.  O(1): tracked directly rather than
+    derived from the directory, so the [cm.flows] telemetry gauge stays
+    constant-time even after id recycling leaves holes. *)
+
+val flow_slot_capacity : t -> int
+(** Number of distinct flow-directory slots ever issued.  Ids recycle
+    through a generation-stamped free list, so this is bounded by peak
+    flow concurrency, not by the total number of flows ever opened. *)
+
 val macroflow_of : t -> Cm_types.flow_id -> Macroflow.t
 (** The flow's macroflow (stats and tests; treat as read-only). *)
 

@@ -3,11 +3,58 @@ open Eventsim
 
 let log = Sim_log.src "cm"
 
-type grant_record = { at : Time.t; reserved : int; g_fid : Cm_types.flow_id }
+(* [g_dead] is the consumed/released flag: a record is marked dead in O(1)
+   where it stands and physically dequeued only when it reaches the front
+   of a queue, the same lazy-deletion trick the event engine uses.  Each
+   record sits in two queues — the macroflow-wide age order (what the
+   reclaim timer scans) and its flow's own order (what take_grant pops) —
+   threaded intrusively through the record itself ([g_qnext] for the
+   global chain, [g_fnext] for the flow chain), so issuing a grant
+   allocates exactly one record and no queue cells.  Marking rather than
+   splicing keeps both chains consistent without either scan.
+
+   [g_mem] is the issuing member's record (below), so consuming or
+   releasing a grant reaches the flow's chain by one pointer load — no
+   per-flow hash table anywhere on the grant path. *)
+type grant_record = {
+  at : Time.t;
+  reserved : int;
+  g_mem : member; (* issuing member; head/tail of the per-flow chain *)
+  mutable g_dead : bool;
+  mutable g_qnext : grant_record; (* global age chain; [g_nil] terminated *)
+  mutable g_fnext : grant_record; (* per-flow chain; [g_nil] terminated *)
+}
+
+(* A member is a flow's standing within one macroflow: its scheduler key
+   ([m_ix], a small macroflow-local index recycled on detach, which keeps
+   the scheduler's arrays dense and cache-resident) and the head/tail of
+   its own grant chain.  The CM holds the member record in its flow entry
+   and passes it back on every per-flow call, so request/notify/release
+   are pointer-chasing only. *)
+and member = {
+  m_fid : Cm_types.flow_id; (* for reclaim reporting; stale after detach *)
+  m_ix : int;
+  mutable m_head : grant_record; (* flow's grant chain, oldest first *)
+  mutable m_tail : grant_record;
+}
+
+(* chain terminator: points to itself so a popped record can be unlinked
+   by pointing at [g_nil] without an option box per link *)
+let rec g_nil =
+  { at = 0; reserved = 0; g_mem = m_nil; g_dead = true; g_qnext = g_nil; g_fnext = g_nil }
+
+and m_nil = { m_fid = -1; m_ix = -1; m_head = g_nil; m_tail = g_nil }
+
+let nil_member = m_nil
+let member_fid m = m.m_fid
 
 type watchdog = { wd_rtts : float; wd_floor : Time.span }
 
 let default_watchdog = { wd_rtts = 3.; wd_floor = Time.ms 300 }
+
+(* Smoothed RTT state lives in its own all-float record: OCaml stores it
+   as a flat float block, so the per-update stores don't box. *)
+type rtt_state = { mutable srtt : float; mutable rttvar : float }
 
 type t = {
   engine : Engine.t;
@@ -15,7 +62,7 @@ type t = {
   mtu : int;
   ctrl : Controller.t;
   sched : Scheduler.t;
-  deliver_grant : Cm_types.flow_id -> reserved:int -> unit;
+  deliver_grant : member -> reserved:int -> unit;
   on_state_change : unit -> unit;
   on_reclaim : (Cm_types.flow_id -> int -> unit) option;
   on_tick : (t -> unit) option;
@@ -25,7 +72,22 @@ type t = {
   mutable last_tx : Time.t;
   (* window accounting, payload bytes *)
   mutable outstanding : int;
-  grants : grant_record Queue.t; (* oldest first *)
+  (* the controller's window, mirrored into a plain field so the grant
+     loop reads an int instead of calling through the controller's
+     closure record; refreshed at every controller mutation *)
+  mutable cwnd_now : int;
+  (* current per-grant reservation, mirrored likewise (recomputed when
+     [avg_pkt] absorbs a sample) *)
+  mutable resv_now : int;
+  mutable gq_head : grant_record; (* oldest first, may hold dead records *)
+  mutable gq_tail : grant_record;
+  (* member directory by scheduler index: maps the index the scheduler
+     hands back from dequeue to the member it belongs to.  Dense, grown
+     by doubling; detached slots hold [m_nil] and go on the free list. *)
+  mutable mix : member array;
+  mutable mix_free : int list;
+  mutable mix_high : int; (* indices >= mix_high have never been used *)
+  mutable live_grants : int; (* non-dead records across both views *)
   mutable granted_bytes : int; (* sum of outstanding grant reservations *)
   (* Grants promise "up to MTU bytes", but reserving a full MTU per grant
      starves flows whose packets are small (interactive audio sends 160-byte
@@ -33,8 +95,7 @@ type t = {
      size from cm_notify and reserves that much per grant instead. *)
   avg_pkt : Ewma.t;
   (* shared RTT estimate, ns as floats (TCP gains) *)
-  mutable srtt : float;
-  mutable rttvar : float;
+  rtts : rtt_state;
   mutable rtt_valid : bool;
   loss_ewma : Ewma.t;
   mutable members : int;
@@ -57,33 +118,98 @@ type t = {
 
 let granted t = t.granted_bytes
 
-let reservation t =
-  if Ewma.initialized t.avg_pkt then
-    Stdlib.min t.mtu (Stdlib.max 64 (int_of_float (Ewma.value t.avg_pkt)))
-  else t.mtu
+let refresh_cwnd t = t.cwnd_now <- t.ctrl.Controller.cwnd ()
 
-let window_avail t = t.ctrl.Controller.cwnd () - t.outstanding - t.granted_bytes
+let refresh_reservation t =
+  t.resv_now <-
+    (if Ewma.initialized t.avg_pkt then
+       Stdlib.min t.mtu (Stdlib.max 64 (int_of_float (Ewma.value t.avg_pkt)))
+     else t.mtu)
+
+let reservation t = t.resv_now
+let window_avail t = t.cwnd_now - t.outstanding - t.granted_bytes
+
+(* ---- intrusive chain plumbing ----------------------------------------- *)
+
+let gq_push t g =
+  if t.gq_tail == g_nil then t.gq_head <- g else t.gq_tail.g_qnext <- g;
+  t.gq_tail <- g
+
+let gq_pop t =
+  let g = t.gq_head in
+  t.gq_head <- g.g_qnext;
+  if t.gq_head == g_nil then t.gq_tail <- g_nil;
+  g.g_qnext <- g_nil;
+  g
+
+let fg_push m g =
+  if m.m_tail == g_nil then m.m_head <- g else m.m_tail.g_fnext <- g;
+  m.m_tail <- g
+
+let fg_pop m =
+  let g = m.m_head in
+  m.m_head <- g.g_fnext;
+  if m.m_head == g_nil then m.m_tail <- g_nil;
+  g.g_fnext <- g_nil;
+  g
+
+let gq_drop_dead t =
+  while t.gq_head != g_nil && t.gq_head.g_dead do
+    ignore (gq_pop t)
+  done
+
+let fg_drop_dead m =
+  while m.m_head != g_nil && m.m_head.g_dead do
+    ignore (fg_pop m)
+  done
+
+let push_grant t g =
+  gq_push t g;
+  fg_push g.g_mem g;
+  t.live_grants <- t.live_grants + 1
+
+(* Mark a record consumed/released and let dead records drain off the
+   global front so they cannot pile up behind a long-lived live one. *)
+let kill_grant t g =
+  g.g_dead <- true;
+  t.live_grants <- t.live_grants - 1;
+  gq_drop_dead t
 
 let run_grants t =
   t.grant_event_pending <- false;
+  (* [deliver_grant] reenters [notify]/[update] through the client's
+     callback, so every window term below must be re-read per iteration —
+     with the mirrored fields that is four int loads, not closure calls *)
   let rec loop () =
-    if window_avail t >= reservation t then begin
+    if t.cwnd_now - t.outstanding - t.granted_bytes >= t.resv_now then begin
       match t.sched.Scheduler.dequeue () with
       | None -> ()
-      | Some fid ->
-          let reserved = reservation t in
-          Queue.push { at = Engine.now t.engine; reserved; g_fid = fid } t.grants;
-          t.granted_bytes <- t.granted_bytes + reserved;
-          t.grants_issued <- t.grants_issued + 1;
-          (* window conservation is only meaningful at the moment credit
-             is extended: after a loss halves cwnd, outstanding may
-             legitimately exceed it while the pipe drains.  The guard
-             above makes this unreachable; the counter is what the
-             invariant auditor checks. *)
-          if t.outstanding + t.granted_bytes > t.ctrl.Controller.cwnd () + t.mtu then
-            t.conservation_breaches <- t.conservation_breaches + 1;
-          t.deliver_grant fid ~reserved;
-          loop ()
+      | Some ix ->
+          let m = t.mix.(ix) in
+          if m == m_nil then loop () (* unreachable: detach purges the scheduler *)
+          else begin
+            let reserved = t.resv_now in
+            push_grant t
+              {
+                at = Engine.now t.engine;
+                reserved;
+                g_mem = m;
+                g_dead = false;
+                g_qnext = g_nil;
+                g_fnext = g_nil;
+              };
+            t.granted_bytes <- t.granted_bytes + reserved;
+            t.grants_issued <- t.grants_issued + 1;
+            (* window conservation is only meaningful at the moment credit
+               is extended: after a loss halves cwnd, outstanding may
+               legitimately exceed it while the pipe drains.  The guard
+               above makes this unreachable; the counter is what the
+               invariant auditor checks. *)
+            if t.outstanding + t.granted_bytes > t.cwnd_now + t.mtu then
+              t.conservation_breaches <- t.conservation_breaches + 1;
+            t.deliver_grant m ~reserved;
+            loop ()
+          end
     end
   in
   loop ()
@@ -95,7 +221,7 @@ let maybe_grant t =
     && window_avail t >= reservation t
   then begin
     t.grant_event_pending <- true;
-    ignore (Engine.schedule_after t.engine 0 t.grant_thunk)
+    Engine.post t.engine 0 t.grant_thunk
   end
 
 let maintenance_tick t =
@@ -103,13 +229,21 @@ let maintenance_tick t =
   let now = Engine.now t.engine in
   let reclaimed = ref false in
   let expired g = Time.diff now g.at > t.grant_reclaim_after in
-  while (not (Queue.is_empty t.grants)) && expired (Queue.peek t.grants) do
-    Logs.debug ~src:log (fun m -> m "macroflow %d: reclaiming a stale grant" t.id);
-    let g = Queue.pop t.grants in
-    t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - g.reserved);
-    t.grants_reclaimed <- t.grants_reclaimed + 1;
-    (match t.on_reclaim with Some f -> f g.g_fid g.reserved | None -> ());
-    reclaimed := true
+  let scanning = ref true in
+  while !scanning && t.gq_head != g_nil do
+    let g = t.gq_head in
+    if g.g_dead then ignore (gq_pop t)
+    else if expired g then begin
+      Logs.debug ~src:log (fun m -> m "macroflow %d: reclaiming a stale grant" t.id);
+      ignore (gq_pop t);
+      g.g_dead <- true;
+      t.live_grants <- t.live_grants - 1;
+      t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - g.reserved);
+      t.grants_reclaimed <- t.grants_reclaimed + 1;
+      (match t.on_reclaim with Some f -> f g.g_mem.m_fid g.reserved | None -> ());
+      reclaimed := true
+    end
+    else scanning := false
   done;
   (* Error handling: if feedback has stopped arriving while bytes remain
      charged as outstanding, decay the charge so the macroflow cannot
@@ -125,15 +259,16 @@ let maintenance_tick t =
   (match t.watchdog with
   | Some wd when t.outstanding > 0 ->
       let threshold =
-        if t.rtt_valid then Stdlib.max wd.wd_floor (int_of_float (wd.wd_rtts *. t.srtt))
+        if t.rtt_valid then Stdlib.max wd.wd_floor (int_of_float (wd.wd_rtts *. t.rtts.srtt))
         else wd.wd_floor
       in
       if
         Time.diff now t.last_feedback > threshold
         && Time.diff now t.last_watchdog > threshold
       then begin
-        let cwnd_before = t.ctrl.Controller.cwnd () in
+        let cwnd_before = t.cwnd_now in
         t.ctrl.Controller.age ();
+        refresh_cwnd t;
         t.last_watchdog <- now;
         t.watchdog_fires <- t.watchdog_fires + 1;
         if Telemetry.Trace.on t.trace then
@@ -141,7 +276,7 @@ let maintenance_tick t =
             [
               ("mf", Telemetry.Trace.Int t.id);
               ("cwnd_before", Telemetry.Trace.Int cwnd_before);
-              ("cwnd_after", Telemetry.Trace.Int (t.ctrl.Controller.cwnd ()));
+              ("cwnd_after", Telemetry.Trace.Int t.cwnd_now);
               ("silence_ns", Telemetry.Trace.Int (Time.diff now t.last_feedback));
             ]
       end
@@ -168,11 +303,17 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
       idle_restart;
       last_tx = Engine.now engine;
       outstanding = 0;
-      grants = Queue.create ();
+      cwnd_now = 0;
+      resv_now = mtu;
+      gq_head = g_nil;
+      gq_tail = g_nil;
+      mix = Array.make 8 m_nil;
+      mix_free = [];
+      mix_high = 0;
+      live_grants = 0;
       granted_bytes = 0;
       avg_pkt = Ewma.create ~gain:0.25;
-      srtt = 0.;
-      rttvar = 0.;
+      rtts = { srtt = 0.; rttvar = 0. };
       rtt_valid = false;
       loss_ewma = Ewma.create ~gain:0.25;
       members = 0;
@@ -189,6 +330,8 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
       trace = Telemetry.Trace.nil;
     }
   in
+  refresh_cwnd t;
+  refresh_reservation t;
   t.grant_thunk <- (fun () -> run_grants t);
   let timer = Timer.create engine ~callback:(fun () -> maintenance_tick t) in
   Timer.start_periodic timer (Time.ms 100);
@@ -198,70 +341,95 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
 let id t = t.id
 let mtu t = t.mtu
 let set_trace t tr = t.trace <- tr
-let cwnd t = t.ctrl.Controller.cwnd ()
+let cwnd t = t.cwnd_now
 let ssthresh t = t.ctrl.Controller.ssthresh ()
 let outstanding t = t.outstanding
 let members t = t.members
-let add_member t = t.members <- t.members + 1
 
-let detach_flow t fid =
-  t.sched.Scheduler.remove fid;
+let add_member t fid =
+  let ix =
+    match t.mix_free with
+    | ix :: rest ->
+        t.mix_free <- rest;
+        ix
+    | [] ->
+        let ix = t.mix_high in
+        t.mix_high <- ix + 1;
+        if ix >= Array.length t.mix then begin
+          let grown = Array.make (2 * Array.length t.mix) m_nil in
+          Array.blit t.mix 0 grown 0 (Array.length t.mix);
+          t.mix <- grown
+        end;
+        ix
+  in
+  let m = { m_fid = fid; m_ix = ix; m_head = g_nil; m_tail = g_nil } in
+  t.mix.(ix) <- m;
+  t.members <- t.members + 1;
+  m
+
+let detach_flow t m =
+  t.sched.Scheduler.remove m.m_ix;
+  (* any remaining records on the member's chain are dead
+     (release_flow_grants runs first on every teardown path); recycle the
+     scheduler index *)
+  t.mix.(m.m_ix) <- m_nil;
+  t.mix_free <- m.m_ix :: t.mix_free;
   t.members <- Stdlib.max 0 (t.members - 1)
 
-let request t fid =
+let request t m =
   (* optional slow-start restart (RFC 2861 spirit): congestion state grows
      stale while the macroflow is idle; restarting avoids blasting an old
      window into a path whose conditions may have changed.  Off by
      default — Fig. 7's benefit is exactly this persistence. *)
   (match t.idle_restart with
   | Some threshold
-    when t.outstanding = 0
-         && Queue.is_empty t.grants
+    when t.outstanding = 0 && t.live_grants = 0
          && Time.diff (Engine.now t.engine) t.last_tx > threshold ->
       t.ctrl.Controller.reset ();
+      refresh_cwnd t;
       t.last_tx <- Engine.now t.engine
   | _ -> ());
-  t.sched.Scheduler.enqueue fid;
+  t.sched.Scheduler.enqueue m.m_ix;
   maybe_grant t
 
-(* Consume the flow's oldest grant.  The common case — flows transmit in
-   the order they were granted — is an O(1) front pop; out-of-order
-   consumption falls back to an order-preserving rebuild.  A flow with no
+(* Consume the flow's oldest grant — O(1) via the member's own chain,
+   however far out of global age order the flow transmits.  A flow with no
    grant outstanding consumes nothing (the transmission is charged
    directly), so one flow can no longer burn another's grant. *)
-let take_grant t fid =
-  if Queue.is_empty t.grants then None
+let take_grant t m =
+  if t.live_grants = 0 then None
   else
-    match fid with
-    | None -> Some (Queue.pop t.grants)
-    | Some f ->
-        if (Queue.peek t.grants).g_fid = f then Some (Queue.pop t.grants)
+    match m with
+    | None ->
+        (* anonymous transmissions consume the oldest grant overall *)
+        gq_drop_dead t;
+        let g = gq_pop t in
+        g.g_dead <- true;
+        t.live_grants <- t.live_grants - 1;
+        fg_drop_dead g.g_mem;
+        Some g
+    | Some m ->
+        fg_drop_dead m;
+        if m.m_head == g_nil then None
         else begin
-          let keep = Queue.create () in
-          let found = ref None in
-          Queue.iter
-            (fun g -> if !found = None && g.g_fid = f then found := Some g else Queue.push g keep)
-            t.grants;
-          match !found with
-          | None -> None
-          | Some _ ->
-              Queue.clear t.grants;
-              Queue.transfer keep t.grants;
-              !found
+          let g = fg_pop m in
+          kill_grant t g;
+          Some g
         end
 
-let notify t ?fid ~nbytes () =
+let notify t ?m ~nbytes () =
   if nbytes < 0 then invalid_arg "Macroflow.notify: negative byte count";
   (* Consume the flow's oldest grant; transmissions that arrive without a
      grant (e.g. buffered sends charged by the IP hook) are charged
      directly. *)
-  (match take_grant t fid with
+  (match take_grant t m with
   | Some g -> t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - g.reserved)
   | None -> ());
   t.outstanding <- t.outstanding + nbytes;
   if nbytes > 0 then begin
     t.last_tx <- Engine.now t.engine;
-    Ewma.update t.avg_pkt (float_of_int nbytes)
+    Ewma.update t.avg_pkt (float_of_int nbytes);
+    refresh_reservation t
   end;
   if nbytes = 0 then
     (* the client declined to use its grant; let another flow have it *)
@@ -270,26 +438,25 @@ let notify t ?fid ~nbytes () =
     (* a small transmission may have freed most of its reservation *)
     maybe_grant t
 
-let release_flow_grants t fid =
+let release_flow_grants t m =
   (* Return a closing/crashed flow's unconsumed grants to the window
-     immediately rather than waiting out the reclaim timer. *)
+     immediately rather than waiting out the reclaim timer.  The member's
+     own chain makes this proportional to the flow's grants, not the
+     macroflow's. *)
   let released = ref 0 in
-  if not (Queue.is_empty t.grants) then begin
-    let keep = Queue.create () in
-    Queue.iter
-      (fun g ->
-        if g.g_fid = fid then begin
-          released := !released + g.reserved;
-          t.grants_released <- t.grants_released + 1
-        end
-        else Queue.push g keep)
-      t.grants;
-    if !released > 0 then begin
-      Queue.clear t.grants;
-      Queue.transfer keep t.grants;
-      t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - !released);
-      maybe_grant t
+  while m.m_head != g_nil do
+    let g = fg_pop m in
+    if not g.g_dead then begin
+      g.g_dead <- true;
+      t.live_grants <- t.live_grants - 1;
+      released := !released + g.reserved;
+      t.grants_released <- t.grants_released + 1
     end
+  done;
+  if !released > 0 then begin
+    gq_drop_dead t;
+    t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - !released);
+    maybe_grant t
   end;
   !released
 
@@ -309,14 +476,15 @@ let transfer_outstanding ~src ~dst nbytes =
 
 let update_rtt t sample =
   let s = float_of_int sample in
+  let r = t.rtts in
   if not t.rtt_valid then begin
-    t.srtt <- s;
-    t.rttvar <- s /. 2.;
+    r.srtt <- s;
+    r.rttvar <- s /. 2.;
     t.rtt_valid <- true
   end
   else begin
-    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. s));
-    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. s)
+    r.rttvar <- (0.75 *. r.rttvar) +. (0.25 *. Float.abs (r.srtt -. s));
+    r.srtt <- (0.875 *. r.srtt) +. (0.125 *. s)
   end
 
 let loss_mode_str = function
@@ -338,8 +506,10 @@ let update t ~nsent ~nrecd ~loss ~rtt =
      application sending below its allowed rate inflates cwnd — and the
      advertised rate — without ever testing the path. *)
   let used = t.outstanding + nsent + granted t in
-  if nrecd > 0 && 3 * used >= t.ctrl.Controller.cwnd () then
+  if nrecd > 0 && 3 * used >= t.cwnd_now then begin
     t.ctrl.Controller.on_ack ~nbytes:nrecd;
+    refresh_cwnd t
+  end;
   (match loss with
   | Cm_types.No_loss -> ()
   | mode ->
@@ -348,6 +518,7 @@ let update t ~nsent ~nrecd ~loss ~rtt =
             (cwnd t));
       let cwnd_before = cwnd t in
       t.ctrl.Controller.on_loss mode;
+      refresh_cwnd t;
       (* the controller's decision, attributed to its cause (ECN echo vs
          transient vs persistent/timeout) — Figs. 5–10 are built from
          exactly these transitions *)
@@ -377,14 +548,14 @@ let update t ~nsent ~nrecd ~loss ~rtt =
   maybe_grant t;
   t.on_state_change ()
 
-let srtt t = if t.rtt_valid then Some (int_of_float t.srtt) else None
-let rttvar t = if t.rtt_valid then Some (int_of_float t.rttvar) else None
+let srtt t = if t.rtt_valid then Some (int_of_float t.rtts.srtt) else None
+let rttvar t = if t.rtt_valid then Some (int_of_float t.rtts.rttvar) else None
 let loss_rate t = if Ewma.initialized t.loss_ewma then Ewma.value t.loss_ewma else 0.
 
 let rate_bps t =
   if not t.rtt_valid then 0.
-  else if t.srtt <= 0. then 0.
-  else float_of_int (cwnd t) *. 8. /. (t.srtt /. 1e9)
+  else if t.rtts.srtt <= 0. then 0.
+  else float_of_int (cwnd t) *. 8. /. (t.rtts.srtt /. 1e9)
 
 let status t =
   {
@@ -396,7 +567,7 @@ let status t =
     mtu = t.mtu;
   }
 
-let set_weight t fid w = t.sched.Scheduler.set_weight fid w
+let set_weight t m w = t.sched.Scheduler.set_weight m.m_ix w
 let pending_requests t = t.sched.Scheduler.pending ()
 let grants_issued t = t.grants_issued
 let grants_reclaimed t = t.grants_reclaimed
@@ -406,7 +577,10 @@ let watchdog_fires t = t.watchdog_fires
 let last_feedback t = t.last_feedback
 let alive t = Option.is_some !(t.maintenance)
 let controller_name t = t.ctrl.Controller.name
-let reset_congestion_state t = t.ctrl.Controller.reset ()
+
+let reset_congestion_state t =
+  t.ctrl.Controller.reset ();
+  refresh_cwnd t
 
 let shutdown t =
   match !(t.maintenance) with
@@ -415,4 +589,4 @@ let shutdown t =
       t.maintenance := None
   | None -> ()
 
-let pending_for_flow t fid = t.sched.Scheduler.pending_for fid
+let pending_for_flow t m = t.sched.Scheduler.pending_for m.m_ix

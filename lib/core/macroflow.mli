@@ -20,6 +20,20 @@ open Eventsim
 type t
 (** A macroflow. *)
 
+type member
+(** A flow's standing within one macroflow: its scheduler slot and its own
+    chain of outstanding grants.  Returned by {!add_member}; the CM stores
+    it in the flow entry and passes it back on every per-flow operation,
+    so the grant path never looks a flow up by id. *)
+
+val nil_member : member
+(** Placeholder member for initializing storage before {!add_member};
+    never passed to any operation. *)
+
+val member_fid : member -> Cm_types.flow_id
+(** The flow id the member was created for (stale after
+    {!detach_flow}). *)
+
 type watchdog = { wd_rtts : float; wd_floor : Time.span }
 (** Feedback-watchdog parameters: with data outstanding, cwnd is aged one
     step (see {!Controller.t.age}) each time no [cm_update] arrives for
@@ -36,7 +50,7 @@ val create :
   mtu:int ->
   controller:Controller.factory ->
   scheduler:Scheduler.factory ->
-  deliver_grant:(Cm_types.flow_id -> reserved:int -> unit) ->
+  deliver_grant:(member -> reserved:int -> unit) ->
   on_state_change:(unit -> unit) ->
   ?on_reclaim:(Cm_types.flow_id -> int -> unit) ->
   ?on_tick:(t -> unit) ->
@@ -80,26 +94,30 @@ val granted : t -> int
 val members : t -> int
 (** Number of flows attached. *)
 
-val add_member : t -> unit
-(** Record a flow joining (membership is tracked by the CM). *)
+val add_member : t -> Cm_types.flow_id -> member
+(** Record a flow joining and return its member handle.  The handle's
+    scheduler slot is macroflow-local and recycled after {!detach_flow},
+    which keeps the scheduler's per-flow state dense however many flows
+    the CM serves in total. *)
 
-val detach_flow : t -> Cm_types.flow_id -> unit
-(** Remove a flow: discard its pending requests and decrement
-    membership. *)
+val detach_flow : t -> member -> unit
+(** Remove a flow: discard its pending requests, recycle its scheduler
+    slot, and decrement membership.  The handle must not be used
+    afterwards. *)
 
-val request : t -> Cm_types.flow_id -> unit
+val request : t -> member -> unit
 (** One implicit request to send up to an MTU on behalf of the flow
     ([cm_request]). *)
 
-val notify : t -> ?fid:Cm_types.flow_id -> nbytes:int -> unit -> unit
+val notify : t -> ?m:member -> nbytes:int -> unit -> unit
 (** A packet of [nbytes] payload bytes of this macroflow was handed to the
     network ([cm_notify]); [nbytes = 0] returns an unused grant.  With
-    [fid], the consumed grant is the flow's own oldest one (O(1) when
-    flows transmit in grant order); a flow with no outstanding grant
-    consumes nothing and is charged directly.  Without [fid] the oldest
+    [m], the consumed grant is the flow's own oldest one (O(1): the
+    member holds its chain head); a flow with no outstanding grant
+    consumes nothing and is charged directly.  Without [m] the oldest
     grant overall is consumed (legacy behaviour). *)
 
-val release_flow_grants : t -> Cm_types.flow_id -> int
+val release_flow_grants : t -> member -> int
 (** Return all of the flow's unconsumed grants to the window immediately
     (close/crash path — not waiting for the reclaim timer) and wake the
     grant machinery.  Returns the bytes released. *)
@@ -137,7 +155,7 @@ val status : t -> Cm_types.status
 (** Snapshot for [cm_query] (macroflow-level; the CM divides rate among
     member flows). *)
 
-val set_weight : t -> Cm_types.flow_id -> float -> unit
+val set_weight : t -> member -> float -> unit
 (** Set a member flow's scheduler weight. *)
 
 val pending_requests : t -> int
@@ -179,7 +197,7 @@ val reset_congestion_state : t -> unit
 val shutdown : t -> unit
 (** Stop the maintenance timer (call when the macroflow is discarded). *)
 
-val pending_for_flow : t -> Cm_types.flow_id -> int
+val pending_for_flow : t -> member -> int
 (** Requests this flow currently has queued in the scheduler. *)
 
 val set_trace : t -> Telemetry.Trace.t -> unit

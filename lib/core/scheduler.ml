@@ -10,36 +10,95 @@ type t = {
 
 type factory = unit -> t
 
+(* Scheduler keys are dense small non-negative ints: each macroflow hands
+   its scheduler the flow's macroflow-local member index (recycled on
+   detach), not the CM-wide flow id.  Both schedulers below exploit that
+   by replacing every per-flow hash probe with a direct array index — the
+   state for one macroflow's members is a few contiguous, cache-resident
+   arrays however many flows the CM serves overall. *)
+
+(* growable circular buffer of ints: the round-robin ring with no
+   per-push allocation and contiguous storage *)
+type int_ring = { mutable buf : int array; mutable head : int; mutable len : int }
+
+let ring_create () = { buf = Array.make 16 0; head = 0; len = 0 }
+
+let ring_push r v =
+  let cap = Array.length r.buf in
+  if r.len = cap then begin
+    let buf = Array.make (2 * cap) 0 in
+    for i = 0 to r.len - 1 do
+      buf.(i) <- r.buf.((r.head + i) land (cap - 1))
+    done;
+    r.buf <- buf;
+    r.head <- 0
+  end;
+  r.buf.((r.head + r.len) land (Array.length r.buf - 1)) <- v;
+  r.len <- r.len + 1
+
+let ring_pop r =
+  let v = r.buf.(r.head) in
+  r.head <- (r.head + 1) land (Array.length r.buf - 1);
+  r.len <- r.len - 1;
+  v
+
+(* ring entries pack (epoch, id) so an id recycled after [remove] cannot
+   inherit a stale entry's turn: the stale entry's epoch no longer
+   matches and it is skipped, exactly as a missing hash-table key was *)
+let id_bits = 24
+let id_mask = (1 lsl id_bits) - 1
+
+let grow_to arr n fill =
+  let cap = Array.length !arr in
+  if n > cap then begin
+    let bigger = Array.make (Stdlib.max n (2 * cap)) fill in
+    Array.blit !arr 0 bigger 0 cap;
+    arr := bigger
+  end
+
 let round_robin () =
-  (* active-set ring: flow ids that currently have >= 1 pending request.
-     Every operation is O(1) (dequeue amortized: a removed flow leaves at
+  (* active-set ring: ids that currently have >= 1 pending request.
+     Every operation is O(1) (dequeue amortized: a removed id leaves at
      most one stale ring entry, skipped exactly once). *)
-  let ring : Cm_types.flow_id Queue.t = Queue.create () in
-  let counts : (Cm_types.flow_id, int) Hashtbl.t = Hashtbl.create 8 in
+  let ring = ring_create () in
+  let counts = ref (Array.make 16 0) in
+  let epochs = ref (Array.make 16 0) in
   let total = ref 0 in
-  let count fid = Option.value (Hashtbl.find_opt counts fid) ~default:0 in
-  let enqueue fid =
-    let c = count fid in
-    Hashtbl.replace counts fid (c + 1);
+  let ensure id =
+    if id < 0 || id > id_mask then invalid_arg "Scheduler.round_robin: id out of range";
+    grow_to counts (id + 1) 0;
+    grow_to epochs (id + 1) 0
+  in
+  let count id = if id >= 0 && id < Array.length !counts then !counts.(id) else 0 in
+  let enqueue id =
+    ensure id;
+    let c = !counts.(id) in
+    !counts.(id) <- c + 1;
     incr total;
-    if c = 0 then Queue.push fid ring
+    if c = 0 then ring_push ring ((!epochs.(id) lsl id_bits) lor id)
   in
   let rec dequeue () =
-    match Queue.take_opt ring with
-    | None -> None
-    | Some fid ->
-        let c = count fid in
-        if c = 0 then dequeue () (* stale ring entry after remove *)
-        else begin
-          Hashtbl.replace counts fid (c - 1);
-          decr total;
-          if c - 1 > 0 then Queue.push fid ring;
-          Some fid
-        end
+    if ring.len = 0 then None
+    else begin
+      let packed = ring_pop ring in
+      let id = packed land id_mask in
+      let c = !counts.(id) in
+      if packed asr id_bits <> !epochs.(id) || c = 0 then dequeue () (* stale after remove *)
+      else begin
+        !counts.(id) <- c - 1;
+        decr total;
+        if c > 1 then ring_push ring packed;
+        Some id
+      end
+    end
   in
-  let remove fid =
-    total := !total - count fid;
-    Hashtbl.remove counts fid
+  let remove id =
+    if id >= 0 && id < Array.length !counts then begin
+      total := !total - !counts.(id);
+      !counts.(id) <- 0;
+      (* retire outstanding ring entries for this id *)
+      !epochs.(id) <- !epochs.(id) + 1
+    end
   in
   {
     name = "round-robin";
@@ -65,6 +124,10 @@ type stride_entry = {
       (* live heap entry iff backlogged *)
 }
 
+(* empty-slot sentinel for the dense entry array: an immediate, never
+   dereferenced (every read is guarded by a physical-equality check) *)
+let no_entry : stride_entry = Obj.magic 0
+
 let stride_k = 1_000_000.
 
 (* Default rebase threshold.  Beyond ~2^52 float addition can no longer
@@ -76,17 +139,20 @@ let stride_k = 1_000_000.
 let default_rebase_threshold = 1e15
 
 let weighted_stride ?(rebase_threshold = default_rebase_threshold) () =
-  let flows : (Cm_types.flow_id, stride_entry) Hashtbl.t = Hashtbl.create 8 in
+  let entries = ref (Array.make 16 no_entry) in
   let heap : Cm_types.flow_id Cm_util.Fheap.t = Cm_util.Fheap.create () in
   let total = ref 0 in
   let global_pass = ref 0. in
-  let entry fid =
-    match Hashtbl.find_opt flows fid with
-    | Some e -> e
-    | None ->
-        let e = { s_count = 0; s_weight = 1.0; s_pass = !global_pass; s_handle = None } in
-        Hashtbl.replace flows fid e;
-        e
+  let entry id =
+    if id < 0 then invalid_arg "Scheduler.weighted: id out of range";
+    grow_to entries (id + 1) no_entry;
+    let e = !entries.(id) in
+    if e != no_entry then e
+    else begin
+      let e = { s_count = 0; s_weight = 1.0; s_pass = !global_pass; s_handle = None } in
+      !entries.(id) <- e;
+      e
+    end
   in
   (* Subtract the accumulated pass base from every tag.  A uniform shift
      preserves all pairwise orderings (and the heap shape), so rebasing is
@@ -94,26 +160,26 @@ let weighted_stride ?(rebase_threshold = default_rebase_threshold) () =
   let rebase () =
     let base = !global_pass in
     Cm_util.Fheap.shift_all heap (-.base);
-    Hashtbl.iter (fun _ e -> e.s_pass <- e.s_pass -. base) flows;
+    Array.iter (fun e -> if e != no_entry then e.s_pass <- e.s_pass -. base) !entries;
     global_pass := 0.
   in
-  let enqueue fid =
-    let e = entry fid in
+  let enqueue id =
+    let e = entry id in
     e.s_count <- e.s_count + 1;
     incr total;
     if e.s_count = 1 then begin
       (* a newly backlogged flow re-enters at the current global pass so it
          cannot hoard credit accumulated while idle *)
       e.s_pass <- Float.max !global_pass e.s_pass;
-      e.s_handle <- Some (Cm_util.Fheap.insert heap ~prio:e.s_pass fid)
+      e.s_handle <- Some (Cm_util.Fheap.insert heap ~prio:e.s_pass id)
     end
   in
   let dequeue () =
     if !total = 0 then None
     else begin
       let hd = Cm_util.Fheap.min_handle heap in
-      let fid = Cm_util.Fheap.handle_value hd in
-      let e = entry fid in
+      let id = Cm_util.Fheap.handle_value hd in
+      let e = !entries.(id) in
       let pass = e.s_pass in
       e.s_count <- e.s_count - 1;
       decr total;
@@ -125,25 +191,31 @@ let weighted_stride ?(rebase_threshold = default_rebase_threshold) () =
         e.s_handle <- None
       end;
       if !global_pass > rebase_threshold then rebase ();
-      Some fid
+      Some id
     end
   in
-  let remove fid =
-    match Hashtbl.find_opt flows fid with
-    | None -> ()
-    | Some e ->
+  let remove id =
+    if id >= 0 && id < Array.length !entries then begin
+      let e = !entries.(id) in
+      if e != no_entry then begin
         total := !total - e.s_count;
         (match e.s_handle with
         | Some hd -> ignore (Cm_util.Fheap.remove heap hd)
         | None -> ());
-        Hashtbl.remove flows fid
+        !entries.(id) <- no_entry
+      end
+    end
   in
-  let set_weight fid w =
+  let set_weight id w =
     if w <= 0. then invalid_arg "Scheduler.weighted: weight must be positive";
-    (entry fid).s_weight <- w
+    (entry id).s_weight <- w
   in
-  let pending_for fid =
-    match Hashtbl.find_opt flows fid with Some e -> e.s_count | None -> 0
+  let pending_for id =
+    if id >= 0 && id < Array.length !entries then begin
+      let e = !entries.(id) in
+      if e != no_entry then e.s_count else 0
+    end
+    else 0
   in
   {
     name = "weighted-stride";

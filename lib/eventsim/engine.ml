@@ -1,42 +1,64 @@
 open Cm_util
 
-(* One mutable cell per scheduled event.  [fn] doubles as the liveness
-   flag: cancellation and execution both overwrite it with the shared
-   [dead] closure, so cancel is O(1) (lazy: the entry stays in the heap
-   and is skipped when it reaches the top).
+(* The queue is a hashed timing wheel ({!Cm_util.Wheel}): near-future
+   events — timer re-arms, transmit completions, grant callbacks, all
+   within a few RTTs — insert and cancel in O(1) wheel slots, while
+   far-future events overflow into a heap and migrate forward as the
+   wheel turns.  The wheel's pop order is exactly the (time, seq) order
+   of a single heap, so engine behaviour is bit-identical across
+   backends; [CM_ENGINE=heap] in the environment (or [~wheel:false])
+   selects the pure-heap reference, which CI diffs against the wheel.
 
-   Event cells and their heap entries are pooled: once an event has been
-   popped (executed or found dead), its entry goes on a free list and the
-   next [schedule_*] reuses it via {!Heap.reinsert}.  Without the pool a
-   deep queue promotes one entry per event out of the minor heap — at
-   thousands of outstanding events the GC promotion traffic, not the sift
-   depth, is what makes per-event cost grow with queue depth.  [stamp]
-   makes reuse safe: a handle captures the stamp at schedule time, and
-   cancel/reschedule on a stale handle (its cell since recycled for a
-   newer event) sees a stamp mismatch and reports [false], exactly as the
-   unpooled engine reported [false] for an already-fired event. *)
-type event = { mutable fn : unit -> unit; mutable stamp : int }
-type handle = { entry : event Heap.handle; h_stamp : int }
+   The callback is stored directly as the wheel entry's value — no event
+   record between the queue entry and the closure, so the pop path
+   touches one block, not two.  The closure doubles as the liveness
+   flag: cancellation and execution both overwrite it with the shared
+   [dead] closure, so cancel is O(1) (lazy: the entry stays queued and
+   is skipped when it reaches the top).
+
+   Queue entries are pooled: once an event has been popped (executed or
+   found dead), its entry goes on a free list and the next [schedule_*]
+   reuses it via {!Wheel.reinsert}.  Without the pool a deep queue
+   promotes one entry per event out of the minor heap — at thousands of
+   outstanding events the GC promotion traffic, not the sift depth, is
+   what makes per-event cost grow with queue depth.  The pool is bounded
+   by the number of still-queued events (floor 64), so a transient burst
+   does not retain its peak memory forever.  The wheel's own sequence
+   number makes reuse safe: a handle captures the entry's seq at
+   schedule time; seqs are unique over the wheel's lifetime and
+   refreshed on every reinsert, so cancel/reschedule on a stale handle
+   (its entry since recycled for a newer event) sees a seq mismatch and
+   reports [false], exactly as the unpooled engine reported [false] for
+   an already-fired event. *)
+type handle = { entry : (unit -> unit) Wheel.handle; mutable h_seq : int }
 
 let dead : unit -> unit = fun () -> ()
 
+(* a GC-safe hole for unused pool slots: an immediate, never dereferenced *)
+let null_entry : (unit -> unit) Wheel.handle = Obj.magic 0
+
 type t = {
   mutable clock : Time.t;
-  queue : event Heap.t;
-  mutable pool : event Heap.handle list; (* popped entries awaiting reuse *)
-  mutable next_stamp : int;
+  queue : (unit -> unit) Wheel.t;
+  mutable pool : (unit -> unit) Wheel.handle array; (* popped entries awaiting reuse *)
+  mutable pool_len : int; (* stack: pool.(0 .. pool_len-1) are live *)
   mutable executed : int;
   mutable cancelled : int; (* dead events still sitting in [queue] *)
   mutable clamped : int; (* negative-delay schedules clamped to "now" *)
   mutable running : bool;
 }
 
-let create ?(start = Time.zero) () =
+let wheel_default =
+  match Sys.getenv_opt "CM_ENGINE" with
+  | Some "heap" -> false
+  | Some "wheel" | Some _ | None -> true
+
+let create ?(start = Time.zero) ?(wheel = wheel_default) () =
   {
     clock = start;
-    queue = Heap.create ();
-    pool = [];
-    next_stamp = 0;
+    queue = (if wheel then Wheel.create ~start () else Wheel.create ~slots:0 ~start ());
+    pool = Array.make 64 null_entry;
+    pool_len = 0;
     executed = 0;
     cancelled = 0;
     clamped = 0;
@@ -45,47 +67,77 @@ let create ?(start = Time.zero) () =
 
 let now t = t.clock
 
+(* Pool bound: enough cells to recycle the whole standing queue, but a
+   burst's worth of surplus cells is released as the queue drains. *)
+let pool_put t entry =
+  let cap = Stdlib.max 64 (Wheel.size t.queue) in
+  if t.pool_len < cap then begin
+    if t.pool_len = Array.length t.pool then begin
+      let grown = Array.make (2 * t.pool_len) null_entry in
+      Array.blit t.pool 0 grown 0 t.pool_len;
+      t.pool <- grown
+    end;
+    t.pool.(t.pool_len) <- entry;
+    t.pool_len <- t.pool_len + 1
+  end
+  else
+    while t.pool_len > cap do
+      t.pool_len <- t.pool_len - 1;
+      t.pool.(t.pool_len) <- null_entry
+    done
+
+let pool_size t = t.pool_len
+
+let enqueue t when_ fn =
+  if t.pool_len > 0 then begin
+    t.pool_len <- t.pool_len - 1;
+    let entry = t.pool.(t.pool_len) in
+    t.pool.(t.pool_len) <- null_entry;
+    Wheel.set_handle_value entry fn;
+    Wheel.reinsert t.queue entry ~time:when_;
+    entry
+  end
+  else Wheel.insert t.queue ~time:when_ fn
+
 let schedule_at t when_ fn =
   if when_ < t.clock then
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is in the past (now %a)" Time.pp when_ Time.pp
          t.clock);
-  t.next_stamp <- t.next_stamp + 1;
-  let stamp = t.next_stamp in
-  match t.pool with
-  | entry :: rest ->
-      t.pool <- rest;
-      let ev = Heap.handle_value entry in
-      ev.fn <- fn;
-      ev.stamp <- stamp;
-      Heap.reinsert t.queue entry ~prio:when_;
-      { entry; h_stamp = stamp }
-  | [] -> { entry = Heap.insert t.queue ~prio:when_ { fn; stamp }; h_stamp = stamp }
+  let entry = enqueue t when_ fn in
+  { entry; h_seq = Wheel.handle_seq entry }
 
 let schedule_after t d fn =
   if d < 0 then t.clamped <- t.clamped + 1;
   schedule_at t (Time.add t.clock (Stdlib.max d 0)) fn
 
-(* A handle is live iff its cell has not been recycled for a newer event
-   (stamp matches) and the event has neither fired nor been cancelled. *)
-let live h =
-  let ev = Heap.handle_value h.entry in
-  ev.stamp = h.h_stamp && ev.fn != dead
+(* Fire-and-forget schedule: same queue behaviour as [schedule_after]
+   (including the seq sequence, so pop order is unchanged), but no
+   handle record is built — the allocation-free path for callers that
+   never cancel, which is every per-grant and per-cycle event. *)
+let post t d fn =
+  if d < 0 then t.clamped <- t.clamped + 1;
+  ignore (enqueue t (Time.add t.clock (Stdlib.max d 0)) fn)
+
+(* A handle is live iff its entry has not been recycled or rescheduled
+   since the handle was made (seq matches — seqs are never reused) and
+   the event has neither fired nor been cancelled. *)
+let live h = Wheel.handle_seq h.entry = h.h_seq && Wheel.handle_value h.entry != dead
 
 (* Compact once dead entries dominate: rare (amortized O(1) per cancel),
    and only worthwhile when cancelled events would otherwise linger far in
    the future, e.g. retransmit timers that keep being reset.  Entries the
    filter drops are simply GC'd rather than pooled. *)
 let maybe_compact t =
-  if t.cancelled > 64 && t.cancelled > Heap.size t.queue / 2 then begin
-    Heap.filter_in_place t.queue (fun ev -> ev.fn != dead);
+  if t.cancelled > 64 && t.cancelled > Wheel.size t.queue / 2 then begin
+    Wheel.filter_in_place t.queue (fun fn -> fn != dead);
     t.cancelled <- 0
   end
 
 let cancel t h =
   if not (live h) then false
   else begin
-    (Heap.handle_value h.entry).fn <- dead;
+    Wheel.set_handle_value h.entry dead;
     t.cancelled <- t.cancelled + 1;
     maybe_compact t;
     true
@@ -96,25 +148,30 @@ let reschedule t h when_ =
     invalid_arg
       (Format.asprintf "Engine.reschedule: %a is in the past (now %a)" Time.pp when_ Time.pp
          t.clock);
-  if not (live h) then false else Heap.update_prio t.queue h.entry ~prio:when_
+  if not (live h) then false
+  else begin
+    ignore (Wheel.update t.queue h.entry ~time:when_);
+    (* the move took a fresh seq; track it so this handle stays live *)
+    h.h_seq <- Wheel.handle_seq h.entry;
+    true
+  end
 
-let pending t = Heap.size t.queue - t.cancelled
+let pending t = Wheel.size t.queue - t.cancelled
 
 let rec step t =
-  if Heap.is_empty t.queue then false
+  if Wheel.is_empty t.queue then false
   else begin
-    let entry = Heap.pop_min t.queue in
-    let ev = Heap.handle_value entry in
-    t.pool <- entry :: t.pool;
-    if ev.fn == dead then begin
+    let entry = Wheel.pop_min t.queue in
+    let f = Wheel.handle_value entry in
+    pool_put t entry;
+    if f == dead then begin
       t.cancelled <- t.cancelled - 1;
       step t
     end
     else begin
-      t.clock <- Heap.handle_prio entry;
+      t.clock <- Wheel.handle_time entry;
       t.executed <- t.executed + 1;
-      let f = ev.fn in
-      ev.fn <- dead;
+      Wheel.set_handle_value entry dead;
       f ();
       true
     end
@@ -133,25 +190,24 @@ let run ?until t =
     (fun () ->
       let continue = ref true in
       while !continue do
-        if Heap.is_empty t.queue then continue := false
+        if Wheel.is_empty t.queue then continue := false
         else begin
-          let entry = Heap.min_handle t.queue in
-          let ev = Heap.handle_value entry in
-          if ev.fn == dead then begin
-            ignore (Heap.pop_min t.queue);
-            t.pool <- entry :: t.pool;
+          let entry = Wheel.min_handle t.queue in
+          let f = Wheel.handle_value entry in
+          if f == dead then begin
+            ignore (Wheel.pop_min t.queue);
+            pool_put t entry;
             t.cancelled <- t.cancelled - 1
           end
           else begin
-            let when_ = Heap.handle_prio entry in
+            let when_ = Wheel.handle_time entry in
             if when_ > limit then continue := false
             else begin
-              ignore (Heap.pop_min t.queue);
-              t.pool <- entry :: t.pool;
+              ignore (Wheel.pop_min t.queue);
+              pool_put t entry;
               t.clock <- when_;
               t.executed <- t.executed + 1;
-              let f = ev.fn in
-              ev.fn <- dead;
+              Wheel.set_handle_value entry dead;
               f ()
             end
           end

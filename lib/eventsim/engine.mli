@@ -19,9 +19,15 @@ type handle
     an event that already ran simply return [false], even if its cell has
     since been reused for a newer event. *)
 
-val create : ?start:Time.t -> unit -> t
+val create : ?start:Time.t -> ?wheel:bool -> unit -> t
 (** [create ()] is a fresh engine with the clock at [start]
-    (default {!Time.zero}). *)
+    (default {!Time.zero}).  [wheel] selects the queue backend: the
+    hashed timing wheel (default) or, when [false], the pure-heap
+    reference.  Both pop in identical (time, FIFO) order — the wheel is
+    a performance structure, not a semantic one — so the choice is
+    observable only through speed.  The default can be forced to the
+    heap by setting [CM_ENGINE=heap] in the environment (used by CI to
+    diff the two backends). *)
 
 val now : t -> Time.t
 (** Current virtual time. *)
@@ -34,6 +40,12 @@ val schedule_after : t -> Time.span -> (unit -> unit) -> handle
 (** [schedule_after t d f] is [schedule_at t (now t + max d 0) f].
     Negative delays are clamped to zero and counted in
     {!schedules_clamped}. *)
+
+val post : t -> Time.span -> (unit -> unit) -> unit
+(** [post t d f] is {!schedule_after} without the handle: same queue
+    position, same FIFO stamp sequence, but nothing is allocated for the
+    caller to hold.  For fire-and-forget events that are never cancelled
+    or rescheduled — the per-grant and per-cycle hot paths. *)
 
 val cancel : t -> handle -> bool
 (** Cancel a pending event; [false] if it already ran or was cancelled.
@@ -59,6 +71,11 @@ val run : ?until:Time.t -> t -> unit
 
 val run_for : t -> Time.span -> unit
 (** [run_for t d] is [run ~until:(now t + d) t]. *)
+
+val pool_size : t -> int
+(** Number of recycled event cells currently on the free list.  Bounded
+    by [max 64 (queued events)], so a transient burst's cells are
+    released as the queue drains (diagnostics, tests). *)
 
 val events_executed : t -> int
 (** Total number of callbacks executed (diagnostics, bench). *)

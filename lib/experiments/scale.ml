@@ -34,6 +34,18 @@ type point = {
   p_wall_s : float;  (** host wall clock — NOT part of the deterministic JSON *)
 }
 
+(* one flow's closed-loop state, a single small record (see [run_point]) *)
+type fstate = {
+  mutable fs_fid : int;
+  fs_rtt : Cm_util.Time.span;
+  mutable fs_left : int;
+  mutable fs_churned : bool;
+  (* the loop is closed, so a flow never has more than one request in
+     flight: a scalar timestamp slot, no queue, no allocation *)
+  mutable fs_req_at : Cm_util.Time.t;
+  mutable fs_update : unit -> unit;
+}
+
 let family = [ 64; 512; 4096; 16384 ]
 let rounds = 24
 let flows_per_mf = 32
@@ -51,15 +63,28 @@ let run_point ?(rounds = rounds) params ~sched ~flows =
   in
   let dests = Stdlib.max 1 (flows / flows_per_mf) in
   let rng = Rng.create ~seed:params.Exp_common.seed in
-  (* per-flow feedback delay: a 2 ms path with fixed per-flow jitter so
-     the event pattern is irregular but fully determined by the seed *)
-  let rtt = Array.init flows (fun _ -> Time.add (Time.ms 2) (Time.us (Rng.int rng 500))) in
-  let fid = Array.make flows (-1) in
-  let left = Array.make flows rounds in
-  let churned = Array.make flows false in
-  (* the loop is closed, so a flow never has more than one request in
-     flight: a scalar timestamp slot per flow, no queue, no allocation *)
-  let req_at = Array.make flows Time.zero in
+  (* All of a flow's loop state lives in one record — one cache line per
+     flow on the hot cycle instead of a line per parallel array.  At
+     N=16384 the per-flow state is what the cycle cost is made of, so its
+     layout is part of what the experiment measures.  [fs_update] is the
+     flow's update callback, allocated once at setup rather than one
+     closure per cycle. *)
+  let nil_thunk = fun () -> () in
+  let st =
+    (* per-flow feedback delay: a 2 ms path with fixed per-flow jitter so
+       the event pattern is irregular but fully determined by the seed
+       (records are built in index order, preserving the rng draw order
+       of the former rtt array) *)
+    Array.init flows (fun _ ->
+        {
+          fs_fid = -1;
+          fs_rtt = Time.add (Time.ms 2) (Time.us (Rng.int rng 500));
+          fs_left = rounds;
+          fs_churned = false;
+          fs_req_at = Time.zero;
+          fs_update = nil_thunk;
+        })
+  in
   let lats = Array.make (flows * rounds) 0. in
   let n_lats = ref 0 in
   let done_flows = ref 0 in
@@ -69,45 +94,43 @@ let run_point ?(rounds = rounds) params ~sched ~flows =
       ~dst:(Addr.endpoint ~host:(1 + (i mod dests)) ~port:80)
       ~proto:Addr.Udp ()
   in
-  let request i =
-    req_at.(i) <- Engine.now engine;
-    Cm.request cm fid.(i)
+  let request f =
+    f.fs_req_at <- Engine.now engine;
+    Cm.request cm f.fs_fid
   in
-  (* per-flow update callbacks, allocated once at setup rather than one
-     closure per cycle — the hot loop itself must not be the bottleneck
-     the experiment is measuring.  Filled after [open_one] is defined. *)
-  let update = Array.make flows (fun () -> ()) in
   let rec open_one i ~gen =
-    fid.(i) <- Cm.open_flow cm (key_of i ~gen);
-    Cm.register_send cm fid.(i) (on_grant i);
-    if sched = Stride then Cm.set_weight cm fid.(i) (float_of_int (1 + (i mod 3)))
-  and on_grant i _granted_fid =
-    lats.(!n_lats) <- Time.to_float_us (Time.diff (Engine.now engine) req_at.(i));
+    let f = st.(i) in
+    f.fs_fid <- Cm.open_flow cm (key_of i ~gen);
+    Cm.register_send cm f.fs_fid (on_grant f);
+    if sched = Stride then Cm.set_weight cm f.fs_fid (float_of_int (1 + (i mod 3)))
+  and on_grant f _granted_fid =
+    lats.(!n_lats) <- Time.to_float_us (Time.diff (Engine.now engine) f.fs_req_at);
     incr n_lats;
-    Cm.notify cm fid.(i) ~nbytes:mtu;
-    ignore (Engine.schedule_after engine rtt.(i) update.(i))
+    Cm.notify cm f.fs_fid ~nbytes:mtu;
+    Engine.post engine f.fs_rtt f.fs_update
   in
   for i = 0 to flows - 1 do
-    update.(i) <-
+    let f = st.(i) in
+    f.fs_update <-
       (fun () ->
         (* every 50th cycle of a flow reports a transient loss so the
            shared controllers keep reacting at scale *)
-        let lossy = left.(i) mod 50 = 49 in
-        Cm.update cm fid.(i) ~nsent:mtu
+        let lossy = f.fs_left mod 50 = 49 in
+        Cm.update cm f.fs_fid ~nsent:mtu
           ~nrecd:(if lossy then 0 else mtu)
           ~loss:(if lossy then Cm.Cm_types.Transient else Cm.Cm_types.No_loss)
-          ~rtt:rtt.(i) ();
-        left.(i) <- left.(i) - 1;
-        if left.(i) = 0 then incr done_flows
+          ~rtt:f.fs_rtt ();
+        f.fs_left <- f.fs_left - 1;
+        if f.fs_left = 0 then incr done_flows
         else begin
           (* mid-run churn: every 16th flow closes and reopens once,
              half-way through its rounds *)
-          if (not churned.(i)) && i mod 16 = 0 && left.(i) = rounds / 2 then begin
-            churned.(i) <- true;
-            Cm.close_flow cm fid.(i);
+          if (not f.fs_churned) && i mod 16 = 0 && f.fs_left = rounds / 2 then begin
+            f.fs_churned <- true;
+            Cm.close_flow cm f.fs_fid;
             open_one i ~gen:1
           end;
-          request i
+          request f
         end)
   done;
   let wall0 = Unix.gettimeofday () in
@@ -115,7 +138,7 @@ let run_point ?(rounds = rounds) params ~sched ~flows =
     open_one i ~gen:0
   done;
   for i = 0 to flows - 1 do
-    request i
+    request st.(i)
   done;
   let guard = ref 0 in
   while !done_flows < flows && !guard < 100_000 do
@@ -123,7 +146,7 @@ let run_point ?(rounds = rounds) params ~sched ~flows =
     Engine.run_for engine (Time.ms 100)
   done;
   for i = 0 to flows - 1 do
-    Cm.close_flow cm fid.(i)
+    Cm.close_flow cm st.(i).fs_fid
   done;
   let wall = Unix.gettimeofday () -. wall0 in
   let c = Cm.counters cm in

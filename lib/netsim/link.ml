@@ -108,7 +108,7 @@ let start_transmission t =
     | Some pkt as got ->
         t.busy <- true;
         t.txing <- got;
-        ignore (Engine.schedule_after t.engine (tx_time t pkt) t.finish_fn)
+        Engine.post t.engine (tx_time t pkt) t.finish_fn
 
 let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~sink () =
   if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
@@ -177,7 +177,7 @@ let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~
           if extra = 0 then begin
             (* common case: in-order propagation, shared delivery closure *)
             Queue.push pkt t.in_flight;
-            ignore (Engine.schedule_after t.engine (prop_delay t) t.deliver_fn)
+            Engine.post t.engine (prop_delay t) t.deliver_fn
           end
           else
             ignore

@@ -1,19 +1,18 @@
-type t = { gain : float; mutable value : float; mutable initialized : bool }
+(* All-float record: OCaml stores it as a flat float block, so [update]
+   mutates in place with no boxing.  [nan] doubles as the "no sample yet"
+   state — nan <> nan, so the initialized test is one compare, and no
+   finite sample can collide with the sentinel (an EWMA fed a nan sample
+   would be poisoned under either representation). *)
+type t = { gain : float; mutable value : float }
 
 let create ~gain =
   if gain <= 0. || gain > 1. then invalid_arg "Ewma.create: gain must be in (0,1]";
-  { gain; value = nan; initialized = false }
+  { gain; value = nan }
 
 let update t x =
-  if t.initialized then t.value <- ((1. -. t.gain) *. t.value) +. (t.gain *. x)
-  else begin
-    t.value <- x;
-    t.initialized <- true
-  end
+  if t.value = t.value then t.value <- ((1. -. t.gain) *. t.value) +. (t.gain *. x)
+  else t.value <- x
 
-let value t = if t.initialized then t.value else nan
-let initialized t = t.initialized
-
-let reset t =
-  t.value <- nan;
-  t.initialized <- false
+let value t = t.value
+let initialized t = t.value = t.value
+let reset t = t.value <- nan

@@ -711,6 +711,51 @@ let test_close_cost_constant () =
     small large;
   Alcotest.(check bool) "constant per close" true (small <= 2)
 
+(* ------------------------------------------------------------------ *)
+(* Flow-id recycling (Fid_dir) *)
+
+let test_stale_fid_misses_after_reuse () =
+  let _engine, cm = make_env () in
+  let fid1 = Cm.open_flow cm (flow_key ~sport:100 ()) in
+  Cm.close_flow cm fid1;
+  (* the freed slot is recycled LIFO: the next open reuses it under a
+     bumped generation, so the two ids share slot bits but differ *)
+  let fid2 = Cm.open_flow cm (flow_key ~sport:101 ()) in
+  Alcotest.(check int) "slot reused" (fid1 land 0xFFFFFF) (fid2 land 0xFFFFFF);
+  Alcotest.(check bool) "stale and fresh ids differ" true (fid1 <> fid2);
+  (* every API path through the stale (id, generation) must miss without
+     touching the slot's new tenant *)
+  let rejected f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "request through stale id rejected" true
+    (rejected (fun () -> Cm.request cm fid1));
+  Alcotest.(check bool) "notify through stale id rejected" true
+    (rejected (fun () -> Cm.notify cm fid1 ~nbytes:10));
+  Alcotest.(check bool) "query through stale id rejected" true
+    (rejected (fun () -> ignore (Cm.query cm fid1)));
+  Alcotest.(check bool) "close through stale id rejected" true
+    (rejected (fun () -> Cm.close_flow cm fid1));
+  Alcotest.(check int) "new tenant unharmed" mtu (Cm.mtu cm fid2);
+  Alcotest.(check int) "one live flow" 1 (Cm.live_flows cm)
+
+let test_million_churn_capacity_bounded () =
+  let _engine, cm = make_env () in
+  (* an anchor flow keeps the macroflow alive so the loop measures slot
+     recycling, not macroflow setup/teardown *)
+  let anchor = Cm.open_flow cm (flow_key ~sport:9999 ()) in
+  for i = 1 to 1_000_000 do
+    let fid = Cm.open_flow cm (flow_key ~sport:(10_000 + (i land 1)) ()) in
+    Cm.close_flow cm fid
+  done;
+  Alcotest.(check int) "only the anchor left" 1 (Cm.live_flows cm);
+  (* 1,000,001 opens at peak concurrency 2: the directory is bounded by
+     the peak, not by flows ever opened *)
+  Alcotest.(check bool)
+    (Printf.sprintf "slot capacity bounded by peak concurrency (%d)"
+       (Cm.flow_slot_capacity cm))
+    true
+    (Cm.flow_slot_capacity cm <= 4);
+  Cm.close_flow cm anchor
+
 let () =
   Alcotest.run "cm"
     [
@@ -767,6 +812,10 @@ let () =
           Alcotest.test_case "idle restart option" `Quick test_idle_restart_resets_window;
           Alcotest.test_case "close cost independent of macroflow count" `Quick
             test_close_cost_constant;
+          Alcotest.test_case "stale flow id misses after slot reuse" `Quick
+            test_stale_fid_misses_after_reuse;
+          Alcotest.test_case "1M flow churn keeps directory bounded" `Slow
+            test_million_churn_capacity_bounded;
         ] );
       ( "properties",
         [
