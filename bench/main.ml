@@ -4,7 +4,7 @@
    the endpoint-fault-defense overhead (watchdog + auditor, budget ≤ 5 %
    each) on the Fig. 6 macro workload, runs the many-flow [scale] family
    (events/sec at N = 64 … 16384 flows under both schedulers), and emits
-   a machine-readable BENCH_PR6.json so later PRs have a perf trajectory
+   a machine-readable BENCH_PR7.json so later PRs have a perf trajectory
    to compare against (schema: DESIGN.md §6; diffable with bench_diff).
 
    Set CM_BENCH_FULL=1 for the long variants (10^6-buffer Fig. 4/5 point,
@@ -22,7 +22,7 @@ let params =
   { Experiments.Exp_common.seed; full; telemetry = None; defenses = false }
 
 let smoke = Sys.getenv_opt "CM_BENCH_SMOKE" = Some "1"
-let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR6.json"
+let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR7.json"
 
 (* wall times of every experiment, for the JSON trajectory *)
 let experiment_walls : (string * float) list ref = ref []
@@ -66,7 +66,13 @@ let run_experiments () =
   timed "scenarios" (fun () ->
       Experiments.Scenarios.print params (Experiments.Scenarios.run params));
   timed "app_faults" (fun () ->
-      Experiments.App_faults.print params (Experiments.App_faults.run params))
+      Experiments.App_faults.print params (Experiments.App_faults.run params));
+  timed "fattree" (fun () ->
+      Experiments.Fattree.print params (Experiments.Fattree.run params));
+  timed "cdn_edge" (fun () ->
+      Experiments.Cdn_edge.print params (Experiments.Cdn_edge.run params));
+  timed "cellular" (fun () ->
+      Experiments.Cellular.print params (Experiments.Cellular.run params))
 
 (* ------------------------------------------------------------------ *)
 (* Macrobenchmark: events per second of the simulator core on the Fig. 6
@@ -421,6 +427,29 @@ let bench_trace_span () =
     Telemetry.Trace.span_begin tr ~cat:"bench" "op" [ ("n", Telemetry.Trace.Int 1) ];
     Telemetry.Trace.span_end tr ~cat:"bench" "op"
 
+(* spec-DSL compilation: the full static-check pass (elaboration, BFS
+   reachability per group destination, routed-floor oversubscription) on
+   the fat-tree k=4 family spec — 36 nodes, 96 links, 19 flows.  This is
+   the cost [cm_expt spec --check] and every DSL-built experiment pay
+   before the first event fires. *)
+let bench_spec_elaborate () =
+  let spec = Experiments.Fattree.spec in
+  fun () ->
+    match Cm_spec.Check.elaborate spec with
+    | Ok _ -> ()
+    | Error _ -> assert false
+
+(* spec → live netsim: elaboration plus Build.instantiate (hosts, routers,
+   links, routing tables) — the end-to-end setup cost of a DSL family *)
+let bench_spec_build () =
+  let spec = Experiments.Fattree.spec in
+  let ir =
+    match Cm_spec.Check.elaborate spec with Ok ir -> ir | Error _ -> assert false
+  in
+  fun () ->
+    let engine = Eventsim.Engine.create () in
+    ignore (Cm_spec.Build.instantiate engine ir)
+
 let bench_trace_off () =
   (* the cost an uninstrumented component pays at every potential event:
      one branch on the nil sink, argument list never built *)
@@ -450,6 +479,8 @@ let hot_paths : (string * (unit -> unit)) list =
     ("telemetry hist observe", bench_telemetry_hist ());
     ("telemetry span begin/end", bench_trace_span ());
     ("telemetry nil-sink branch", bench_trace_off ());
+    ("spec elaborate+check (fat_tree k=4)", bench_spec_elaborate ());
+    ("spec build to netsim (fat_tree k=4)", bench_spec_build ());
   ]
 
 let tests =
@@ -522,7 +553,7 @@ let emit_json ~macro ~micro ~telem ~defense ~scale () =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema_version\": 1,\n";
-  p "  \"pr\": 6,\n";
+  p "  \"pr\": 7,\n";
   p "  \"seed\": %d,\n" params.Experiments.Exp_common.seed;
   p "  \"full\": %b,\n" params.Experiments.Exp_common.full;
   p "  \"smoke\": %b,\n" smoke;

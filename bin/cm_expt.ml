@@ -41,6 +41,9 @@ let run_merge p = Experiments.Ext_merge.print (Experiments.Ext_merge.run p)
 let run_fair p = Experiments.Ablations.print_fairness (Experiments.Ablations.run_fairness p)
 let run_scenarios p = Experiments.Scenarios.print p (Experiments.Scenarios.run p)
 let run_app_faults p = Experiments.App_faults.print p (Experiments.App_faults.run p)
+let run_fattree p = Experiments.Fattree.print p (Experiments.Fattree.run p)
+let run_cdn_edge p = Experiments.Cdn_edge.print p (Experiments.Cdn_edge.run p)
+let run_cellular p = Experiments.Cellular.print p (Experiments.Cellular.run p)
 
 let experiments =
   [
@@ -64,6 +67,9 @@ let experiments =
     ("ablation_fairness", "Jain fairness across flow ensembles", run_fair);
     ("scenarios", "Fault-injection scenarios: burst loss, outage, sawtooth (JSON)", run_scenarios);
     ("app_faults", "Endpoint faults: crash/silence/lie/hoard defenses & reclamation (JSON)", run_app_faults);
+    ("fattree", "Fat-tree k=4 incast + cross-pod shuffle, spec-DSL authored (JSON)", run_fattree);
+    ("cdn_edge", "CDN edge flash crowd: 2x1024 clients, spec-DSL authored (JSON)", run_cdn_edge);
+    ("cellular", "Cellular last mile: layered app vs ramps and handoff flaps, spec-DSL authored (JSON)", run_cellular);
   ]
 
 let make_cmd (name, doc, runner) =
@@ -114,6 +120,94 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const action $ expt_arg $ seed_arg $ out_arg)
 
+let spec_cmd =
+  let doc =
+    "Inspect the spec-DSL sources behind experiment families.  [--list] shows every family \
+     with its provenance (dsl vs handwritten), [--check FAMILY] runs the static checks and \
+     reports diagnostics, [--dump FAMILY] prints a JSON summary of the compiled topology."
+  in
+  let list_arg =
+    let doc = "List every experiment family with its spec provenance." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let check_arg =
+    let doc = "Run the static checks for $(docv) and report diagnostics (exit 1 on failure)." in
+    Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FAMILY" ~doc)
+  in
+  let dump_arg =
+    let doc = "Print a JSON summary of $(docv)'s compiled topology." in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FAMILY" ~doc)
+  in
+  let module R = Experiments.Spec_registry in
+  let module Check = Cm_spec.Check in
+  let list_families () =
+    let all = List.map (fun (n, _, _) -> n) experiments @ [ "scale" ] in
+    List.iter (fun n -> Printf.printf "%-18s %s\n" n (R.provenance_of n)) all
+  in
+  let with_entry family k =
+    match R.find family with
+    | Some e -> k e
+    | None ->
+        let known = List.exists (fun (n, _, _) -> n = family) experiments in
+        if known then (
+          Printf.eprintf
+            "cm_expt spec: family %s is handwritten OCaml — no spec to inspect.\n" family;
+          1)
+        else (
+          Printf.eprintf "cm_expt spec: unknown family %s (try --list).\n" family;
+          1)
+  in
+  let check_family family =
+    with_entry family (fun e ->
+        List.fold_left
+          (fun rc (sub, spec) ->
+            match Check.check spec with
+            | [] ->
+                Printf.printf "%s: ok\n" sub;
+                rc
+            | diags ->
+                List.iter (fun d -> Printf.eprintf "%s: %s\n" sub (Check.diag_str d)) diags;
+                1)
+          0 e.R.specs)
+  in
+  let dump_family family =
+    with_entry family (fun e ->
+        let summaries =
+          List.filter_map
+            (fun (sub, spec) ->
+              match Check.elaborate spec with
+              | Ok ir -> Some (sub, Check.summary_json ir)
+              | Error diags ->
+                  List.iter (fun d -> Printf.eprintf "%s: %s\n" sub (Check.diag_str d)) diags;
+                  None)
+            e.R.specs
+        in
+        if List.length summaries <> List.length e.R.specs then 1
+        else begin
+          let json =
+            match summaries with [ (_, j) ] -> j | l -> Experiments.Exp_common.Json.Obj l
+          in
+          print_endline (Experiments.Exp_common.Json.to_string json);
+          0
+        end)
+  in
+  let action list check dump =
+    let rc =
+      match (list, check, dump) with
+      | _, None, None ->
+          list_families ();
+          0
+      | _, Some f, None -> check_family f
+      | _, None, Some f -> dump_family f
+      | _, Some cf, Some df ->
+          let rc = check_family cf in
+          let rc' = dump_family df in
+          max rc rc'
+    in
+    if rc <> 0 then exit rc
+  in
+  Cmd.v (Cmd.info "spec" ~doc) Term.(const action $ list_arg $ check_arg $ dump_arg)
+
 let all_cmd =
   let doc = "Run every experiment in order." in
   let action seed full =
@@ -126,5 +220,8 @@ let all_cmd =
 let () =
   let doc = "Reproduce the Congestion Manager paper's tables and figures" in
   let info = Cmd.info "cm_expt" ~version:"1.0" ~doc in
-  let group = Cmd.group info (all_cmd :: trace_cmd :: scale_cmd :: List.map make_cmd experiments) in
+  let group =
+    Cmd.group info
+      (all_cmd :: trace_cmd :: scale_cmd :: spec_cmd :: List.map make_cmd experiments)
+  in
   exit (Cmd.eval group)

@@ -1,0 +1,31 @@
+(** CDN edge flash-crowd family (spec-DSL authored).
+
+    Two edge servers, each with 1024 access clients behind a shared
+    100 Mbit/s trunk ({!Cm_spec.Spec.clients}).  64 clients per server
+    fetch steadily from t=0; at t=2 s the remaining 960 per server pile
+    on within a second.  Each server's CM aggregates congestion state
+    across all of its clients' connections; the outputs are the latency
+    split between the baseline and crowd cohorts and the trunks' queue
+    behaviour.  Seeded runs emit byte-identical JSON. *)
+
+open Netsim
+
+val spec : Cm_spec.Spec.t
+(** The family's DSL source. *)
+
+type cohort = {
+  c_name : string;
+  c_clients : int;
+  c_done : int;  (** Clients whose whole fetch sequence finished. *)
+  c_fetches : int;
+  c_lat_mean_s : float;
+  c_lat_p50_s : float;
+  c_lat_p95_s : float;
+  c_lat_max_s : float;
+}
+
+type result = { r_cohorts : cohort list; r_trunks : (string * Link.stats) list }
+
+val run : Exp_common.params -> result
+val to_json : Exp_common.params -> result -> Exp_common.Json.t
+val print : Exp_common.params -> result -> unit

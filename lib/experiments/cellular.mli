@@ -1,0 +1,28 @@
+(** Cellular last-mile family (spec-DSL authored).
+
+    A server streams the layered app (ALF mode, 0.5–4 Mbit/s layers) to
+    one UE behind a base station.  The downlink runs four {!Cm_spec.Spec.seq}
+    phases: steady (8 s), a ramp down to 1.5 Mbit/s, a handoff (three
+    300 ms outage flaps), and a ramp back to 8 Mbit/s.  Reports layer
+    occupancy, switch count and goodput — the scenario shape the
+    in-network-adaptation comparison consumes.  Seeded runs emit
+    byte-identical JSON. *)
+
+open Netsim
+
+val spec : Cm_spec.Spec.t
+(** The family's DSL source (topology + flow group + seq of phases). *)
+
+type result = {
+  r_bytes : int;
+  r_packets : int;
+  r_goodput_bps : float;
+  r_layer_switches : int;
+  r_final_layer : int;
+  r_layer_occupancy : float array;  (** Fraction of samples spent at each layer rate. *)
+  r_down_stats : Link.stats;
+}
+
+val run : Exp_common.params -> result
+val to_json : Exp_common.params -> result -> Exp_common.Json.t
+val print : Exp_common.params -> result -> unit

@@ -1,0 +1,32 @@
+(** Fat-tree incast family (spec-DSL authored).
+
+    A k=4 fat-tree (16 hosts, 20 routers) carrying two flow groups: a
+    15-sender incast of 128 KiB blocks into [h0] at t=100 ms, and a
+    cross-pod shuffle wave (pod 1 → h12, 512 KiB each, 10 ms stagger) at
+    t=2 s.  The topology, groups and timing are authored entirely in
+    {!Cm_spec.Spec} and compiled through the checker/builder — the
+    family doubles as the DSL's datacenter fan-in exercise.  Seeded runs
+    emit byte-identical JSON. *)
+
+open Cm_util
+open Netsim
+
+val spec : Cm_spec.Spec.t
+(** The family's DSL source. *)
+
+type group_result = {
+  gr_name : string;
+  gr_flows : int;
+  gr_done : int;
+  gr_first_done : Time.t;
+  gr_last_done : Time.t;
+  gr_mean_s : float;
+  gr_goodput_bps : float;  (** Aggregate: total bytes / (last done − group start). *)
+}
+
+type result = { r_groups : group_result list; r_edge : Link.stats }
+(** [r_edge]: the incast bottleneck, the edge-router → h0 access link. *)
+
+val run : Exp_common.params -> result
+val to_json : Exp_common.params -> result -> Exp_common.Json.t
+val print : Exp_common.params -> result -> unit

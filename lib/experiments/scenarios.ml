@@ -29,44 +29,37 @@ let bin = Time.ms 500
 let ge_burst () = Loss.ge ~p_gb:0.01 ~p_bg:0.1 ~loss_bad:0.3 ()
 (* stationary loss = (0.01/0.11)·0.3 ≈ 2.7 %, mean burst 10 packets *)
 
-let scenario_of = function
+let name_of = function
+  | Burst_loss -> "burst-loss"
+  | Outage -> "outage-2s"
+  | Sawtooth -> "sawtooth-bw"
+
+let fault_steps = function
   | Burst_loss ->
-      let s =
-        Scenario.make ~name:"burst-loss"
-          [
-            {
-              Scenario.at = Time.sec 8.;
-              target = "fwd";
-              action =
-                Scenario.Loss_burst
-                  { spec = Scenario.Loss_gilbert_elliott (ge_burst ()); duration = Time.sec 8. };
-            };
-          ]
-      in
-      (s, Scenario.fault_window s)
-  | Outage ->
-      let s =
-        Scenario.make ~name:"outage-2s"
-          [ { Scenario.at = Time.sec 8.; target = "fwd"; action = Scenario.Outage (Time.sec 2.) } ]
-      in
-      (s, Scenario.fault_window s)
+      [
+        ( Time.sec 8.,
+          Scenario.Loss_burst
+            { spec = Scenario.Loss_gilbert_elliott (ge_burst ()); duration = Time.sec 8. } );
+      ]
+  | Outage -> [ (Time.sec 8., Scenario.Outage (Time.sec 2.)) ]
   | Sawtooth ->
       (* two teeth: ramp 8 → 2 Mbit/s over 3 s, then snap back *)
       let tooth at =
         [
-          {
-            Scenario.at;
-            target = "fwd";
-            action = Scenario.Ramp_bandwidth { to_bps = 2e6; over = Time.sec 3.; steps = 6 };
-          };
-          {
-            Scenario.at = Time.add at (Time.sec 5.);
-            target = "fwd";
-            action = Scenario.Set_bandwidth 8e6;
-          };
+          (at, Scenario.Ramp_bandwidth { to_bps = 2e6; over = Time.sec 3.; steps = 6 });
+          (Time.add at (Time.sec 5.), Scenario.Set_bandwidth 8e6);
         ]
       in
-      let s = Scenario.make ~name:"sawtooth-bw" (tooth (Time.sec 6.) @ tooth (Time.sec 13.)) in
+      tooth (Time.sec 6.) @ tooth (Time.sec 13.)
+
+let scenario_of id =
+  let s =
+    Scenario.make ~name:(name_of id)
+      (List.map (fun (at, action) -> { Scenario.at; target = "fwd"; action }) (fault_steps id))
+  in
+  match id with
+  | Burst_loss | Outage -> (s, Scenario.fault_window s)
+  | Sawtooth ->
       (* renegotiations never "clear" per fault_window; the recovery clock
          starts at the last snap back to full rate *)
       (s, Some (Time.sec 6., Time.sec 18.))
@@ -74,53 +67,84 @@ let scenario_of = function
 let scenario_name id = (fst (scenario_of id)).Scenario.name
 let app_name = function Tcp_cm_bulk -> "tcp-cm-bulk" | Layered_stream -> "layered-alf"
 
+(* ---- topology: handwritten builder vs. the spec DSL --------------------- *)
+
+type via = Handwritten | Dsl
+
+(* The same pipe, authored in the spec algebra.  The parity test checks
+   that compiling this (Check.elaborate → Build.instantiate/scenario)
+   yields byte-identical family JSON to the Topology.pipe path. *)
+let spec_of id =
+  Cm_spec.Spec.(
+    par
+      [
+        node "a";
+        node "b";
+        link ~name:"fwd" ~queue:50 ~bw:8e6 ~lat:(Time.ms 20) "a" "b";
+        link ~name:"rev" ~queue:1000 ~bw:8e6 ~lat:(Time.ms 20) "b" "a";
+        faults ~target:"fwd" (fault_steps id);
+      ])
+
+(* (sender, receiver, fwd, rev, scenario) by either construction path *)
+let make_net via engine rng id =
+  match via with
+  | Handwritten ->
+      let net = Topology.pipe engine ~bandwidth_bps:8e6 ~delay:(Time.ms 20) ~qdisc_limit:50 ~rng () in
+      (net.Topology.a, net.Topology.b, net.Topology.ab, net.Topology.ba, fst (scenario_of id))
+  | Dsl ->
+      let ir = Cm_spec.Check.elaborate_exn (spec_of id) in
+      let b = Cm_spec.Build.instantiate ~rng engine ir in
+      ( Cm_spec.Build.host b "a",
+        Cm_spec.Build.host b "b",
+        Cm_spec.Build.link b "fwd",
+        Cm_spec.Build.link b "rev",
+        Cm_spec.Build.scenario ~name:(name_of id) ir )
+
 (* ---- the two applications under test ------------------------------------ *)
 
-let links (net : Topology.pipe) = [ ("fwd", net.Topology.ab); ("rev", net.Topology.ba) ]
-
 (* goodput timeline (value = bytes) + layer switches + forward-link stats *)
-let run_bulk params scenario =
+let run_bulk params via id =
   let engine = Engine.create () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
-  let net = Topology.pipe engine ~bandwidth_bps:8e6 ~delay:(Time.ms 20) ~qdisc_limit:50 ~rng () in
+  let a, b, ab, ba, scenario = make_net via engine rng id in
+  let links = [ ("fwd", ab); ("rev", ba) ] in
   let cm = Cm.create engine () in
-  Cm.attach cm net.Topology.a;
-  let tel = Exp_common.instrument params ~engine ~links:(links net) ~cm () in
+  Cm.attach cm a;
+  let tel = Exp_common.instrument params ~engine ~links ~cm () in
   let tl = Timeline.create () in
   let _listener =
-    Tcp.Conn.listen net.Topology.b ~port:80
+    Tcp.Conn.listen b ~port:80
       ~on_accept:(fun conn ->
         Tcp.Conn.on_receive conn (fun n -> Timeline.record tl (Engine.now engine) (float_of_int n)))
       ()
   in
   let conn =
-    Tcp.Conn.connect net.Topology.a
-      ~dst:(Addr.endpoint ~host:1 ~port:80)
-      ~driver:(Tcp.Conn.Cm_driven cm) ()
+    Tcp.Conn.connect a ~dst:(Addr.endpoint ~host:1 ~port:80) ~driver:(Tcp.Conn.Cm_driven cm) ()
   in
   Tcp.Conn.send conn (1 lsl 34);
-  Scenario.compile engine ~rng ~links:(links net) scenario;
+  Scenario.compile engine ~rng ~links scenario;
   Engine.run_for engine duration;
   Option.iter Telemetry.stop tel;
-  (tl, None, Link.stats net.Topology.ab)
+  (tl, None, Link.stats ab)
 
-let run_layered params scenario =
+let run_layered params via id =
   let engine = Engine.create () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
-  let net = Topology.pipe engine ~bandwidth_bps:8e6 ~delay:(Time.ms 20) ~qdisc_limit:50 ~rng () in
+  let a, b, ab, ba, scenario = make_net via engine rng id in
+  let links = [ ("fwd", ab); ("rev", ba) ] in
   let cm = Cm.create engine ~mtu:1000 () in
-  Cm.attach cm net.Topology.a;
-  let tel = Exp_common.instrument params ~engine ~links:(links net) ~cm () in
-  let lib = Libcm.create net.Topology.a cm () in
-  let _receiver = Udp.Cc_socket.run_echo_receiver net.Topology.b ~port:5004 () in
+  Cm.attach cm a;
+  let tel = Exp_common.instrument params ~engine ~links ~cm () in
+  let lib = Libcm.create a cm () in
+  let _receiver = Udp.Cc_socket.run_echo_receiver b ~port:5004 () in
   let source =
-    Cm_apps.Layered.create lib ~host:net.Topology.a
+    Cm_apps.Layered.create lib ~host:a
       ~dst:(Addr.endpoint ~host:1 ~port:5004)
       ~layers:[| 1e6; 2e6; 4e6; 8e6 |]
       ~mode:Cm_apps.Layered.Alf ~packet_bytes:1000 ()
   in
   Cm_apps.Layered.start source;
-  Scenario.compile engine ~rng ~links:(links net) scenario;
+  Scenario.compile engine ~rng ~links scenario;
   Engine.run_for engine duration;
   Cm_apps.Layered.stop source;
   Option.iter Telemetry.stop tel;
@@ -134,7 +158,7 @@ let run_layered params scenario =
                if p.Timeline.value <> prev then (n + 1, p.Timeline.value) else (n, prev))
              (0, p0.Timeline.value) rest)
   in
-  (Cm_apps.Layered.tx_timeline source, Some switches, Link.stats net.Topology.ab)
+  (Cm_apps.Layered.tx_timeline source, Some switches, Link.stats ab)
 
 (* ---- metrics ------------------------------------------------------------ *)
 
@@ -155,15 +179,15 @@ let analyze ~bins_bps ~fault_start ~fault_clear =
   in
   (pre, during, recovery)
 
-let run_one params ~scenario ~app =
+let run_one ?(via = Handwritten) params ~scenario ~app =
   let sc, window = scenario_of scenario in
   let fault_start, fault_clear =
     match window with Some w -> w | None -> (Time.zero, Time.zero)
   in
   let tl, switches, stats =
     match app with
-    | Tcp_cm_bulk -> run_bulk params sc
-    | Layered_stream -> run_layered params sc
+    | Tcp_cm_bulk -> run_bulk params via scenario
+    | Layered_stream -> run_layered params via scenario
   in
   let bins_bps =
     List.map (fun (t, bytes_per_s) -> (t, bytes_per_s *. 8.)) (Timeline.rate_series tl ~bin ~until:duration)
@@ -184,10 +208,10 @@ let run_one params ~scenario ~app =
     r_stats = stats;
   }
 
-let run params =
+let run ?via params =
   List.concat_map
     (fun scenario ->
-      List.map (fun app -> run_one params ~scenario ~app) [ Tcp_cm_bulk; Layered_stream ])
+      List.map (fun app -> run_one ?via params ~scenario ~app) [ Tcp_cm_bulk; Layered_stream ])
     [ Burst_loss; Outage; Sawtooth ]
 
 (* ---- JSON output -------------------------------------------------------- *)

@@ -1,0 +1,25 @@
+type entry = {
+  name : string;
+  provenance : string;
+  specs : (string * Cm_spec.Spec.t) list;  (* sub-spec name → spec *)
+}
+
+let entries =
+  [
+    {
+      name = "scenarios";
+      provenance = "dsl (parity-proven against the handwritten builder)";
+      specs =
+        List.map
+          (fun id -> (Scenarios.scenario_name id, Scenarios.spec_of id))
+          [ Scenarios.Burst_loss; Scenarios.Outage; Scenarios.Sawtooth ];
+    };
+    { name = "fattree"; provenance = "dsl"; specs = [ ("fattree", Fattree.spec) ] };
+    { name = "cdn_edge"; provenance = "dsl"; specs = [ ("cdn_edge", Cdn_edge.spec) ] };
+    { name = "cellular"; provenance = "dsl"; specs = [ ("cellular", Cellular.spec) ] };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) entries
+
+let provenance_of name =
+  match find name with Some e -> e.provenance | None -> "handwritten"

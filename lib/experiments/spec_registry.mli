@@ -1,0 +1,22 @@
+(** Which experiment families are authored in the spec DSL.
+
+    The registry backs [cm_expt spec]: [--list] annotates every family
+    with its provenance, [--check]/[--dump] resolve a family name to its
+    DSL source(s).  Families not listed here are handwritten OCaml with
+    no spec to check. *)
+
+type entry = {
+  name : string;  (** The cm_expt family name. *)
+  provenance : string;  (** Human-readable DSL-vs-handwritten note. *)
+  specs : (string * Cm_spec.Spec.t) list;
+      (** Sub-spec name → spec.  The scenarios family carries one spec
+          per canned scenario; the DSL-native families carry one. *)
+}
+
+val entries : entry list
+(** Every spec-bearing family. *)
+
+val find : string -> entry option
+
+val provenance_of : string -> string
+(** ["handwritten"] for families not in the registry. *)

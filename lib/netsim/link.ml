@@ -111,8 +111,11 @@ let start_transmission t =
         Engine.post t.engine (tx_time t pkt) t.finish_fn
 
 let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~sink () =
-  if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
-  if delay < 0 then invalid_arg "Link.create: negative delay";
+  if Float.is_nan bandwidth_bps || bandwidth_bps <= 0. then
+    invalid_arg
+      (Printf.sprintf "Link.create: bandwidth must be positive (got %g bps)" bandwidth_bps);
+  if delay < 0 then
+    invalid_arg (Printf.sprintf "Link.create: negative delay (%d ns)" delay);
   check_prob ~what:"Link.create: loss_rate" loss_rate;
   if (loss_rate > 0. || reorder <> None) && rng = None then
     invalid_arg "Link.create: loss_rate/reorder need an rng";
@@ -211,7 +214,8 @@ let send t pkt =
   end
 
 let set_bandwidth t bw =
-  if bw <= 0. then invalid_arg "Link.set_bandwidth: bandwidth must be positive";
+  if Float.is_nan bw || bw <= 0. then
+    invalid_arg (Printf.sprintf "Link.set_bandwidth: bandwidth must be positive (got %g bps)" bw);
   t.bandwidth_bps <- bw;
   t.tx_cache_size <- -1
 

@@ -13,7 +13,17 @@ type t = {
 }
 
 let droptail ?limit_bytes ~limit_pkts () =
-  if limit_pkts <= 0 then invalid_arg "Queue_disc.droptail: limit_pkts must be positive";
+  if limit_pkts <= 0 then
+    invalid_arg
+      (Printf.sprintf "Queue_disc.droptail: limit_pkts must be positive (got %d)" limit_pkts);
+  (match limit_bytes with
+  | Some b when b <= 0 ->
+      invalid_arg
+        (Printf.sprintf
+           "Queue_disc.droptail: limit_bytes must be positive (got %d; a non-positive byte limit \
+            would silently drop every packet)"
+           b)
+  | _ -> ());
   let q = Byte_queue.create () in
   let drops = ref 0 in
   (* the option is resolved once here, not matched per packet *)

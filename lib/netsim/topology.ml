@@ -1,7 +1,26 @@
 type pipe = { a : Host.t; b : Host.t; ab : Link.t; ba : Link.t }
 
+(* Validate builder parameters up front with the builder and parameter
+   named, instead of letting Link.create (or worse, a mis-sized queue at
+   runtime) fail with a message that doesn't say which knob was wrong. *)
+let check_bw ~who name bw =
+  if Float.is_nan bw || bw <= 0. then
+    invalid_arg (Printf.sprintf "Topology.%s: %s must be positive (got %g bps)" who name bw)
+
+let check_delay ~who name (d : Cm_util.Time.span) =
+  if d < 0 then
+    invalid_arg (Printf.sprintf "Topology.%s: %s must be non-negative (got %d ns)" who name d)
+
+let check_queue ~who name q =
+  if q <= 0 then
+    invalid_arg (Printf.sprintf "Topology.%s: %s must be positive (got %d pkts)" who name q)
+
 let pipe engine ~bandwidth_bps ~delay ?(loss_rate = 0.) ?(qdisc_limit = 100)
     ?(reverse_qdisc_limit = 1000) ?rng ?costs () =
+  check_bw ~who:"pipe" "bandwidth_bps" bandwidth_bps;
+  check_delay ~who:"pipe" "delay" delay;
+  check_queue ~who:"pipe" "qdisc_limit" qdisc_limit;
+  check_queue ~who:"pipe" "reverse_qdisc_limit" reverse_qdisc_limit;
   let a = Host.create engine ~id:0 ?costs () in
   let b = Host.create engine ~id:1 ?costs () in
   let ab =
@@ -33,6 +52,11 @@ type star = {
 let star engine ~n_clients ~access_bps ~access_delay ~bottleneck_bps ~bottleneck_delay
     ?(loss_rate = 0.) ?(qdisc_limit = 100) ?rng ?costs () =
   if n_clients <= 0 then invalid_arg "Topology.star: need at least one client";
+  check_bw ~who:"star" "access_bps" access_bps;
+  check_bw ~who:"star" "bottleneck_bps" bottleneck_bps;
+  check_delay ~who:"star" "access_delay" access_delay;
+  check_delay ~who:"star" "bottleneck_delay" bottleneck_delay;
+  check_queue ~who:"star" "qdisc_limit" qdisc_limit;
   let server = Host.create engine ~id:0 ?costs () in
   let clients = Array.init n_clients (fun i -> Host.create engine ~id:(i + 1) ?costs ()) in
   let core = Router.create () in

@@ -1,0 +1,111 @@
+open Eventsim
+open Netsim
+module Scenario = Cm_dynamics.Scenario
+
+(* Stage 2 of the spec pipeline: instantiate a checked IR into live
+   netsim objects (declaration order, so construction is reproducible)
+   and project its fault steps into a Scenario program.
+
+   Byte-parity contract with the hand-built Topology.pipe: hosts then
+   links are created in declaration order with identical parameters, the
+   run rng is merely *stored* by links (never drawn while loss/reorder/
+   jitter are off), and routing attaches the same Link.send closures —
+   so a spec describing a pipe compiles to an indistinguishable
+   simulation. *)
+
+type node_impl = Host_impl of Host.t | Router_impl of Router.t
+
+type t = {
+  engine : Engine.t;
+  ir : Check.ir;
+  impls : node_impl array;
+  links : Link.t array;
+}
+
+let instantiate ?costs ?rng engine (ir : Check.ir) =
+  let impls =
+    Array.map
+      (fun (n : Check.node) ->
+        match n.Check.n_kind with
+        | Spec.Host -> Host_impl (Host.create engine ~id:n.Check.n_addr ?costs ())
+        | Spec.Router -> Router_impl (Router.create ()))
+      ir.Check.ir_nodes
+  in
+  let links =
+    Array.map
+      (fun (e : Check.edge) ->
+        let sink =
+          match impls.(e.Check.e_dst) with
+          | Host_impl h -> fun pkt -> Host.deliver h pkt
+          | Router_impl r -> Router.forward r
+        in
+        Link.create engine ~bandwidth_bps:e.Check.e_bw ~delay:e.Check.e_lat
+          ~qdisc:(Queue_disc.droptail ~limit_pkts:e.Check.e_queue ())
+          ?rng ~sink ())
+      ir.Check.ir_edges
+  in
+  (* hosts: the single out-link (multihoming was rejected statically) *)
+  Array.iteri
+    (fun i impl ->
+      match (impl, ir.Check.ir_out.(i)) with
+      | Host_impl h, ei :: _ -> Host.attach_route h (Link.send links.(ei))
+      | Host_impl _, [] | Router_impl _, _ -> ())
+    impls;
+  (* routers: one backward BFS per destination host; next_hop uses the
+     same first-declared-edge tie-break the checker's route function
+     reports, so reachability and installed routes cannot disagree *)
+  Array.iteri
+    (fun dst (n : Check.node) ->
+      if n.Check.n_kind = Spec.Host then begin
+        let dist = Check.dist_to ir ~dst in
+        Array.iteri
+          (fun u impl ->
+            match impl with
+            | Router_impl r -> (
+                match Check.next_hop ir dist u with
+                | Some ei -> Router.add_route r ~dst:n.Check.n_addr (Link.send links.(ei))
+                | None -> ())
+            | Host_impl _ -> ())
+          impls
+      end)
+    ir.Check.ir_nodes;
+  { engine; ir; impls; links }
+
+let node_index t name =
+  let idx = ref None in
+  Array.iteri
+    (fun i (n : Check.node) -> if n.Check.n_name = name then idx := Some i)
+    t.ir.Check.ir_nodes;
+  match !idx with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Build: unknown node %S" name)
+
+let host t name =
+  match t.impls.(node_index t name) with
+  | Host_impl h -> h
+  | Router_impl _ -> invalid_arg (Printf.sprintf "Build: %S is a router, not a host" name)
+
+let link t name =
+  let idx = ref None in
+  Array.iteri
+    (fun i (e : Check.edge) -> if e.Check.e_name = name then idx := Some i)
+    t.ir.Check.ir_edges;
+  match !idx with
+  | Some i -> t.links.(i)
+  | None -> invalid_arg (Printf.sprintf "Build: unknown link %S" name)
+
+let links_alist t =
+  Array.to_list
+    (Array.mapi (fun i (e : Check.edge) -> (e.Check.e_name, t.links.(i))) t.ir.Check.ir_edges)
+
+let scenario ~name (ir : Check.ir) =
+  Scenario.make ~name
+    (Array.to_list
+       (Array.map
+          (fun (f : Check.fault) ->
+            {
+              Scenario.at = f.Check.f_at;
+              target = ir.Check.ir_edges.(f.Check.f_target).Check.e_name;
+              action = f.Check.f_action;
+            })
+          ir.Check.ir_faults))

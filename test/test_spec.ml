@@ -1,0 +1,434 @@
+(* The spec DSL pipeline: parity with the handwritten scenarios family,
+   static-check diagnostics (one negative test per code), structural
+   checks of the sugar combinators, a qcheck property that random
+   well-formed specs always check clean and compile, and determinism of
+   the three DSL-native families. *)
+
+open Cm_util
+module Spec = Cm_spec.Spec
+module Check = Cm_spec.Check
+module Build = Cm_spec.Build
+module Scenario = Cm_dynamics.Scenario
+module Exp_common = Experiments.Exp_common
+module Scenarios = Experiments.Scenarios
+module Fattree = Experiments.Fattree
+module Cdn_edge = Experiments.Cdn_edge
+module Cellular = Experiments.Cellular
+
+let params = { Exp_common.seed = 42; full = false; telemetry = None; defenses = false }
+
+(* ---- parity: DSL-compiled scenarios ≡ handwritten ----------------------- *)
+
+let test_scenarios_parity () =
+  let json via = Exp_common.Json.to_string (Scenarios.to_json params (Scenarios.run ~via params)) in
+  let hand = json Scenarios.Handwritten in
+  let dsl = json Scenarios.Dsl in
+  Alcotest.(check string) "byte-identical family JSON" hand dsl
+
+(* ---- static checks: one negative test per diagnostic code --------------- *)
+
+let codes spec = List.map (fun d -> d.Check.d_code) (Check.check spec)
+
+let has_code code spec =
+  Alcotest.(check bool)
+    (Printf.sprintf "diagnoses %s in: %s" code
+       (String.concat ", " (codes spec)))
+    true
+    (List.mem code (codes spec))
+
+let pipe_base =
+  Spec.(
+    par
+      [
+        node "a";
+        node "b";
+        link ~name:"fwd" ~bw:1e6 ~lat:(Time.ms 10) "a" "b";
+        link ~name:"rev" ~bw:1e6 ~lat:(Time.ms 10) "b" "a";
+      ])
+
+let bulk_group ?(name = "g") ?(port = 80) ?start ?stop () =
+  Spec.flows ~name ~src:[ "a" ] ~dst:"b" ~port ~app:(Spec.bulk ~bytes:8192) ?start ?stop ()
+
+let test_clean_base () =
+  Alcotest.(check (list string)) "clean" [] (codes (Spec.par [ pipe_base; bulk_group () ]))
+
+let test_dup_name () =
+  has_code "dup-name" (Spec.par [ pipe_base; Spec.node "a" ]);
+  has_code "dup-name"
+    (Spec.par [ pipe_base; Spec.link ~name:"fwd" ~bw:1e6 ~lat:0 "b" "a" ]);
+  has_code "dup-name" (Spec.par [ pipe_base; bulk_group (); bulk_group ~port:9000 () ])
+
+let test_dup_address () =
+  has_code "dup-address" (Spec.par [ Spec.node "x"; Spec.node ~id:0 "y" ])
+
+let test_bad_address () =
+  has_code "bad-address" (Spec.par [ Spec.node ~id:(-1) "x" ])
+
+let test_bad_link_param () =
+  has_code "bad-link-param" (Spec.par [ pipe_base; Spec.link ~bw:(-1.) ~lat:0 "a" "b" ]);
+  has_code "bad-link-param" (Spec.par [ pipe_base; Spec.link ~bw:Float.nan ~lat:0 "a" "b" ]);
+  has_code "bad-link-param" (Spec.par [ pipe_base; Spec.link ~bw:1e6 ~lat:(-1) "a" "b" ]);
+  has_code "bad-link-param" (Spec.par [ pipe_base; Spec.link ~queue:0 ~bw:1e6 ~lat:0 "a" "b" ])
+
+let test_unknown_node () =
+  has_code "unknown-node" (Spec.par [ pipe_base; Spec.link ~bw:1e6 ~lat:0 "a" "ghost" ]);
+  has_code "unknown-node"
+    (Spec.par [ pipe_base; Spec.flows ~name:"g" ~src:[ "ghost" ] ~dst:"b" ~app:(Spec.bulk ~bytes:1) () ])
+
+let test_self_link () = has_code "self-link" (Spec.par [ pipe_base; Spec.link ~bw:1e6 ~lat:0 "a" "a" ])
+
+let test_multihomed_host () =
+  has_code "multihomed-host"
+    (Spec.par [ pipe_base; Spec.node "c"; Spec.link ~bw:1e6 ~lat:0 "a" "c" ])
+
+let test_router_endpoint () =
+  has_code "router-endpoint"
+    (Spec.par
+       [
+         pipe_base;
+         Spec.router "r";
+         Spec.link ~bw:1e6 ~lat:0 "b" "r";
+         Spec.flows ~name:"g" ~src:[ "a" ] ~dst:"r" ~app:(Spec.bulk ~bytes:1) ();
+       ])
+
+let test_empty_group () =
+  has_code "empty-group" (Spec.par [ pipe_base; Spec.flows ~name:"g" ~src:[] ~dst:"b" ~app:(Spec.bulk ~bytes:1) () ])
+
+let test_bad_app () =
+  let g app = Spec.par [ pipe_base; Spec.flows ~name:"g" ~src:[ "a" ] ~dst:"b" ~app () ] in
+  has_code "bad-app" (g (Spec.bulk ~bytes:0));
+  has_code "bad-app" (g (Spec.web_fetch ~object_bytes:0 ~count:1 ~gap:0));
+  has_code "bad-app" (g (Spec.web_fetch ~object_bytes:1 ~count:0 ~gap:0));
+  has_code "bad-app" (g (Spec.layered ~layers:[||] ()));
+  has_code "bad-app" (g (Spec.layered ~layers:[| 2e6; 1e6 |] ()));
+  has_code "bad-app" (g (Spec.layered ~layers:[| 0. |] ()))
+
+let test_bad_time () =
+  has_code "bad-time" (Spec.par [ pipe_base; bulk_group ~start:(Time.sec (-1.)) () ]);
+  has_code "bad-time"
+    (Spec.par [ pipe_base; bulk_group ~start:(Time.sec 2.) ~stop:(Time.sec 1.) () ]);
+  has_code "bad-time"
+    (Spec.par [ pipe_base; Spec.faults ~target:"fwd" [ (Time.sec (-1.), Scenario.Outage (Time.sec 1.)) ] ])
+
+let test_unknown_target () =
+  has_code "unknown-target"
+    (Spec.par [ pipe_base; Spec.faults ~target:"ghost" [ (Time.sec 1., Scenario.Outage (Time.sec 1.)) ] ])
+
+let test_bad_fault () =
+  has_code "bad-fault"
+    (Spec.par [ pipe_base; Spec.faults ~target:"fwd" [ (Time.sec 1., Scenario.Set_bandwidth (-5.)) ] ])
+
+let test_fault_overlap () =
+  has_code "fault-overlap"
+    (Spec.par
+       [
+         pipe_base;
+         Spec.faults ~target:"fwd"
+           [
+             (Time.sec 1., Scenario.Outage (Time.sec 5.));
+             (Time.sec 3., Scenario.Outage (Time.sec 1.));
+           ];
+       ]);
+  (* same windows on different links: fine *)
+  Alcotest.(check (list string))
+    "no overlap across links" []
+    (codes
+       (Spec.par
+          [
+            pipe_base;
+            Spec.faults ~target:"fwd" [ (Time.sec 1., Scenario.Outage (Time.sec 5.)) ];
+            Spec.faults ~target:"rev" [ (Time.sec 3., Scenario.Outage (Time.sec 1.)) ];
+          ]))
+
+let test_unreachable () =
+  (* c—d island, no path to/from b *)
+  has_code "unreachable"
+    (Spec.par
+       [
+         pipe_base;
+         Spec.node "c";
+         Spec.node "d";
+         Spec.duplex ~bw:1e6 ~lat:0 "c" "d";
+         Spec.flows ~name:"g" ~src:[ "c" ] ~dst:"b" ~app:(Spec.bulk ~bytes:1) ();
+       ]);
+  (* one-way connectivity is not enough: feedback path missing *)
+  has_code "unreachable"
+    (Spec.par
+       [
+         Spec.node "a";
+         Spec.node "b";
+         Spec.link ~bw:1e6 ~lat:0 "a" "b";
+         Spec.flows ~name:"g" ~src:[ "a" ] ~dst:"b" ~app:(Spec.bulk ~bytes:1) ();
+       ])
+
+let test_port_clash () =
+  has_code "port-clash"
+    (Spec.par
+       [
+         pipe_base;
+         Spec.flows ~name:"g1" ~src:[ "a" ] ~dst:"b" ~port:80 ~app:(Spec.bulk ~bytes:1) ();
+         Spec.flows ~name:"g2" ~src:[ "a" ] ~dst:"b" ~port:80
+           ~app:(Spec.web_fetch ~object_bytes:1 ~count:1 ~gap:0)
+           ();
+       ])
+
+let test_server_conflict () =
+  let fetch ~name bytes =
+    Spec.flows ~name ~src:[ "a" ] ~dst:"b" ~port:80
+      ~app:(Spec.web_fetch ~object_bytes:bytes ~count:1 ~gap:0)
+      ()
+  in
+  has_code "server-conflict" (Spec.par [ pipe_base; fetch ~name:"g1" 100; fetch ~name:"g2" 200 ]);
+  (* same object size: a legitimately shared server *)
+  Alcotest.(check (list string))
+    "shared server ok" []
+    (codes (Spec.par [ pipe_base; fetch ~name:"g1" 100; fetch ~name:"g2" 100 ]))
+
+let test_oversubscribed () =
+  has_code "oversubscribed"
+    (Spec.par
+       [
+         pipe_base;
+         Spec.flows ~name:"g" ~src:[ "a" ] ~dst:"b" ~port:5004
+           ~app:(Spec.layered ~layers:[| 2e6; 4e6 |] ())
+           ();
+       ])
+
+(* ---- sugar: structural expectations ------------------------------------- *)
+
+let count pred spec = List.length (List.filter pred spec)
+let is_node = function Spec.Node { kind = Spec.Host; _ } -> true | _ -> false
+let is_router = function Spec.Node { kind = Spec.Router; _ } -> true | _ -> false
+let is_link = function Spec.Link _ -> true | _ -> false
+
+let test_fat_tree_shape () =
+  let ft = Spec.fat_tree ~k:4 () in
+  Alcotest.(check int) "hosts" 16 (count is_node ft);
+  Alcotest.(check int) "routers" 20 (count is_router ft);
+  (* 16 host links + 16 edge-agg + 16 agg-core adjacencies, duplex *)
+  Alcotest.(check int) "links" 96 (count is_link ft);
+  Alcotest.(check (list string)) "checks clean" [] (codes ft);
+  let ir = Check.elaborate_exn ft in
+  (* any-to-any: every host routes to every other *)
+  let hosts =
+    Array.to_list ir.Check.ir_nodes
+    |> List.mapi (fun i n -> (i, n))
+    |> List.filter (fun (_, n) -> n.Check.n_kind = Spec.Host)
+    |> List.map fst
+  in
+  List.iter
+    (fun dst ->
+      let dist = Check.dist_to ir ~dst in
+      List.iter
+        (fun src ->
+          if src <> dst then
+            Alcotest.(check bool)
+              (Printf.sprintf "route %d->%d" src dst)
+              true
+              (Check.route ir dist ~src <> None))
+        hosts)
+    hosts;
+  Alcotest.check_raises "odd k rejected"
+    (Invalid_argument "Spec.fat_tree: k must be a positive even number (got 3)") (fun () ->
+      ignore (Spec.fat_tree ~k:3 ()))
+
+let test_clients_shape () =
+  let sp =
+    Spec.(
+      par
+        [
+          node "s0";
+          node "s1";
+          clients ~n:3 ~per:[ "s0"; "s1" ] ~bw:4e6 ~lat:(Time.ms 5) ~trunk_bw:100e6
+            ~trunk_lat:(Time.ms 1) ();
+        ])
+  in
+  Alcotest.(check int) "hosts" 8 (count is_node sp);
+  Alcotest.(check int) "routers" 2 (count is_router sp);
+  Alcotest.(check int) "links" 16 (count is_link sp);
+  Alcotest.(check (list string)) "checks clean" [] (codes sp);
+  Alcotest.(check (list string))
+    "client names" [ "c0_0"; "c0_1"; "c0_2"; "c1_0"; "c1_1"; "c1_2" ]
+    (Spec.client_names ~n:3 ~servers:[ "s0"; "s1" ] ())
+
+let test_seq_offsets () =
+  let sp =
+    Spec.(
+      seq
+        [
+          ("warm", Time.sec 5., faults ~target:"fwd" [ (Time.sec 1., Scenario.Set_bandwidth 1e6) ]);
+          ("blip", Time.sec 5., faults ~target:"fwd" [ (Time.sec 2., Scenario.Outage (Time.sec 1.)) ]);
+        ])
+  in
+  let ats =
+    List.filter_map (function Spec.Fault { at; span; _ } -> Some (at, span) | _ -> None) sp
+  in
+  match ats with
+  | [ (t1, sp1); (t2, sp2) ] ->
+      Alcotest.(check int) "phase 1 unshifted" (Time.sec 1.) t1;
+      Alcotest.(check int) "phase 2 shifted by phase 1 duration" (Time.sec 7.) t2;
+      Alcotest.(check bool) "phase name in span" true (List.mem "warm" sp1);
+      Alcotest.(check bool) "phase name in span" true (List.mem "blip" sp2)
+  | _ -> Alcotest.fail "expected two fault elements"
+
+let test_span_in_diag () =
+  let sp = Spec.named "outer" (Spec.link ~name:"l" ~bw:(-1.) ~lat:0 "x" "y") in
+  match Check.check sp with
+  | [] -> Alcotest.fail "expected diagnostics"
+  | ds ->
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "span %S carries context" (Spec.span_str d.Check.d_span))
+            true
+            (String.length (Spec.span_str d.Check.d_span) > 0
+            && List.mem "outer" d.Check.d_span))
+        ds
+
+(* ---- property: random well-formed specs check clean and compile --------- *)
+
+(* Generator: a random dumbbell — n_l hosts and n_r hosts bridged by two
+   routers — with random positive parameters, a bulk group left→right,
+   and a non-overlapping fault schedule on the bottleneck.  Well-formed
+   by construction, so the checker must accept it and the builder must
+   instantiate it. *)
+let gen_wellformed =
+  QCheck.Gen.(
+    let* n_l = int_range 1 4 in
+    let* n_r = int_range 1 4 in
+    let* bw_mbps = int_range 1 100 in
+    let* lat_ms = int_range 0 50 in
+    let* queue = int_range 1 200 in
+    let* bytes = int_range 1 100_000 in
+    let* port = int_range 1 60_000 in
+    let* stagger_ms = int_range 0 100 in
+    let* outage_gap_s = int_range 3 10 in
+    let* n_faults = int_range 0 3 in
+    return
+      (let lhosts = List.init n_l (Printf.sprintf "l%d") in
+       let rhosts = List.init n_r (Printf.sprintf "r%d") in
+       let bw = float_of_int bw_mbps *. 1e6 in
+       let lat = Time.ms lat_ms in
+       Spec.(
+         par
+           [
+             par (List.map node lhosts);
+             par (List.map node rhosts);
+             router "x";
+             router "y";
+             par (List.map (fun h -> duplex ~queue ~bw ~lat h "x") lhosts);
+             duplex ~name:"bottleneck" ~queue ~bw ~lat "x" "y";
+             par (List.map (fun h -> duplex ~queue ~bw ~lat "y" h) rhosts);
+             flows ~name:"xfer" ~src:lhosts ~dst:(List.hd rhosts) ~port
+               ~app:(bulk ~bytes) ~stagger:(Time.ms stagger_ms) ();
+             faults ~target:"bottleneck"
+               (List.init n_faults (fun i ->
+                    ( Time.sec (float_of_int (1 + (i * outage_gap_s))),
+                      Scenario.Outage (Time.sec 1.) )));
+           ])))
+
+let prop_wellformed_compiles =
+  QCheck.Test.make ~count:60 ~name:"random well-formed specs check clean and compile"
+    (QCheck.make gen_wellformed) (fun spec ->
+      match Check.elaborate spec with
+      | Error ds ->
+          QCheck.Test.fail_reportf "diagnostics on well-formed spec: %s"
+            (String.concat "; " (List.map Check.diag_str ds))
+      | Ok ir ->
+          let engine = Eventsim.Engine.create () in
+          let rng = Rng.create ~seed:7 in
+          let b = Build.instantiate ~rng engine ir in
+          let sc = Build.scenario ~name:"p" ir in
+          Scenario.compile engine ~rng ~links:(Build.links_alist b) sc;
+          Array.length b.Build.links = Array.length ir.Check.ir_edges)
+
+(* ---- the three DSL-native families: determinism ------------------------- *)
+
+let family_json run to_json =
+  let results = run params in
+  Exp_common.Json.to_string (to_json params results)
+
+let test_family_deterministic name run to_json () =
+  let a = family_json run to_json in
+  let b = family_json run to_json in
+  Alcotest.(check bool) (name ^ " non-empty") true (String.length a > 2);
+  Alcotest.(check string) (name ^ " same-seed byte-identical") a b
+
+(* ---- netsim validation (satellite): descriptive early rejections -------- *)
+
+let check_invalid what f =
+  match f () with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s names the parameter: %S" what msg)
+        true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail (what ^ ": expected Invalid_argument")
+
+let test_netsim_validation () =
+  let engine = Eventsim.Engine.create () in
+  check_invalid "pipe negative bw" (fun () ->
+      Netsim.Topology.pipe engine ~bandwidth_bps:(-1.) ~delay:0 ());
+  check_invalid "pipe NaN bw" (fun () ->
+      Netsim.Topology.pipe engine ~bandwidth_bps:Float.nan ~delay:0 ());
+  check_invalid "pipe negative delay" (fun () ->
+      Netsim.Topology.pipe engine ~bandwidth_bps:1e6 ~delay:(-1) ());
+  check_invalid "pipe zero queue" (fun () ->
+      Netsim.Topology.pipe engine ~bandwidth_bps:1e6 ~delay:0 ~qdisc_limit:0 ());
+  check_invalid "star negative access bw" (fun () ->
+      Netsim.Topology.star engine ~n_clients:2 ~access_bps:(-1.) ~access_delay:0
+        ~bottleneck_bps:1e6 ~bottleneck_delay:0 ());
+  check_invalid "link NaN set_bandwidth" (fun () ->
+      let l =
+        Netsim.Link.create engine ~bandwidth_bps:1e6 ~delay:0 ~sink:(fun _ -> ()) ()
+      in
+      Netsim.Link.set_bandwidth l Float.nan);
+  check_invalid "droptail zero bytes" (fun () ->
+      Netsim.Queue_disc.droptail ~limit_bytes:0 ~limit_pkts:10 ())
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "parity",
+        [ Alcotest.test_case "scenarios family: DSL ≡ handwritten" `Slow test_scenarios_parity ] );
+      ( "checks",
+        [
+          Alcotest.test_case "clean base" `Quick test_clean_base;
+          Alcotest.test_case "dup-name" `Quick test_dup_name;
+          Alcotest.test_case "dup-address" `Quick test_dup_address;
+          Alcotest.test_case "bad-address" `Quick test_bad_address;
+          Alcotest.test_case "bad-link-param" `Quick test_bad_link_param;
+          Alcotest.test_case "unknown-node" `Quick test_unknown_node;
+          Alcotest.test_case "self-link" `Quick test_self_link;
+          Alcotest.test_case "multihomed-host" `Quick test_multihomed_host;
+          Alcotest.test_case "router-endpoint" `Quick test_router_endpoint;
+          Alcotest.test_case "empty-group" `Quick test_empty_group;
+          Alcotest.test_case "bad-app" `Quick test_bad_app;
+          Alcotest.test_case "bad-time" `Quick test_bad_time;
+          Alcotest.test_case "unknown-target" `Quick test_unknown_target;
+          Alcotest.test_case "bad-fault" `Quick test_bad_fault;
+          Alcotest.test_case "fault-overlap" `Quick test_fault_overlap;
+          Alcotest.test_case "unreachable" `Quick test_unreachable;
+          Alcotest.test_case "port-clash" `Quick test_port_clash;
+          Alcotest.test_case "server-conflict" `Quick test_server_conflict;
+          Alcotest.test_case "oversubscribed" `Quick test_oversubscribed;
+          Alcotest.test_case "diagnostics carry spans" `Quick test_span_in_diag;
+        ] );
+      ( "sugar",
+        [
+          Alcotest.test_case "fat_tree k=4 shape + any-to-any routes" `Quick test_fat_tree_shape;
+          Alcotest.test_case "clients shape + naming" `Quick test_clients_shape;
+          Alcotest.test_case "seq shifts phases" `Quick test_seq_offsets;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_wellformed_compiles ]);
+      ( "families",
+        [
+          Alcotest.test_case "fattree deterministic" `Slow
+            (test_family_deterministic "fattree" Fattree.run Fattree.to_json);
+          Alcotest.test_case "cdn_edge deterministic" `Slow
+            (test_family_deterministic "cdn_edge" Cdn_edge.run Cdn_edge.to_json);
+          Alcotest.test_case "cellular deterministic" `Slow
+            (test_family_deterministic "cellular" Cellular.run Cellular.to_json);
+        ] );
+      ("netsim-validation", [ Alcotest.test_case "descriptive rejections" `Quick test_netsim_validation ]);
+    ]
