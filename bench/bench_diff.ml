@@ -11,7 +11,10 @@
      - within NEW alone, a scheduler's events/sec at the largest N
        present fell below 1/X of its N=64 figure, where X is the
        --max-slowdown threshold (default 2.0; the PR6+ gate passes 1.3 —
-       near-flat per-event cost over a 256× flow-count increase).
+       near-flat per-event cost over a 256× flow-count increase);
+     - within NEW alone, an observability_overhead section (PR8+) whose
+       measured profiler / recorder overhead_pct exceeds its own
+       budget_pct (profiler ≤ 5 %, flight recorder ≤ 2 %).
 
    Both files are expected to come from the same machine (the committed
    baselines are produced together); this tool compares them, it does not
@@ -297,6 +300,24 @@ let () =
           if bad then incr failures
       | _ -> ())
     scheds;
+  (* 4. within-NEW observability budgets (section present from PR8 on):
+     the measured overhead must stay within its own recorded budget *)
+  List.iter
+    (fun (what, pct_key, budget_key) ->
+      match
+        ( number new_j [ "observability_overhead"; pct_key ],
+          number new_j [ "observability_overhead"; budget_key ] )
+      with
+      | Some pct, Some budget ->
+          let bad = pct > budget in
+          Printf.printf "%-52s measured %+6.2f%%  budget %4.1f%%  %s\n" what pct budget
+            (if bad then "FAIL" else "ok");
+          if bad then incr failures
+      | _ -> ())
+    [
+      ("observability: profiler overhead", "prof_overhead_pct", "prof_budget_pct");
+      ("observability: recorder overhead", "recorder_overhead_pct", "recorder_budget_pct");
+    ];
   print_newline ();
   if !failures > 0 then begin
     Printf.printf "bench_diff: %d regression(s) beyond the gate\n" !failures;

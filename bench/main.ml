@@ -2,9 +2,10 @@
    evaluation (§4), runs bechamel microbenchmarks of the CM's hot paths
    (including the telemetry layer's), measures the telemetry overhead and
    the endpoint-fault-defense overhead (watchdog + auditor, budget ≤ 5 %
-   each) on the Fig. 6 macro workload, runs the many-flow [scale] family
+   each) and the observability overhead (profiler ≤ 5 %, flight recorder
+   ≤ 2 %) on the Fig. 6 macro workload, runs the many-flow [scale] family
    (events/sec at N = 64 … 16384 flows under both schedulers), and emits
-   a machine-readable BENCH_PR7.json so later PRs have a perf trajectory
+   a machine-readable BENCH_PR8.json so later PRs have a perf trajectory
    to compare against (schema: DESIGN.md §6; diffable with bench_diff).
 
    Set CM_BENCH_FULL=1 for the long variants (10^6-buffer Fig. 4/5 point,
@@ -19,10 +20,10 @@ let params =
     match Sys.getenv_opt "CM_BENCH_SEED" with Some s -> int_of_string s | None -> 42
   in
   let full = Sys.getenv_opt "CM_BENCH_FULL" = Some "1" in
-  { Experiments.Exp_common.seed; full; telemetry = None; defenses = false }
+  { Experiments.Exp_common.default_params with seed; full }
 
 let smoke = Sys.getenv_opt "CM_BENCH_SMOKE" = Some "1"
-let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR7.json"
+let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR8.json"
 
 (* wall times of every experiment, for the JSON trajectory *)
 let experiment_walls : (string * float) list ref = ref []
@@ -203,6 +204,65 @@ let run_defense_overhead () =
   Printf.printf "\n== Defense overhead: Fig. 6 TCP/CM macro workload (%d packets) ==\n" n;
   Printf.printf "off: %.3fs   on (watchdog + auditor): %.3fs   overhead %+.1f%%\n%!" off on pct;
   { do_packets = n; do_off_wall_s = off; do_on_wall_s = on; do_overhead_pct = pct }
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: the Fig. 6 macro workload plain (profiler and
+   recorder both off — every engine dispatch is one branch on [plain])
+   vs with the sampling profiler armed (per-category dispatch counters +
+   a gettimeofday every 1024th dispatch) vs with the flight recorder
+   attached (every link/CM trace event lands in a preallocated ring).
+   Budgets: profiler ≤ 5 %, recorder ≤ 2 % — gated by bench_diff. *)
+
+type observability_overhead = {
+  oo_packets : int;
+  oo_off_wall_s : float;
+  oo_prof_wall_s : float;
+  oo_prof_pct : float;
+  oo_prof_budget_pct : float;
+  oo_recorder_wall_s : float;
+  oo_recorder_pct : float;
+  oo_recorder_budget_pct : float;
+}
+
+let run_observability_overhead () =
+  let n = if smoke then 500 else 20_000 in
+  let best_of_3 f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let reps = if smoke then 1 else 3 in
+    List.fold_left (fun acc _ -> Float.min acc (once ())) (once ())
+      (List.init (Stdlib.max 0 (reps - 1)) Fun.id)
+  in
+  let run p () =
+    ignore (Experiments.Fig6.measure_macro p Experiments.Fig6.Tcp_cm ~size:1448 ~n)
+  in
+  let rec_dir = Filename.concat (Filename.get_temp_dir_name ()) "cm-bench-recorder" in
+  let off = best_of_3 (run params) in
+  let prof = best_of_3 (run { params with Experiments.Exp_common.prof = true }) in
+  let recorder =
+    best_of_3 (run { params with Experiments.Exp_common.recorder = Some rec_dir })
+  in
+  let pct base v = (v -. base) /. base *. 100. in
+  let r =
+    {
+      oo_packets = n;
+      oo_off_wall_s = off;
+      oo_prof_wall_s = prof;
+      oo_prof_pct = pct off prof;
+      oo_prof_budget_pct = 5.0;
+      oo_recorder_wall_s = recorder;
+      oo_recorder_pct = pct off recorder;
+      oo_recorder_budget_pct = 2.0;
+    }
+  in
+  Printf.printf "\n== Observability overhead: Fig. 6 TCP/CM macro workload (%d packets) ==\n" n;
+  Printf.printf
+    "off: %.3fs   prof on: %.3fs (%+.1f%%, budget 5%%)   recorder on: %.3fs (%+.1f%%, budget 2%%)\n%!"
+    off prof r.oo_prof_pct recorder r.oo_recorder_pct;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Many-flow scalability: the [scale] closed-loop workload (N flows over
@@ -548,12 +608,12 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let emit_json ~macro ~micro ~telem ~defense ~scale () =
+let emit_json ~macro ~micro ~telem ~defense ~obs ~scale () =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema_version\": 1,\n";
-  p "  \"pr\": 7,\n";
+  p "  \"pr\": 8,\n";
   p "  \"seed\": %d,\n" params.Experiments.Exp_common.seed;
   p "  \"full\": %b,\n" params.Experiments.Exp_common.full;
   p "  \"smoke\": %b,\n" smoke;
@@ -589,6 +649,17 @@ let emit_json ~macro ~micro ~telem ~defense ~scale () =
   p "    \"on_wall_s\": %.4f,\n" defense.do_on_wall_s;
   p "    \"overhead_pct\": %.2f,\n" defense.do_overhead_pct;
   p "    \"budget_pct\": 5.0\n";
+  p "  },\n";
+  p "  \"observability_overhead\": {\n";
+  p "    \"workload\": \"fig6 TCP/CM 1448B\",\n";
+  p "    \"packets\": %d,\n" obs.oo_packets;
+  p "    \"off_wall_s\": %.4f,\n" obs.oo_off_wall_s;
+  p "    \"prof_wall_s\": %.4f,\n" obs.oo_prof_wall_s;
+  p "    \"prof_overhead_pct\": %.2f,\n" obs.oo_prof_pct;
+  p "    \"prof_budget_pct\": %.1f,\n" obs.oo_prof_budget_pct;
+  p "    \"recorder_wall_s\": %.4f,\n" obs.oo_recorder_wall_s;
+  p "    \"recorder_overhead_pct\": %.2f,\n" obs.oo_recorder_pct;
+  p "    \"recorder_budget_pct\": %.1f\n" obs.oo_recorder_budget_pct;
   p "  },\n";
   p "  \"scale\": {\n";
   p "    \"flows_per_macroflow\": 32,\n";
@@ -629,6 +700,7 @@ let () =
   let macro = run_macro () in
   let telem = run_telemetry_overhead () in
   let defense = run_defense_overhead () in
+  let obs = run_observability_overhead () in
   let scale = run_scale () in
   let micro = run_microbenchmarks () in
-  emit_json ~macro ~micro ~telem ~defense ~scale ()
+  emit_json ~macro ~micro ~telem ~defense ~obs ~scale ()

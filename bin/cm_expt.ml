@@ -5,7 +5,8 @@
 
 open Cmdliner
 
-let params seed full = { Experiments.Exp_common.seed; full; telemetry = None; defenses = false }
+let params ?(prof = false) ?recorder seed full =
+  { Experiments.Exp_common.default_params with seed; full; prof; recorder }
 
 let seed_arg =
   let doc = "Seed for every random number generator (runs are deterministic)." in
@@ -16,6 +17,22 @@ let full_arg =
     "Run the long variants (e.g. the 10^6-buffer point of Figs. 4-5 and the 200k-packet Fig. 6)."
   in
   Arg.(value & flag & info [ "full" ] ~doc)
+
+let prof_arg =
+  let doc =
+    "Arm the event-core profiler and print its summary (per-category dispatch counts, \
+     sampled wall attribution, GC deltas, wheel/pool occupancy) to stderr after each \
+     simulated system finishes.  Stdout stays byte-identical: wall clock is nondeterministic."
+  in
+  Arg.(value & flag & info [ "prof" ] ~doc)
+
+let recorder_arg =
+  let doc =
+    "Attach an always-on bounded flight recorder (ring of the last 4096 trace events) to \
+     families that support it and dump the ring as JSONL into $(docv) when a defense fires, \
+     an audit breach appears, or an exception escapes the event loop."
+  in
+  Arg.(value & opt (some string) None & info [ "recorder" ] ~docv:"DIR" ~doc)
 
 let run_fig3 p = Experiments.Fig3.print (Experiments.Fig3.run p)
 let run_fig4_5 p = Experiments.Fig4_5.print (Experiments.Fig4_5.run p)
@@ -73,8 +90,9 @@ let experiments =
   ]
 
 let make_cmd (name, doc, runner) =
-  let action seed full = runner (params seed full) in
-  Cmd.v (Cmd.info name ~doc) Term.(const action $ seed_arg $ full_arg)
+  let action seed full prof recorder = runner (params ~prof ?recorder seed full) in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const action $ seed_arg $ full_arg $ prof_arg $ recorder_arg)
 
 let scale_cmd =
   let doc =
@@ -119,6 +137,69 @@ let trace_cmd =
     Experiments.Trace_run.print (Experiments.Trace_run.run ~out_dir ~expt ~seed ())
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const action $ expt_arg $ seed_arg $ out_arg)
+
+let report_cmd =
+  let doc =
+    "Run one experiment family instrumented and emit a run-health report: per-flow \
+     bottleneck attribution (grant/cwnd/queue/link-down), Jain fairness, stall windows, \
+     drop-cause breakdown and layer-flap score, each with a pass/warn verdict.  Writes \
+     <expt>.report.json and <expt>.report.md; the JSON also goes to stdout and is \
+     byte-identical for a fixed seed.  With [--check-dump FILE] instead validates a flight- \
+     recorder dump (every line must parse as JSON; exit 1 otherwise)."
+  in
+  let expt_arg =
+    let doc =
+      "Family to report on: " ^ String.concat ", " Experiments.Report_run.experiments ^ "."
+    in
+    Arg.(
+      value
+      & opt (enum (List.map (fun e -> (e, e)) Experiments.Report_run.experiments)) "fig6"
+      & info [ "e"; "expt" ] ~docv:"EXPT" ~doc)
+  in
+  let out_arg =
+    let doc = "Directory for the report files (created if missing)." in
+    Arg.(value & opt string "reports" & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let check_dump_arg =
+    let doc =
+      "Validate the flight-recorder dump $(docv): every line must parse as a JSON document."
+    in
+    Arg.(value & opt (some string) None & info [ "check-dump" ] ~docv:"FILE" ~doc)
+  in
+  let check_dump path =
+    let ic = open_in path in
+    let bad = ref 0 and lines = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then begin
+           incr lines;
+           match Cm_util.Json.parse line with
+           | Ok _ -> ()
+           | Error msg ->
+               incr bad;
+               Printf.eprintf "%s:%d: %s\n" path !lines msg
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    if !bad > 0 then begin
+      Printf.eprintf "cm_expt report: %d invalid line(s) in %s\n" !bad path;
+      1
+    end
+    else begin
+      Printf.printf "%s: %d JSON line(s), all valid\n" path !lines;
+      0
+    end
+  in
+  let action expt seed out_dir dump =
+    match dump with
+    | Some path -> exit (check_dump path)
+    | None ->
+        Experiments.Report_run.print (Experiments.Report_run.run ~out_dir ~expt ~seed ())
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const action $ expt_arg $ seed_arg $ out_arg $ check_dump_arg)
 
 let spec_cmd =
   let doc =
@@ -222,6 +303,7 @@ let () =
   let info = Cmd.info "cm_expt" ~version:"1.0" ~doc in
   let group =
     Cmd.group info
-      (all_cmd :: trace_cmd :: scale_cmd :: spec_cmd :: List.map make_cmd experiments)
+      (all_cmd :: trace_cmd :: report_cmd :: scale_cmd :: spec_cmd
+      :: List.map make_cmd experiments)
   in
   exit (Cmd.eval group)

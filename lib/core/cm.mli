@@ -244,6 +244,12 @@ val attach_telemetry : t -> Telemetry.t -> unit
     called the CM holds the nil trace and every hot path pays only a
     branch. *)
 
+val set_trace : t -> Telemetry.Trace.t -> unit
+(** Route the CM's trace events (and every macroflow's, current and
+    future) into [tr] without registering gauges or a sampler — how the
+    flight recorder's bounded ring taps the CM when full telemetry is
+    off.  A later {!attach_telemetry} overrides it. *)
+
 val trace : t -> Telemetry.Trace.t
 (** The structured trace sink this CM reports to ({!Telemetry.Trace.nil}
     until {!attach_telemetry}); in-kernel clients (TCP) pull this to tag

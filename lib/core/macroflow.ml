@@ -332,7 +332,7 @@ let create engine ~id ~mtu ~controller ~scheduler ~deliver_grant ~on_state_chang
   in
   refresh_cwnd t;
   refresh_reservation t;
-  t.grant_thunk <- (fun () -> run_grants t);
+  t.grant_thunk <- Engine.prof_tag engine ~cat:"cm" (fun () -> run_grants t);
   let timer = Timer.create engine ~callback:(fun () -> maintenance_tick t) in
   Timer.start_periodic timer (Time.ms 100);
   t.maintenance := Some timer;

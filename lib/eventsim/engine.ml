@@ -37,15 +37,55 @@ let dead : unit -> unit = fun () -> ()
 (* a GC-safe hole for unused pool slots: an immediate, never dereferenced *)
 let null_entry : (unit -> unit) Wheel.handle = Obj.magic 0
 
+(* Sampling profiler state (see [enable_prof]).  Dispatch counters are
+   exact per category; wall-clock is attributed by sampling: every
+   [2^sample_shift] dispatches the interval since the previous sample is
+   charged to the category of the event that just ran, so a run's wall
+   time splits across categories at bounded cost (one [land] + compare
+   per event, one [Unix.gettimeofday] per sample window). *)
+type prof = {
+  p_names : string array;
+  p_dispatch : int array;
+  p_wall : float array; (* sampled wall seconds per category *)
+  mutable p_cur : int; (* category of the event being dispatched *)
+  p_mask : int; (* sample every (mask+1) dispatches *)
+  mutable p_samples : int;
+  mutable p_last : float; (* wall clock at the previous sample *)
+  p_t0 : float; (* wall clock at enable *)
+  p_gc0 : Gc.stat; (* quick_stat at enable; report subtracts *)
+}
+
+type prof_category = { pc_name : string; pc_dispatches : int; pc_wall_s : float }
+
+type prof_report = {
+  pr_categories : prof_category list;
+  pr_dispatches : int;
+  pr_samples : int;
+  pr_wall_s : float;
+  pr_minor_words : float;
+  pr_major_words : float;
+  pr_promoted_words : float;
+  pr_minor_collections : int;
+  pr_major_collections : int;
+  pr_pool_hw : int;
+  pr_queue : Wheel.stats;
+}
+
 type t = {
   mutable clock : Time.t;
   queue : (unit -> unit) Wheel.t;
   mutable pool : (unit -> unit) Wheel.handle array; (* popped entries awaiting reuse *)
   mutable pool_len : int; (* stack: pool.(0 .. pool_len-1) are live *)
+  mutable pool_hw : int; (* high-water of [pool_len] *)
   mutable executed : int;
   mutable cancelled : int; (* dead events still sitting in [queue] *)
   mutable clamped : int; (* negative-delay schedules clamped to "now" *)
   mutable running : bool;
+  (* observability hooks, both off by default; [plain] caches "both off"
+     so the dispatch hot path pays one load + branch *)
+  mutable plain : bool;
+  mutable prof : prof option;
+  mutable escape : (exn -> unit) option;
 }
 
 let wheel_default =
@@ -59,13 +99,120 @@ let create ?(start = Time.zero) ?(wheel = wheel_default) () =
     queue = (if wheel then Wheel.create ~start () else Wheel.create ~slots:0 ~start ());
     pool = Array.make 64 null_entry;
     pool_len = 0;
+    pool_hw = 0;
     executed = 0;
     cancelled = 0;
     clamped = 0;
     running = false;
+    plain = true;
+    prof = None;
+    escape = None;
   }
 
 let now t = t.clock
+
+(* ---- observability hooks ----------------------------------------------- *)
+
+let categories = [| "other"; "timer"; "net"; "cm" |]
+
+let category_index cat =
+  let rec go i = if i >= Array.length categories then 0 else if categories.(i) = cat then i else go (i + 1) in
+  go 0
+
+let default_sample_shift = 10 (* one gettimeofday per 1024 dispatches *)
+
+let enable_prof ?(sample_shift = default_sample_shift) t =
+  if sample_shift < 0 || sample_shift > 30 then invalid_arg "Engine.enable_prof: sample_shift";
+  let now_w = Unix.gettimeofday () in
+  t.prof <-
+    Some
+      {
+        p_names = categories;
+        p_dispatch = Array.make (Array.length categories) 0;
+        p_wall = Array.make (Array.length categories) 0.;
+        p_cur = 0;
+        p_mask = (1 lsl sample_shift) - 1;
+        p_samples = 0;
+        p_last = now_w;
+        p_t0 = now_w;
+        p_gc0 = Gc.quick_stat ();
+      };
+  t.plain <- false
+
+let prof_enabled t = t.prof <> None
+
+(* Wrap an event callback so dispatches (and sampled wall time) are
+   charged to [cat].  Identity when the profiler is off, so call sites tag
+   their one long-lived closure unconditionally at creation time; only a
+   profiled run pays the extra closure.  Untagged events count as
+   "other". *)
+let prof_tag t ~cat fn =
+  match t.prof with
+  | None -> fn
+  | Some p ->
+      let idx = category_index cat in
+      fun () ->
+        p.p_cur <- idx;
+        fn ()
+
+let prof_report t =
+  match t.prof with
+  | None -> None
+  | Some p ->
+      let gc = Gc.quick_stat () in
+      Some
+        {
+          pr_categories =
+            Array.to_list
+              (Array.mapi
+                 (fun i name ->
+                   { pc_name = name; pc_dispatches = p.p_dispatch.(i); pc_wall_s = p.p_wall.(i) })
+                 p.p_names);
+          pr_dispatches = Array.fold_left ( + ) 0 p.p_dispatch;
+          pr_samples = p.p_samples;
+          pr_wall_s = Unix.gettimeofday () -. p.p_t0;
+          pr_minor_words = gc.Gc.minor_words -. p.p_gc0.Gc.minor_words;
+          pr_major_words = gc.Gc.major_words -. p.p_gc0.Gc.major_words;
+          pr_promoted_words = gc.Gc.promoted_words -. p.p_gc0.Gc.promoted_words;
+          pr_minor_collections = gc.Gc.minor_collections - p.p_gc0.Gc.minor_collections;
+          pr_major_collections = gc.Gc.major_collections - p.p_gc0.Gc.major_collections;
+          pr_pool_hw = t.pool_hw;
+          pr_queue = Wheel.stats t.queue;
+        }
+
+let set_escape_hook t hook =
+  t.escape <- hook;
+  t.plain <- t.prof = None && t.escape = None
+
+let pool_hw t = t.pool_hw
+let queue_stats t = Wheel.stats t.queue
+
+(* Dispatch one event callback under the active hooks.  [plain] runs are
+   the direct call; otherwise an escaping exception is reported to the
+   escape hook (then re-raised — the recorder dumps, the failure still
+   propagates), and the profiler charges the dispatch. *)
+let dispatch t f =
+  if t.plain then f ()
+  else begin
+    (match t.escape with
+    | None -> f ()
+    | Some h -> (
+        try f ()
+        with e ->
+          h e;
+          raise e));
+    match t.prof with
+    | None -> ()
+    | Some p ->
+        p.p_dispatch.(p.p_cur) <- p.p_dispatch.(p.p_cur) + 1;
+        if t.executed land p.p_mask = 0 then begin
+          let now_w = Unix.gettimeofday () in
+          p.p_wall.(p.p_cur) <- p.p_wall.(p.p_cur) +. (now_w -. p.p_last);
+          p.p_last <- now_w;
+          p.p_samples <- p.p_samples + 1
+        end;
+        p.p_cur <- 0
+  end
 
 (* Pool bound: enough cells to recycle the whole standing queue, but a
    burst's worth of surplus cells is released as the queue drains. *)
@@ -78,7 +225,8 @@ let pool_put t entry =
       t.pool <- grown
     end;
     t.pool.(t.pool_len) <- entry;
-    t.pool_len <- t.pool_len + 1
+    t.pool_len <- t.pool_len + 1;
+    if t.pool_len > t.pool_hw then t.pool_hw <- t.pool_len
   end
   else
     while t.pool_len > cap do
@@ -172,7 +320,7 @@ let rec step t =
       t.clock <- Wheel.handle_time entry;
       t.executed <- t.executed + 1;
       Wheel.set_handle_value entry dead;
-      f ();
+      dispatch t f;
       true
     end
   end
@@ -208,7 +356,7 @@ let run ?until t =
               t.clock <- when_;
               t.executed <- t.executed + 1;
               Wheel.set_handle_value entry dead;
-              f ()
+              dispatch t f
             end
           end
         end

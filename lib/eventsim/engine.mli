@@ -83,3 +83,62 @@ val events_executed : t -> int
 val schedules_clamped : t -> int
 (** Number of {!schedule_after} calls whose negative delay was clamped to
     zero — a misbehaving-caller diagnostic (diagnostics, bench). *)
+
+(** {1 Observability hooks}
+
+    Both hooks are off by default; an un-hooked engine's dispatch path
+    pays one extra load + branch over the bare call. *)
+
+val enable_prof : ?sample_shift:int -> t -> unit
+(** Turn on the event-core profiler.  Dispatch counts are exact per
+    category; wall-clock is attributed by sampling — every
+    [2^sample_shift] dispatches (default 10, i.e. every 1024) one
+    [Unix.gettimeofday] is taken and the interval since the previous
+    sample is charged to the category of the event that just ran.  GC
+    counters ({!Gc.quick_stat}) are snapshotted here and differenced by
+    {!prof_report}.  Enable {e before} building the simulated system:
+    {!prof_tag} is identity on an unprofiled engine, so closures created
+    earlier stay untagged (counted as ["other"]).  Wall-clock figures are
+    nondeterministic by nature — keep them out of seeded-JSON channels
+    (the bench and stderr summaries are the intended sinks). *)
+
+val prof_enabled : t -> bool
+
+val prof_tag : t -> cat:string -> (unit -> unit) -> unit -> unit
+(** [prof_tag t ~cat fn] wraps [fn] so its dispatches are charged to
+    [cat] (one of ["timer"], ["net"], ["cm"]; anything else counts as
+    ["other"]).  Identity when the profiler is off — call sites tag their
+    long-lived callbacks unconditionally at creation time and only a
+    profiled run pays the wrapper. *)
+
+type prof_category = { pc_name : string; pc_dispatches : int; pc_wall_s : float }
+
+type prof_report = {
+  pr_categories : prof_category list;
+  pr_dispatches : int;  (** total dispatches since enable (sum of categories) *)
+  pr_samples : int;  (** wall-clock samples taken *)
+  pr_wall_s : float;  (** wall seconds since enable *)
+  pr_minor_words : float;
+  pr_major_words : float;
+  pr_promoted_words : float;
+  pr_minor_collections : int;
+  pr_major_collections : int;
+  pr_pool_hw : int;  (** event-cell pool high-water *)
+  pr_queue : Cm_util.Wheel.stats;  (** queue occupancy counters *)
+}
+
+val prof_report : t -> prof_report option
+(** The profile so far ([None] if {!enable_prof} was never called). *)
+
+val set_escape_hook : t -> (exn -> unit) option -> unit
+(** Install (or clear) a hook called when an exception escapes an event
+    callback.  The hook runs before the exception propagates out of
+    {!step}/{!run} — the flight recorder uses it to dump the last events
+    leading up to a crash.  A hook must not raise. *)
+
+val pool_hw : t -> int
+(** High-water of the recycled event-cell pool (diagnostics). *)
+
+val queue_stats : t -> Cm_util.Wheel.stats
+(** Occupancy counters of the underlying queue (overflow inserts and
+    migrations, size high-water). *)

@@ -25,7 +25,8 @@ let create engine ~callback =
     { engine; callback; handle = None; armed = false; expiry = 0; period = 0; fire = ignore }
   in
   t.fire <-
-    (fun () ->
+    Engine.prof_tag engine ~cat:"timer"
+    @@ (fun () ->
       t.armed <- false;
       (* periodic re-arm is anchored on the previous expiry, not on "now",
          so the tick sequence is exactly [start + k*period] with no drift

@@ -13,7 +13,7 @@ type sched_row = {
 }
 
 let run_one_sched params ~name ~scheduler ~weight_a =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net = Topology.pipe engine ~bandwidth_bps:4e6 ~delay:(Time.ms 20) ~rng () in
   let cm = Cm.create engine ~mtu:1000 ~scheduler () in
@@ -61,7 +61,7 @@ let run_scheduler params =
 type ctrl_row = { controller : string; mean_kbps : float; cv : float }
 
 let run_one_ctrl params ~name ~controller =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net =
     Topology.pipe engine ~bandwidth_bps:8e6 ~delay:(Time.ms 25) ~qdisc_limit:30 ~rng ()
@@ -116,7 +116,7 @@ type share_row = {
 }
 
 let run_one_share params ~name ~use_cm =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net =
     Topology.pipe engine ~bandwidth_bps:6e6 ~delay:(Time.ms 25) ~qdisc_limit:40 ~rng ()
@@ -217,7 +217,7 @@ let jain_index xs =
   if s2 = 0. then 1. else s *. s /. (n *. s2)
 
 let run_one_fairness params ~name ~cm_flows ~native_flows =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net =
     Topology.pipe engine ~bandwidth_bps:8e6 ~delay:(Time.ms 20) ~qdisc_limit:60

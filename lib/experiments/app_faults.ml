@@ -220,7 +220,7 @@ let window_bps tl ~from_ ~until =
   bytes *. 8. /. Time.to_float_s (Time.diff until from_)
 
 let run_case params case =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net = Topology.pipe engine ~bandwidth_bps:8e6 ~delay:(Time.ms 20) ~qdisc_limit:50 ~rng () in
   (* this family always runs defended — measuring the defenses is its point *)
@@ -230,6 +230,19 @@ let run_case params case =
     Exp_common.instrument params ~engine
       ~links:[ ("fwd", net.Topology.ab); ("rev", net.Topology.ba) ]
       ~cm ()
+  in
+  (* flight recorder: the last events before each defense firing / audit
+     breach, dumped as JSONL (exercised by the CI crash-dump smoke) *)
+  let recorder =
+    Exp_common.attach_recorder params ~engine
+      ~tag:("app_faults-" ^ case_name case)
+      ~links:[ ("fwd", net.Topology.ab); ("rev", net.Topology.ba) ]
+      ~cm ()
+  in
+  let record_dump reason =
+    match recorder with
+    | Some r -> ignore (Telemetry.Recorder.dump r ~reason : string)
+    | None -> ()
   in
   (* two honest TCP/CM bulk transfers *)
   let honest_tl = Timeline.create () in
@@ -288,7 +301,11 @@ let run_case params case =
     incr audit_runs;
     let rep = Cm.Audit.run cm in
     List.iter
-      (fun v -> if not (List.mem v !violations) then violations := !violations @ [ v ])
+      (fun v ->
+        if not (List.mem v !violations) then begin
+          violations := !violations @ [ v ];
+          record_dump ("audit:" ^ v)
+        end)
       rep.Cm.Audit.violations;
     ignore (Engine.schedule_after engine (Time.ms 500) audit)
   in
@@ -299,13 +316,17 @@ let run_case params case =
     (match !first_defense with
     | None ->
         let c = Cm.counters cm in
-        if c.Cm.quarantines + c.Cm.reaps > 0 then first_defense := Some (Engine.now engine)
+        if c.Cm.quarantines + c.Cm.reaps > 0 then begin
+          first_defense := Some (Engine.now engine);
+          record_dump "defense"
+        end
     | Some _ -> ());
     if !first_defense = None then ignore (Engine.schedule_after engine (Time.ms 100) probe)
   in
   ignore (Engine.schedule_at engine (Time.ms 100) probe);
   Engine.run_for engine duration;
   Option.iter Telemetry.stop tel;
+  Exp_common.maybe_report_prof params engine;
   let open_flows = Cm.flows cm in
   let offender_reports =
     List.map

@@ -65,7 +65,7 @@ type result = {
 }
 
 let run params =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let ir = Check.elaborate_exn spec in
   let net = Build.instantiate ~rng engine ir in

@@ -11,7 +11,7 @@ let target_latency = Time.sec 1.
 let requests = 5
 
 let run_side params ~adaptive ~bandwidth_bps =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net = Topology.pipe engine ~bandwidth_bps ~delay:(Time.ms 40) ~rng () in
   let cm = Cm.create engine () in

@@ -9,10 +9,42 @@ type params = {
   full : bool;
   telemetry : telemetry_request option;
   defenses : bool;
+  prof : bool;
+  recorder : string option;
 }
 
-let default_params = { seed = 42; full = false; telemetry = None; defenses = false }
+let default_params =
+  { seed = 42; full = false; telemetry = None; defenses = false; prof = false; recorder = None }
+
 let request_telemetry ?(period = Time.ms 100) () = { period; captured = [] }
+
+(* Every experiment builds its engine through here so the event-core
+   profiler can be armed before any component closure exists —
+   [Engine.prof_tag] is identity on an unprofiled engine, so tagging must
+   happen after [enable_prof]. *)
+let create_engine params () =
+  let engine = Engine.create () in
+  if params.prof then Engine.enable_prof engine;
+  engine
+
+(* Print the profile where it cannot contaminate a seeded-JSON stdout
+   channel: wall-clock figures are nondeterministic by nature. *)
+let maybe_report_prof params engine =
+  if params.prof then prerr_endline (Telemetry.Prof.summary engine)
+
+(* Honor [params.recorder] for one simulated system: a bounded flight
+   ring on [engine], tapped into the links and the CM via their
+   [set_trace] entry points.  Skipped when full telemetry is on — the
+   growable telemetry trace already keeps everything the ring would. *)
+let attach_recorder params ~engine ?(tag = "recorder") ?(links = []) ?cm () =
+  match params.recorder with
+  | Some dir when params.telemetry = None ->
+      let rec_ = Telemetry.Recorder.create engine ~out_dir:dir ~tag () in
+      let tr = Telemetry.Recorder.trace rec_ in
+      List.iter (fun (name, link) -> Link.set_trace link ~name tr) links;
+      (match cm with Some c -> Cm.set_trace c tr | None -> ());
+      Some rec_
+  | _ -> None
 
 (* Every experiment builds its CM through here so the endpoint-fault
    defenses (feedback watchdog + misbehaviour auditor) can be toggled
@@ -51,7 +83,7 @@ module Json = Cm_util.Json
 
 let measured_bulk params ~driver ~bandwidth_bps ~delay ?(loss = 0.) ?(qdisc_limit = 100)
     ?(costs = Costs.zero) ?(duration = Time.sec 30.) ?bytes () =
-  let engine = Engine.create () in
+  let engine = create_engine params () in
   let rng = Rng.create ~seed:params.seed in
   let net = Topology.pipe engine ~bandwidth_bps ~delay ~loss_rate:loss ~qdisc_limit ~rng ~costs () in
   let cm = Cm.create engine () in

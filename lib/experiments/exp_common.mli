@@ -14,16 +14,45 @@ type params = {
   full : bool;
   telemetry : telemetry_request option;
   defenses : bool;
+  prof : bool;
+  recorder : string option;
 }
 (** [seed] drives every RNG; [full] enables the long variants (e.g. the
     10^6-buffer point of Figs. 4–5); [telemetry] (default [None]) makes
     instrumented experiments wire up metrics / time series / tracing;
     [defenses] turns on the endpoint-fault defenses (feedback watchdog +
     misbehaviour auditor) in experiments built via {!create_cm} — off by
-    default, matching the paper's trusting CM. *)
+    default, matching the paper's trusting CM; [prof] arms the event-core
+    profiler on engines built via {!create_engine} (summary goes to
+    stderr — wall clock is nondeterministic); [recorder] (a directory)
+    attaches a bounded flight ring via {!attach_recorder} in the families
+    that support it, dumping the last events on faults. *)
 
 val default_params : params
-(** [seed = 42], [full = false], no telemetry, no defenses. *)
+(** [seed = 42], [full = false], everything else off. *)
+
+val create_engine : params -> unit -> Eventsim.Engine.t
+(** The engine factory every experiment uses: arms the profiler (before
+    any component closures exist, so [Engine.prof_tag] wraps them) when
+    [params.prof]. *)
+
+val maybe_report_prof : params -> Eventsim.Engine.t -> unit
+(** Print the profiler summary to {e stderr} when [params.prof] — never
+    to stdout, which carries the seeded byte-diffed JSON. *)
+
+val attach_recorder :
+  params ->
+  engine:Eventsim.Engine.t ->
+  ?tag:string ->
+  ?links:(string * Link.t) list ->
+  ?cm:Cm.t ->
+  unit ->
+  Telemetry.Recorder.t option
+(** Honor [params.recorder] for one simulated system: create a flight
+    recorder on [engine] (ring of the last 4096 trace events + crash
+    escape hook) and tap the [links] and [cm] into its ring.  [None]
+    when no recorder was requested or full telemetry is on (the growable
+    telemetry trace already keeps everything). *)
 
 val create_cm :
   params ->

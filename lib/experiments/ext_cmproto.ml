@@ -22,7 +22,7 @@ let ops_of meter n =
 (* The CM-protocol sender: same windowed workload as Fig. 6's Buffered
    variant, but acknowledgment happens kernel-to-kernel. *)
 let run_cmproto params ~n =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net =
     Topology.pipe engine ~bandwidth_bps:100e6 ~delay:(Time.us 50) ~qdisc_limit:500

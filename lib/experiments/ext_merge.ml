@@ -10,7 +10,7 @@ type row = {
 }
 
 let run_side params ~merged =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   (* hosts 1, 2 and 3 all live behind the same 6 Mbit/s bottleneck from
      the sender's point of view (sender is the star's "server" side) *)

@@ -46,7 +46,7 @@ type result = { r_groups : group_result list; r_edge : Link.stats }
 (** [r_edge]: the incast bottleneck, the edge-router → h0 access link. *)
 
 let run params =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let ir = Check.elaborate_exn spec in
   let net = Build.instantiate ~rng engine ir in

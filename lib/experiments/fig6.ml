@@ -21,7 +21,7 @@ let sizes = [ 64; 168; 256; 512; 768; 1024; 1448 ]
 let window = 32
 
 let make_net params =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net =
     Topology.pipe engine ~bandwidth_bps:100e6 ~delay:(Time.us 50) ~qdisc_limit:500
@@ -43,6 +43,11 @@ let run_udp variant params ~size ~n =
       ~links:[ ("ab", net.Topology.ab); ("ba", net.Topology.ba) ]
       ~cm ()
   in
+  ignore
+    (Exp_common.attach_recorder params ~engine ~tag:"fig6-udp"
+       ~links:[ ("ab", net.Topology.ab); ("ba", net.Topology.ba) ]
+       ~cm ()
+      : Telemetry.Recorder.t option);
   let lib = Libcm.create net.Topology.a cm () in
   let meter = Libcm.meter lib in
   let costs = Host.costs net.Topology.a in
@@ -128,6 +133,7 @@ let run_udp variant params ~size ~n =
   let finish = match !t_end with Some t -> t | None -> Engine.now engine in
   let us = Time.to_float_us (Time.diff finish t0) /. float_of_int n in
   Option.iter Telemetry.stop tel;
+  Exp_common.maybe_report_prof params engine;
   (us, meter, engine, net)
 
 (* ------------------------------------------------------------------ *)
@@ -142,6 +148,11 @@ let run_tcp variant params ~size ~n =
       ~links:[ ("ab", net.Topology.ab); ("ba", net.Topology.ba) ]
       ~cm ()
   in
+  ignore
+    (Exp_common.attach_recorder params ~engine ~tag:"fig6-tcp"
+       ~links:[ ("ab", net.Topology.ab); ("ba", net.Topology.ba) ]
+       ~cm ()
+      : Telemetry.Recorder.t option);
   let lib = Libcm.create net.Topology.a cm () in
   let meter = Libcm.meter lib in
   let delayed = variant <> Tcp_cm_nodelay in
@@ -187,6 +198,7 @@ let run_tcp variant params ~size ~n =
   let finish = match !t_end with Some t -> t | None -> Engine.now engine in
   let us = Time.to_float_us (Time.diff finish t0) /. float_of_int n in
   Option.iter Telemetry.stop tel;
+  Exp_common.maybe_report_prof params engine;
   (us, meter, engine, net)
 
 let run_variant_full variant params ~size ~n =

@@ -5,7 +5,7 @@ open Netsim
 type row = { request : int; linux_ms : float; cm_ms : float }
 
 let run_side params ~use_cm ~count ~file_bytes =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   (* wide-area path: ~10 Mbps available, 75 ms RTT like the MIT-Utah vBNS
      path of the paper *)

@@ -31,7 +31,7 @@ let schedule duration =
   extend [] 0
 
 let run_one params ~label ~mode ~duration ~batch =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net =
     Topology.pipe engine ~bandwidth_bps:18e6 ~delay:(Time.ms 20) ~qdisc_limit:50

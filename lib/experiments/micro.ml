@@ -5,7 +5,7 @@ open Netsim
 type result = { linux_setup_us : float; cm_setup_us : float; cm_open_close_ns : float }
 
 let setup_time params ~use_cm =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let net =
     Topology.pipe engine ~bandwidth_bps:100e6 ~delay:(Time.us 100) ~rng ~costs:Costs.pentium3 ()

@@ -1,0 +1,83 @@
+(* Run-report driver: run one experiment family instrumented, feed the
+   captured telemetry through the health analyzer (lib/report), and
+   export the verdicts as JSON + markdown.
+
+   Determinism contract: the analyzer consumes only virtual-time data
+   (sampler columns, metric snapshots, trace events) and renders through
+   [Cm_util.Json], so the same [--expt]/[--seed] pair produces
+   byte-identical report JSON — CI runs each family twice and diffs. *)
+
+open Exp_common
+
+let experiments = [ "fig6"; "fig7"; "fig8"; "fig9"; "scenarios"; "app_faults" ]
+
+(* One capture = one (sub-run name, telemetry) list.  Families that run a
+   single simulated system report under their own name; multi-system
+   families get one report per sub-run. *)
+let capture ~expt ~seed =
+  let trace_capture e = List.map (fun tel -> (expt, tel)) (Trace_run.capture ~expt:e ~seed) in
+  match expt with
+  | "fig6" | "fig7" | "fig8" | "fig9" -> trace_capture expt
+  | "scenarios" ->
+      List.map
+        (fun sub ->
+          let name = "scenario_" ^ sub in
+          (name, List.hd (Trace_run.capture ~expt:name ~seed)))
+        [ "burst"; "outage"; "sawtooth" ]
+  | "app_faults" ->
+      (* the storm case exercises the defenses end to end; the baseline
+         case would report all-pass, which is less interesting to read *)
+      Netsim.Packet.reset_ids ();
+      let req = request_telemetry () in
+      let params = { default_params with seed; telemetry = Some req } in
+      ignore (App_faults.run_case params App_faults.Storm);
+      List.map (fun tel -> ("app_faults_storm", tel)) (List.rev req.captured)
+  | e ->
+      invalid_arg
+        (Printf.sprintf "report: unknown experiment %S (known: %s)" e
+           (String.concat ", " experiments))
+
+let analyze_all ~expt ~seed =
+  List.map
+    (fun (name, tel) -> (name, Cm_report.Analyze.analyze (Cm_report.Analyze.of_telemetry tel)))
+    (capture ~expt ~seed)
+
+let report_json reports =
+  match reports with
+  | [ (_, r) ] -> Cm_report.Analyze.to_json r
+  | _ -> Json.Obj (List.map (fun (name, r) -> (name, Cm_report.Analyze.to_json r)) reports)
+
+let report_markdown ~expt reports =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# Run report: %s\n" expt);
+  List.iter
+    (fun (name, r) ->
+      if List.length reports > 1 then Buffer.add_string buf (Printf.sprintf "\n## %s\n" name);
+      Buffer.add_string buf (Cm_report.Analyze.to_markdown r))
+    reports;
+  Buffer.contents buf
+
+type artifact = { a_name : string; a_path : string; a_bytes : int }
+
+let run ?(out_dir = "reports") ~expt ~seed () =
+  let reports = analyze_all ~expt ~seed in
+  Trace_run.ensure_dir out_dir;
+  let emit name contents =
+    let path = Filename.concat out_dir (expt ^ name) in
+    Trace_run.write_file path contents;
+    { a_name = expt ^ name; a_path = path; a_bytes = String.length contents }
+  in
+  let json = Json.to_string (report_json reports) ^ "\n" in
+  let artifacts =
+    [ emit ".report.json" json; emit ".report.md" (report_markdown ~expt reports) ]
+  in
+  (* the machine channel also goes to stdout so CI can twice-run diff it
+     without touching the filesystem *)
+  print_string json;
+  artifacts
+
+let print artifacts =
+  List.iter
+    (fun a ->
+      prerr_endline (Printf.sprintf "  %-28s %8d bytes  %s" a.a_name a.a_bytes a.a_path))
+    artifacts

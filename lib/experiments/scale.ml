@@ -57,7 +57,7 @@ let percentile sorted q =
   else sorted.(Stdlib.min (n - 1) (int_of_float (q *. float_of_int n)))
 
 let run_point ?(rounds = rounds) params ~sched ~flows =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let cm =
     Exp_common.create_cm params engine ~mtu ~scheduler:(sched_factory sched) ()
   in

@@ -104,7 +104,7 @@ let make_net via engine rng id =
 
 (* goodput timeline (value = bytes) + layer switches + forward-link stats *)
 let run_bulk params via id =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let a, b, ab, ba, scenario = make_net via engine rng id in
   let links = [ ("fwd", ab); ("rev", ba) ] in
@@ -125,10 +125,11 @@ let run_bulk params via id =
   Scenario.compile engine ~rng ~links scenario;
   Engine.run_for engine duration;
   Option.iter Telemetry.stop tel;
+  Exp_common.maybe_report_prof params engine;
   (tl, None, Link.stats ab)
 
 let run_layered params via id =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine params () in
   let rng = Rng.create ~seed:params.Exp_common.seed in
   let a, b, ab, ba, scenario = make_net via engine rng id in
   let links = [ ("fwd", ab); ("rev", ba) ] in
@@ -148,6 +149,7 @@ let run_layered params via id =
   Engine.run_for engine duration;
   Cm_apps.Layered.stop source;
   Option.iter Telemetry.stop tel;
+  Exp_common.maybe_report_prof params engine;
   let switches =
     match Timeline.points (Cm_apps.Layered.layer_timeline source) with
     | [] -> 0

@@ -40,7 +40,7 @@ let drop_listed ~drops inner =
   { inner with Queue_disc.enqueue; name = "drop-listed" }
 
 let run_side _params ~use_cm ~drops =
-  let engine = Engine.create () in
+  let engine = Exp_common.create_engine _params () in
   let a = Host.create engine ~id:0 () in
   let b = Host.create engine ~id:1 () in
   let qdisc = drop_listed ~drops (Queue_disc.droptail ~limit_pkts:100 ()) in

@@ -40,7 +40,7 @@ let capture ~expt ~seed =
      so repeated in-process captures stay byte-identical *)
   Netsim.Packet.reset_ids ();
   let req = request_telemetry () in
-  let params = { seed; full = false; telemetry = Some req; defenses = false } in
+  let params = { default_params with seed; telemetry = Some req } in
   run_expt params expt;
   match List.rev req.captured with
   | [] -> failwith (Printf.sprintf "trace: experiment %S captured no telemetry" expt)

@@ -17,6 +17,12 @@ val capture : expt:string -> seed:int -> Telemetry.t list
     captured, oldest first.  Raises [Invalid_argument] on an unknown
     experiment name. *)
 
+val ensure_dir : string -> unit
+(** Create [dir] if it does not exist (shared with [Report_run]). *)
+
+val write_file : string -> string -> unit
+(** Binary-mode whole-file write (shared with [Report_run]). *)
+
 type artifact = { a_name : string; a_path : string; a_bytes : int }
 (** One file written by {!run}. *)
 

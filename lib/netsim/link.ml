@@ -158,11 +158,13 @@ let create engine ~bandwidth_bps ~delay ?qdisc ?(loss_rate = 0.) ?reorder ?rng ~
     }
   in
   t.deliver_fn <-
-    (fun () ->
+    Engine.prof_tag engine ~cat:"net"
+    @@ (fun () ->
       if t.stale_deliveries > 0 then t.stale_deliveries <- t.stale_deliveries - 1
       else deliver t (Queue.pop t.in_flight));
   t.finish_fn <-
-    (fun () ->
+    Engine.prof_tag engine ~cat:"net"
+    @@ (fun () ->
       match t.txing with
       | None ->
           (* the packet under serialization was killed by a link-down *)
@@ -268,6 +270,10 @@ let set_jitter t j =
 
 let set_drop_hook t f = t.on_drop <- f
 let qdisc t = t.qdisc
+
+let set_trace t ~name tr =
+  t.trace <- tr;
+  t.trace_name <- name
 
 let attach_telemetry t ~name tel =
   t.trace <- Telemetry.trace tel;

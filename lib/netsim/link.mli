@@ -107,6 +107,12 @@ val set_drop_hook : t -> (drop_why -> Packet.t -> unit) -> unit
     point used by [Tracer.probe_link_drops] to attribute losses in
     scenario post-mortems. *)
 
+val set_trace : t -> name:string -> Telemetry.Trace.t -> unit
+(** Route this link's trace instants ([link.drop] with cause attribution)
+    into [tr] without registering any gauges — how the flight recorder's
+    bounded ring taps a link when full telemetry is off.  Overridden by a
+    later {!attach_telemetry}. *)
+
 val attach_telemetry : t -> name:string -> Telemetry.t -> unit
 (** Wire this link into a telemetry instance: queue depth/bytes, per-cause
     drop counters, ECN marks, and bandwidth become sampled gauges (columns

@@ -89,15 +89,30 @@ let to_json t =
     | Sc n -> Int n
     | Sg v -> Float v
     | Sh h ->
-        Obj
-          [
-            ("count", Int (Stats.Histogram.count h));
-            ("sum", Float (Stats.Histogram.sum h));
-            ("min", Float (Stats.Histogram.min_value h));
-            ("max", Float (Stats.Histogram.max_value h));
-            ("p50", Float (Stats.Histogram.quantile h 0.5));
-            ("p90", Float (Stats.Histogram.quantile h 0.9));
-            ("p99", Float (Stats.Histogram.quantile h 0.99));
-          ]
+        (* an empty histogram has no min/max/quantiles: emit explicit
+           nulls rather than the NaN/±inf sentinels the accumulator
+           carries internally *)
+        if Stats.Histogram.count h = 0 then
+          Obj
+            [
+              ("count", Int 0);
+              ("sum", Float 0.);
+              ("min", Null);
+              ("max", Null);
+              ("p50", Null);
+              ("p90", Null);
+              ("p99", Null);
+            ]
+        else
+          Obj
+            [
+              ("count", Int (Stats.Histogram.count h));
+              ("sum", Float (Stats.Histogram.sum h));
+              ("min", Float (Stats.Histogram.min_value h));
+              ("max", Float (Stats.Histogram.max_value h));
+              ("p50", Float (Stats.Histogram.quantile h 0.5));
+              ("p90", Float (Stats.Histogram.quantile h 0.9));
+              ("p99", Float (Stats.Histogram.quantile h 0.99));
+            ]
   in
   Obj (List.map (fun (name, v) -> (name, value v)) (snapshot t))

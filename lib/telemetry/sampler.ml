@@ -64,6 +64,12 @@ let stop t =
 let period t = t.period
 let ticks t = t.nticks
 let series_names t = List.rev_map (fun s -> s.s_name) t.rev_series
+let times t = Array.sub t.times 0 t.nticks
+
+let series t name =
+  match List.find_opt (fun s -> s.s_name = name) t.rev_series with
+  | None -> None
+  | Some s -> Some (Array.sub s.s_data 0 t.nticks)
 
 let to_csv b t =
   let cols = List.rev t.rev_series in

@@ -37,6 +37,14 @@ val ticks : t -> int
 val series_names : t -> string list
 (** Subscribed names, in subscription order. *)
 
+val times : t -> Time.t array
+(** The time column so far (one entry per tick; a copy). *)
+
+val series : t -> string -> float array option
+(** One series' samples so far, aligned with {!times} — ticks before the
+    series was subscribed read NaN.  A copy; [None] for unknown names.
+    The post-run analyzer reads the tables through this. *)
+
 val to_csv : Buffer.t -> t -> unit
 (** Append the full table: header [time_s,<name>,…] then one row per
     tick.  Floats via {!Json.float_str} ([%.6g]); NaN cells are blank. *)

@@ -3,6 +3,8 @@ open Eventsim
 module Metrics = Metrics
 module Trace = Trace
 module Sampler = Sampler
+module Prof = Prof
+module Recorder = Recorder
 
 type t = {
   engine : Engine.t;
@@ -13,12 +15,15 @@ type t = {
 
 let default_period = Time.ms 100
 
-let create engine ?(period = default_period) () =
+let create engine ?(period = default_period) ?trace_capacity () =
   let t =
     {
       engine;
       metrics = Metrics.create ();
-      trace = Trace.create engine;
+      trace =
+        (match trace_capacity with
+        | None -> Trace.create engine
+        | Some cap -> Trace.create_ring engine ~capacity:cap);
       sampler = Sampler.create engine ~period ();
     }
   in

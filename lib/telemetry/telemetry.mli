@@ -25,12 +25,24 @@ module Metrics = Metrics
 module Trace = Trace
 module Sampler = Sampler
 
+module Prof = Prof
+(** Event-core profiler rendering (measurement lives in
+    {!Eventsim.Engine}). *)
+
+module Recorder = Recorder
+(** Always-on bounded flight recorder (ring of the last N events, dumped
+    on faults). *)
+
 type t
 
-val create : Eventsim.Engine.t -> ?period:Time.span -> unit -> t
+val create : Eventsim.Engine.t -> ?period:Time.span -> ?trace_capacity:int -> unit -> t
 (** A telemetry instance sampling every [period] (default 100 ms of
     virtual time).  The sampler starts immediately (first tick one period
-    in) and always carries [engine.pending] / [engine.events] columns. *)
+    in) and always carries [engine.pending] / [engine.events] columns.
+    [trace_capacity] bounds the trace to a ring of the last N events
+    ({!Trace.create_ring}) — for long runs ([scale], [cdn_edge]) where a
+    growable span buffer would otherwise grow without limit; default is
+    the keep-everything buffer. *)
 
 val engine : t -> Eventsim.Engine.t
 val metrics : t -> Metrics.t

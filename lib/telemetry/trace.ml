@@ -16,10 +16,15 @@ type t = {
   now : unit -> Time.t;
   mutable events : event array;
   mutable len : int;
+  cap : int; (* 0 = growable; > 0 = preallocated ring of the last [cap] *)
+  mutable head : int; (* ring mode, once full: index of the oldest event *)
+  mutable dropped : int; (* ring mode: events overwritten so far *)
 }
 
 let dummy_event = { ts = 0; phase = Instant; name = ""; cat = ""; args = [] }
-let nil = { enabled = false; now = (fun () -> Time.zero); events = [||]; len = 0 }
+
+let nil =
+  { enabled = false; now = (fun () -> Time.zero); events = [||]; len = 0; cap = 0; head = 0; dropped = 0 }
 
 let create engine =
   {
@@ -27,20 +32,50 @@ let create engine =
     now = (fun () -> Eventsim.Engine.now engine);
     events = Array.make 1024 dummy_event;
     len = 0;
+    cap = 0;
+    head = 0;
+    dropped = 0;
+  }
+
+let create_ring engine ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.create_ring: capacity must be positive";
+  {
+    enabled = true;
+    now = (fun () -> Eventsim.Engine.now engine);
+    events = Array.make capacity dummy_event;
+    len = 0;
+    cap = capacity;
+    head = 0;
+    dropped = 0;
   }
 
 let on t = t.enabled
 let length t = t.len
+let capacity t = t.cap
+let dropped t = t.dropped
 
 let push t ev =
   if t.enabled then begin
-    if t.len = Array.length t.events then begin
-      let bigger = Array.make (2 * t.len) dummy_event in
-      Array.blit t.events 0 bigger 0 t.len;
-      t.events <- bigger
-    end;
-    t.events.(t.len) <- ev;
-    t.len <- t.len + 1
+    if t.cap > 0 then
+      if t.len < t.cap then begin
+        t.events.(t.len) <- ev;
+        t.len <- t.len + 1
+      end
+      else begin
+        (* full ring: overwrite the oldest in place, O(1), no growth *)
+        t.events.(t.head) <- ev;
+        t.head <- (if t.head + 1 = t.cap then 0 else t.head + 1);
+        t.dropped <- t.dropped + 1
+      end
+    else begin
+      if t.len = Array.length t.events then begin
+        let bigger = Array.make (2 * t.len) dummy_event in
+        Array.blit t.events 0 bigger 0 t.len;
+        t.events <- bigger
+      end;
+      t.events.(t.len) <- ev;
+      t.len <- t.len + 1
+    end
   end
 
 let instant t ?(cat = "app") name args =
@@ -56,14 +91,30 @@ let with_span t ?cat name args f =
   span_begin t ?cat name args;
   Fun.protect ~finally:(fun () -> span_end t ?cat name) f
 
-let events t = Array.to_list (Array.sub t.events 0 t.len)
-
 let iter t f =
-  for i = 0 to t.len - 1 do
-    f t.events.(i)
-  done
+  (* oldest → newest; a full ring starts at [head] and wraps *)
+  if t.cap > 0 && t.len = t.cap then begin
+    for i = t.head to t.cap - 1 do
+      f t.events.(i)
+    done;
+    for i = 0 to t.head - 1 do
+      f t.events.(i)
+    done
+  end
+  else
+    for i = 0 to t.len - 1 do
+      f t.events.(i)
+    done
 
-let clear t = t.len <- 0
+let events t =
+  let acc = ref [] in
+  iter t (fun ev -> acc := ev :: !acc);
+  List.rev !acc
+
+let clear t =
+  t.len <- 0;
+  t.head <- 0;
+  t.dropped <- 0
 
 (* ---- exporters -------------------------------------------------------- *)
 

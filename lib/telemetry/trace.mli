@@ -41,7 +41,17 @@ val nil : t
 (** The disabled sink: every emit is a no-op, {!on} is [false]. *)
 
 val create : Eventsim.Engine.t -> t
-(** An enabled trace stamped by the engine's virtual clock. *)
+(** An enabled trace stamped by the engine's virtual clock (growable
+    buffer: keeps every event). *)
+
+val create_ring : Eventsim.Engine.t -> capacity:int -> t
+(** An enabled trace holding only the {e last} [capacity] events: the
+    buffer is preallocated and a push into a full ring overwrites the
+    oldest event in place — O(1), no growth, cheap enough to leave on for
+    arbitrarily long runs (the flight recorder, long [scale]/[cdn_edge]
+    sweeps).  {!iter}/{!events} and the exporters walk oldest → newest;
+    {!dropped} counts the overwritten events.
+    Raises [Invalid_argument] if [capacity <= 0]. *)
 
 val on : t -> bool
 (** Whether events are being recorded — test this before building
@@ -58,7 +68,13 @@ val with_span : t -> ?cat:string -> string -> (string * value) list -> (unit -> 
     is emitted even if [f] raises). *)
 
 val length : t -> int
-(** Events recorded so far. *)
+(** Events currently held (in ring mode, at most the capacity). *)
+
+val capacity : t -> int
+(** Ring capacity, or [0] for a growable trace. *)
+
+val dropped : t -> int
+(** Events overwritten by ring wraparound ([0] for a growable trace). *)
 
 val events : t -> event list
 (** All events, in emission order (a copy). *)

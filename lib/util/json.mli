@@ -17,14 +17,22 @@ type t =
   | Obj of (string * t) list
 
 val escape : string -> string
-(** JSON string-body escaping (quotes, backslashes, newlines). *)
+(** JSON string-body escaping: quotes, backslashes, and every control
+    character (named escapes for [\n \r \t \b \f], [\u00XX] otherwise). *)
 
 val float_str : float -> string
 (** The shared float rendering: [%.6g]; integral values print without a
-    fractional part; NaN renders as ["null"]. *)
+    fractional part; non-finite values (NaN, ±infinity) render as
+    ["null"] — JSON has no literal for them. *)
 
 val to_string : t -> string
 (** Render compactly (single line, [", "] separators). *)
 
 val write : Buffer.t -> t -> unit
 (** Append the rendering to a buffer. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document (standard JSON; numbers without a
+    fraction or exponent come back as [Int]).  [Error] carries the byte
+    offset and a short description.  Used to validate flight-recorder
+    dumps and to round-trip escaped strings in tests. *)

@@ -218,6 +218,20 @@ type 'a t = {
   mutable in_slots : int; (* entries currently held in wheel slots *)
   mutable size : int;
   mutable next_seq : int;
+  (* occupancy statistics for the profiler: cheap counters on paths that
+     already do heap work, plus one compare per insert for the high-water *)
+  mutable s_overflow : int; (* inserts routed beyond the wheel horizon *)
+  mutable s_migrated : int; (* overflow entries later moved into [cur] *)
+  mutable s_hw_size : int; (* high-water of [size] *)
+  mutable s_hw_cur : int; (* high-water of the current-slot heap *)
+}
+
+type stats = {
+  overflow_inserts : int;
+  overflow_migrations : int;
+  hw_size : int;
+  hw_cur : int;
+  size_now : int;
 }
 
 let default_bits = 14 (* 16.384 us slots at ns resolution *)
@@ -239,6 +253,19 @@ let create ?(bits = default_bits) ?(slots = default_slots) ?(start = 0) () =
     in_slots = 0;
     size = 0;
     next_seq = 0;
+    s_overflow = 0;
+    s_migrated = 0;
+    s_hw_size = 0;
+    s_hw_cur = 0;
+  }
+
+let stats t =
+  {
+    overflow_inserts = t.s_overflow;
+    overflow_migrations = t.s_migrated;
+    hw_size = t.s_hw_size;
+    hw_cur = t.s_hw_cur;
+    size_now = t.size;
   }
 
 let size t = t.size
@@ -280,15 +307,22 @@ let place t e =
   if t.n_slots = 0 then pq_push t.over w_over e
   else begin
     let s = e.time asr t.bits in
-    if s <= t.cursor then pq_push t.cur w_cur e
+    if s <= t.cursor then begin
+      pq_push t.cur w_cur e;
+      if t.cur.plen > t.s_hw_cur then t.s_hw_cur <- t.cur.plen
+    end
     else if s - t.cursor <= t.n_slots then slot_push t (s land t.mask) e
-    else pq_push t.over w_over e
+    else begin
+      t.s_overflow <- t.s_overflow + 1;
+      pq_push t.over w_over e
+    end
   end
 
 let insert t ~time value =
   let e = { time; seq = t.next_seq; value; where = w_out; pos = -1 } in
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
+  if t.size > t.s_hw_size then t.s_hw_size <- t.size;
   place t e;
   e
 
@@ -298,6 +332,7 @@ let reinsert t (e : 'a handle) ~time =
   e.seq <- t.next_seq;
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
+  if t.size > t.s_hw_size then t.s_hw_size <- t.size;
   place t e
 
 let detach t e =
@@ -387,8 +422,10 @@ let refill t =
   end;
   while t.over.plen > 0 && t.over.parr.(0).time asr t.bits <= k do
     let e = pq_delete t.over 0 in
+    t.s_migrated <- t.s_migrated + 1;
     pq_push t.cur w_cur e
-  done
+  done;
+  if t.cur.plen > t.s_hw_cur then t.s_hw_cur <- t.cur.plen
 
 let min_handle t =
   if t.size = 0 then invalid_arg "Wheel.min_handle: empty";

@@ -66,3 +66,16 @@ val set_handle_value : 'a handle -> 'a -> unit
 val filter_in_place : 'a t -> ('a -> bool) -> unit
 (** Drop every entry whose value fails the predicate; dropped handles
     become not-queued.  O(n). *)
+
+type stats = {
+  overflow_inserts : int;  (** inserts routed beyond the wheel horizon *)
+  overflow_migrations : int;  (** overflow entries later moved into the current-slot heap *)
+  hw_size : int;  (** high-water of total queued entries *)
+  hw_cur : int;  (** high-water of the current-slot heap (one slot's occupancy) *)
+  size_now : int;  (** entries queued right now *)
+}
+
+val stats : 'a t -> stats
+(** Lifetime occupancy counters (profiler/diagnostics).  In pure-heap
+    mode ([~slots:0]) [overflow_inserts] stays 0: everything lives in the
+    overflow heap by construction, so counting it would be noise. *)

@@ -286,6 +286,66 @@ let test_sim_log_level_filtering () =
   "at-level message delivered" => (Buffer.length buf > 0);
   Logs.set_reporter Logs.nop_reporter
 
+(* ---- profiler / escape hook / occupancy stats ------------------------- *)
+
+let test_prof_counts_dispatches () =
+  let e = Engine.create () in
+  Engine.enable_prof e;
+  "prof armed" => Engine.prof_enabled e;
+  for i = 1 to 10 do
+    ignore (Engine.schedule_at e (Time.ms i) (Engine.prof_tag e ~cat:"cm" (fun () -> ())))
+  done;
+  ignore (Engine.schedule_at e (Time.ms 20) (fun () -> ()));
+  Engine.run e;
+  match Engine.prof_report e with
+  | None -> Alcotest.fail "no prof report"
+  | Some r ->
+      Alcotest.(check int) "total dispatches" 11 r.Engine.pr_dispatches;
+      let count name =
+        match List.find_opt (fun c -> c.Engine.pc_name = name) r.Engine.pr_categories with
+        | Some c -> c.Engine.pc_dispatches
+        | None -> 0
+      in
+      Alcotest.(check int) "cm-tagged" 10 (count "cm");
+      Alcotest.(check int) "untagged fall in other" 1 (count "other");
+      (* per-category counts always sum to the total: exact, not sampled *)
+      let sum =
+        List.fold_left (fun acc c -> acc + c.Engine.pc_dispatches) 0 r.Engine.pr_categories
+      in
+      Alcotest.(check int) "categories sum to total" r.Engine.pr_dispatches sum
+
+let test_prof_tag_identity_when_off () =
+  let e = Engine.create () in
+  let f () = () in
+  "prof_tag is physically the identity on an unprofiled engine"
+  => (Engine.prof_tag e ~cat:"cm" f == f)
+
+let test_escape_hook_fires_and_reraises () =
+  let e = Engine.create () in
+  let seen = ref None in
+  Engine.set_escape_hook e (Some (fun exn -> seen := Some (Printexc.to_string exn)));
+  ignore (Engine.schedule_at e (Time.ms 1) (fun () -> failwith "boom"));
+  (try
+     Engine.run e;
+     Alcotest.fail "exception swallowed"
+   with Failure m -> Alcotest.(check string) "reraised" "boom" m);
+  (match !seen with
+  | Some s -> "hook saw the exception" => (s <> "")
+  | None -> Alcotest.fail "escape hook never fired")
+
+let test_pool_and_queue_stats () =
+  let e = Engine.create () in
+  for i = 1 to 50 do
+    ignore (Engine.schedule_at e (Time.ms i) (fun () -> ()))
+  done;
+  let st = Engine.queue_stats e in
+  Alcotest.(check int) "live size" 50 st.Wheel.size_now;
+  "high-water tracks the burst" => (st.Wheel.hw_size >= 50);
+  Engine.run e;
+  let st = Engine.queue_stats e in
+  Alcotest.(check int) "drained" 0 st.Wheel.size_now;
+  "pool high-water recorded" => (Engine.pool_hw e > 0)
+
 (* ---- stress ----------------------------------------------------------- *)
 
 let test_engine_million_events () =
@@ -423,6 +483,15 @@ let () =
           Alcotest.test_case "reporter stamps virtual clock" `Quick
             test_sim_log_reporter_virtual_stamp;
           Alcotest.test_case "level filtering suppresses" `Quick test_sim_log_level_filtering;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "exact per-category dispatch counts" `Quick
+            test_prof_counts_dispatches;
+          Alcotest.test_case "prof_tag identity when off" `Quick test_prof_tag_identity_when_off;
+          Alcotest.test_case "escape hook fires and reraises" `Quick
+            test_escape_hook_fires_and_reraises;
+          Alcotest.test_case "pool and wheel occupancy stats" `Quick test_pool_and_queue_stats;
         ] );
       ( "stress",
         [ Alcotest.test_case "a million events" `Slow test_engine_million_events ]);

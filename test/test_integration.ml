@@ -163,7 +163,7 @@ let test_runs_are_deterministic () =
    ordering.  Two runs with the same seed must agree on every simulator
    counter, not just the headline throughput. *)
 let test_fig6_macro_deterministic () =
-  let params = { Experiments.Exp_common.seed = 42; full = false; telemetry = None; defenses = false } in
+  let params = { Experiments.Exp_common.default_params with seed = 42 } in
   let run () =
     Experiments.Fig6.measure_macro params Experiments.Fig6.Tcp_cm ~size:1448 ~n:2_000
   in
@@ -274,7 +274,7 @@ let test_ecn_path_through_cm () =
 
 (* Experiment smoke tests: each paper experiment runs and its headline
    shape holds. *)
-let quick_params = { Experiments.Exp_common.seed = 42; full = false; telemetry = None; defenses = false }
+let quick_params = { Experiments.Exp_common.default_params with seed = 42 }
 
 let test_fig3_shape () =
   let rows = Experiments.Fig3.run quick_params in

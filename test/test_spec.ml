@@ -15,7 +15,7 @@ module Fattree = Experiments.Fattree
 module Cdn_edge = Experiments.Cdn_edge
 module Cellular = Experiments.Cellular
 
-let params = { Exp_common.seed = 42; full = false; telemetry = None; defenses = false }
+let params = { Exp_common.default_params with seed = 42 }
 
 (* ---- parity: DSL-compiled scenarios ≡ handwritten ----------------------- *)
 

@@ -180,6 +180,182 @@ let test_trace_exporters () =
   "chrome ts in us" => contains chrome "\"ts\": 1000";
   "chrome instant scope" => contains chrome "\"s\": \"g\""
 
+let test_empty_histogram_json_is_finite () =
+  (* an empty histogram used to render NaN min/max, which [Json] turns
+     into null only since PR8 — assert both the shape and parseability *)
+  let m = Telemetry.Metrics.create () in
+  ignore (Telemetry.Metrics.histogram m "latency");
+  let s = Json.to_string (Telemetry.Metrics.to_json m) in
+  "count 0" => contains s "\"count\": 0";
+  "min null" => contains s "\"min\": null";
+  "p99 null" => contains s "\"p99\": null";
+  "no NaN leaks" => not (contains s "nan");
+  (match Json.parse s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("empty-histogram JSON does not parse: " ^ e))
+
+let test_exporters_escape_strings () =
+  (* names / args with quotes, backslashes and control chars must come
+     out as valid JSON in both exporters *)
+  let e = Engine.create () in
+  let tr = Telemetry.Trace.create e in
+  let evil = "a\"b\\c\nd\te\x01f" in
+  ignore
+    (Engine.schedule_at e (Time.ms 1) (fun () ->
+         Telemetry.Trace.instant tr ~cat:"cat\"\n" evil
+           [ ("k\"", Telemetry.Trace.Str evil) ]));
+  Engine.run e;
+  let b = Buffer.create 256 in
+  Telemetry.Trace.to_jsonl b tr;
+  let jsonl = Buffer.contents b in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match Json.parse line with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (Printf.sprintf "jsonl line %d invalid: %s" i e))
+    (String.split_on_char '\n' jsonl);
+  (* the escaped string roundtrips through the parser *)
+  (match Json.parse (String.trim jsonl) with
+  | Ok (Json.Obj kvs) -> (
+      match List.assoc_opt "name" kvs with
+      | Some (Json.Str s) -> Alcotest.(check string) "name roundtrips" evil s
+      | _ -> Alcotest.fail "no name field")
+  | _ -> Alcotest.fail "jsonl line did not parse as an object");
+  Buffer.clear b;
+  Telemetry.Trace.to_chrome b tr;
+  match Json.parse (Buffer.contents b) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("chrome export invalid: " ^ e)
+
+(* ---- bounded ring trace ------------------------------------------------ *)
+
+let test_ring_trace_overwrites_oldest () =
+  let e = Engine.create () in
+  let tr = Telemetry.Trace.create_ring e ~capacity:4 in
+  Alcotest.(check int) "capacity" 4 (Telemetry.Trace.capacity tr);
+  for i = 1 to 10 do
+    ignore
+      (Engine.schedule_at e (Time.ms i) (fun () ->
+           Telemetry.Trace.instant tr ~cat:"t" "ev" [ ("i", Telemetry.Trace.Int i) ]))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "length capped" 4 (Telemetry.Trace.length tr);
+  Alcotest.(check int) "dropped counted" 6 (Telemetry.Trace.dropped tr);
+  (* survivors are the newest four, oldest -> newest *)
+  let is_ =
+    List.map
+      (fun ev ->
+        match ev.Telemetry.Trace.args with
+        | [ ("i", Telemetry.Trace.Int i) ] -> i
+        | _ -> -1)
+      (Telemetry.Trace.events tr)
+  in
+  Alcotest.(check (list int)) "newest kept in order" [ 7; 8; 9; 10 ] is_;
+  Telemetry.Trace.clear tr;
+  Alcotest.(check int) "clear resets length" 0 (Telemetry.Trace.length tr);
+  Alcotest.(check int) "clear resets dropped" 0 (Telemetry.Trace.dropped tr)
+
+let test_ring_trace_rejects_bad_capacity () =
+  let e = Engine.create () in
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Trace.create_ring: capacity must be positive") (fun () ->
+      ignore (Telemetry.Trace.create_ring e ~capacity:0))
+
+(* ---- flight recorder --------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cm-test-rec-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let test_recorder_dump_parses () =
+  with_temp_dir (fun dir ->
+      let e = Engine.create () in
+      let r = Telemetry.Recorder.create e ~out_dir:dir ~tag:"t" ~capacity:8 () in
+      let tr = Telemetry.Recorder.trace r in
+      for i = 1 to 20 do
+        ignore
+          (Engine.schedule_at e (Time.ms i) (fun () ->
+               Telemetry.Trace.instant tr ~cat:"x" "ev" [ ("i", Telemetry.Trace.Int i) ]))
+      done;
+      Engine.run e;
+      let path = Telemetry.Recorder.dump r ~reason:"test \"breach\"" in
+      "dump file exists" => Sys.file_exists path;
+      Alcotest.(check int) "one dump" 1 (Telemetry.Recorder.dumps r);
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      (* header + the 8 ring survivors *)
+      Alcotest.(check int) "header + capacity lines" 9 (List.length lines);
+      List.iter
+        (fun line ->
+          match Json.parse line with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Printf.sprintf "dump line invalid: %s" e))
+        lines;
+      match Json.parse (List.hd lines) with
+      | Ok (Json.Obj kvs) ->
+          "header names reason"
+          => (match List.assoc_opt "reason" kvs with
+             | Some (Json.Str s) -> s = "test \"breach\""
+             | _ -> false);
+          "header counts drops"
+          => (match List.assoc_opt "dropped" kvs with
+             | Some (Json.Int d) -> d = 12
+             | _ -> false)
+      | _ -> Alcotest.fail "dump header did not parse as an object")
+
+let test_recorder_dumps_on_escape () =
+  with_temp_dir (fun dir ->
+      let e = Engine.create () in
+      let r = Telemetry.Recorder.create e ~out_dir:dir ~tag:"crash" () in
+      ignore
+        (Engine.schedule_at e (Time.ms 1) (fun () ->
+             Telemetry.Trace.instant (Telemetry.Recorder.trace r) ~cat:"x" "last-words" []));
+      ignore (Engine.schedule_at e (Time.ms 2) (fun () -> failwith "sim bug"));
+      (try
+         Engine.run e;
+         Alcotest.fail "exception swallowed"
+       with Failure _ -> ());
+      Alcotest.(check int) "crash produced a dump" 1 (Telemetry.Recorder.dumps r);
+      match Telemetry.Recorder.last_file r with
+      | Some path ->
+          let ic = open_in path in
+          let header = input_line ic in
+          close_in ic;
+          "reason mentions the exception" => contains header "sim bug"
+      | None -> Alcotest.fail "no dump file recorded")
+
+let test_telemetry_ring_mode () =
+  let e = Engine.create () in
+  let tel = Telemetry.create e ~trace_capacity:2 () in
+  let tr = Telemetry.trace tel in
+  ignore
+    (Engine.schedule_at e (Time.ms 1) (fun () ->
+         for i = 1 to 5 do
+           Telemetry.Trace.instant tr ~cat:"x" "e" [ ("i", Telemetry.Trace.Int i) ]
+         done));
+  (* the sampler's periodic timer keeps the queue non-empty: bounded run *)
+  Engine.run_for e (Time.ms 10);
+  Telemetry.stop tel;
+  Alcotest.(check int) "bounded" 2 (Telemetry.Trace.length tr);
+  Alcotest.(check int) "overwrote" 3 (Telemetry.Trace.dropped tr)
+
 (* ---- end-to-end determinism ------------------------------------------- *)
 
 let artifacts ~expt ~seed =
@@ -205,7 +381,7 @@ let test_instrumented_run_matches_uninstrumented () =
   (* telemetry must observe, not perturb: the simulation's outcome is
      identical with and without the nil sink replaced by a live one *)
   let run telemetry =
-    let params = { Experiments.Exp_common.seed = 3; full = false; telemetry; defenses = false } in
+    let params = { Experiments.Exp_common.default_params with seed = 3; telemetry } in
     let m = Experiments.Fig6.measure_macro params Experiments.Fig6.Tcp_cm ~size:1448 ~n:500 in
     (m.Experiments.Fig6.m_events, m.Experiments.Fig6.m_final_clock)
   in
@@ -244,6 +420,21 @@ let () =
           Alcotest.test_case "nil sink" `Quick test_trace_nil_sink;
           Alcotest.test_case "events and spans" `Quick test_trace_events_and_spans;
           Alcotest.test_case "exporters" `Quick test_trace_exporters;
+          Alcotest.test_case "empty histogram renders finite JSON" `Quick
+            test_empty_histogram_json_is_finite;
+          Alcotest.test_case "exporters escape hostile strings" `Quick
+            test_exporters_escape_strings;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "overwrites oldest" `Quick test_ring_trace_overwrites_oldest;
+          Alcotest.test_case "bad capacity rejected" `Quick test_ring_trace_rejects_bad_capacity;
+          Alcotest.test_case "telemetry trace_capacity bounds" `Quick test_telemetry_ring_mode;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "dump file parses" `Quick test_recorder_dump_parses;
+          Alcotest.test_case "dumps on escaping exception" `Quick test_recorder_dumps_on_escape;
         ] );
       ( "determinism",
         [

@@ -28,6 +28,53 @@ let test_time_pp () =
   "ms rendering" => (s (Time.ms 7) = "7.000ms");
   "s rendering" => (s (Time.sec 2.) = "2.0000s")
 
+(* ---- Json ----------------------------------------------------------- *)
+
+let test_json_escape_control_chars () =
+  let s = Json.to_string (Json.Str "a\"b\\c\nd\re\tf\bg\012h\x01i") in
+  "quote/backslash/newline" => (s = "\"a\\\"b\\\\c\\nd\\re\\tf\\bg\\fh\\u0001i\"");
+  (* and the escaped form parses back to the original *)
+  match Json.parse s with
+  | Ok (Json.Str r) -> "roundtrip" => (r = "a\"b\\c\nd\re\tf\bg\012h\x01i")
+  | _ -> Alcotest.fail "escaped string did not parse back"
+
+let test_json_nonfinite_floats () =
+  "nan is null" => (Json.to_string (Json.Float Float.nan) = "null");
+  "inf is null" => (Json.to_string (Json.Float Float.infinity) = "null");
+  "-inf is null" => (Json.to_string (Json.Float Float.neg_infinity) = "null");
+  "finite stays numeric" => (Json.to_string (Json.Float 2.5) = "2.5")
+
+let test_json_parse_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "he said \"hi\"\n");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.25);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Str "x"; Json.Obj [ ("k", Json.Int 2) ] ]);
+      ]
+  in
+  let s = Json.to_string doc in
+  match Json.parse s with
+  | Ok doc' -> "render/parse/render fixpoint" => (Json.to_string doc' = s)
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_parse_rejects_garbage () =
+  let bad = [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "tru"; "1.2.3"; "[] trailing" ] in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "parse accepted %S" s))
+    bad
+
+let test_json_parse_unicode_escape () =
+  match Json.parse "\"a\\u00e9b\"" with
+  | Ok (Json.Str s) -> "\\uXXXX decodes to UTF-8" => (s = "a\xc3\xa9b")
+  | _ -> Alcotest.fail "unicode escape did not parse"
+
 (* ---- Rng ------------------------------------------------------------ *)
 
 let test_rng_deterministic () =
@@ -488,6 +535,15 @@ let () =
           Alcotest.test_case "unit conversions" `Quick test_time_units;
           Alcotest.test_case "arithmetic" `Quick test_time_arith;
           Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "control chars escape + roundtrip" `Quick
+            test_json_escape_control_chars;
+          Alcotest.test_case "non-finite floats render null" `Quick test_json_nonfinite_floats;
+          Alcotest.test_case "parse roundtrip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse rejects garbage" `Quick test_json_parse_rejects_garbage;
+          Alcotest.test_case "unicode escape" `Quick test_json_parse_unicode_escape;
         ] );
       ( "rng",
         [
