@@ -300,13 +300,13 @@ let () =
           if bad then incr failures
       | _ -> ())
     scheds;
-  (* 4. within-NEW observability budgets (section present from PR8 on):
-     the measured overhead must stay within its own recorded budget *)
+  (* 4. within-NEW overhead budgets (observability from PR8, feedback-plane
+     hardening from PR9): the measured overhead must stay within its own
+     recorded budget *)
   List.iter
-    (fun (what, pct_key, budget_key) ->
+    (fun (what, section, pct_key, budget_key) ->
       match
-        ( number new_j [ "observability_overhead"; pct_key ],
-          number new_j [ "observability_overhead"; budget_key ] )
+        (number new_j [ section; pct_key ], number new_j [ section; budget_key ])
       with
       | Some pct, Some budget ->
           let bad = pct > budget in
@@ -315,8 +315,12 @@ let () =
           if bad then incr failures
       | _ -> ())
     [
-      ("observability: profiler overhead", "prof_overhead_pct", "prof_budget_pct");
-      ("observability: recorder overhead", "recorder_overhead_pct", "recorder_budget_pct");
+      ( "observability: profiler overhead",
+        "observability_overhead", "prof_overhead_pct", "prof_budget_pct" );
+      ( "observability: recorder overhead",
+        "observability_overhead", "recorder_overhead_pct", "recorder_budget_pct" );
+      ( "cmproto: feedback hardening overhead",
+        "hardening_overhead", "overhead_pct", "budget_pct" );
     ];
   print_newline ();
   if !failures > 0 then begin

@@ -23,7 +23,7 @@ let params =
   { Experiments.Exp_common.default_params with seed; full }
 
 let smoke = Sys.getenv_opt "CM_BENCH_SMOKE" = Some "1"
-let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR8.json"
+let json_path = match Sys.getenv_opt "CM_BENCH_OUT" with Some p -> p | None -> "BENCH_PR9.json"
 
 (* wall times of every experiment, for the JSON trajectory *)
 let experiment_walls : (string * float) list ref = ref []
@@ -204,6 +204,52 @@ let run_defense_overhead () =
   Printf.printf "\n== Defense overhead: Fig. 6 TCP/CM macro workload (%d packets) ==\n" n;
   Printf.printf "off: %.3fs   on (watchdog + auditor): %.3fs   overhead %+.1f%%\n%!" off on pct;
   { do_packets = n; do_off_wall_s = off; do_on_wall_s = on; do_overhead_pct = pct }
+
+(* ------------------------------------------------------------------ *)
+(* Feedback-plane hardening overhead: the ext_cmproto macro workload
+   (windowed 168 B CM-protocol transfer, kernel-to-kernel feedback) with
+   the cmproto hardening off (no sequence bookkeeping, no ts_echo clamp,
+   no solicitation timer) vs on (the default).  The hardening sits on the
+   per-feedback-packet receive path, so this workload — one feedback per
+   data packet at ack_every:1 — is its worst case.  Budget: ≤ 5 % on vs
+   off, gated by bench_diff. *)
+
+type hardening_overhead = {
+  ho_packets : int;
+  ho_off_wall_s : float;
+  ho_on_wall_s : float;
+  ho_overhead_pct : float;
+}
+
+let run_hardening_overhead () =
+  let n = if smoke then 500 else 20_000 in
+  let best_of_3 f =
+    let once () =
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let reps = if smoke then 1 else 3 in
+    List.fold_left (fun acc _ -> Float.min acc (once ())) (once ())
+      (List.init (Stdlib.max 0 (reps - 1)) Fun.id)
+  in
+  let run hardening () =
+    Cmproto.set_hardening hardening;
+    ignore (Experiments.Ext_cmproto.run_cmproto params ~n)
+  in
+  (* warm-up: the first run of this workload pays one-off page-fault and
+     major-heap shaping costs that would otherwise all land on "off" *)
+  if not smoke then run true ();
+  let off = Fun.protect ~finally:(fun () -> Cmproto.set_hardening true)
+      (fun () -> best_of_3 (run false))
+  in
+  let on = best_of_3 (run true) in
+  let pct = (on -. off) /. off *. 100. in
+  Printf.printf "\n== Hardening overhead: ext_cmproto macro workload (%d packets) ==\n" n;
+  Printf.printf "off: %.3fs   on (seq/clamp/solicit defenses): %.3fs   overhead %+.1f%%\n%!"
+    off on pct;
+  { ho_packets = n; ho_off_wall_s = off; ho_on_wall_s = on; ho_overhead_pct = pct }
 
 (* ------------------------------------------------------------------ *)
 (* Observability overhead: the Fig. 6 macro workload plain (profiler and
@@ -608,12 +654,12 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let emit_json ~macro ~micro ~telem ~defense ~obs ~scale () =
+let emit_json ~macro ~micro ~telem ~defense ~hardening ~obs ~scale () =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema_version\": 1,\n";
-  p "  \"pr\": 8,\n";
+  p "  \"pr\": 9,\n";
   p "  \"seed\": %d,\n" params.Experiments.Exp_common.seed;
   p "  \"full\": %b,\n" params.Experiments.Exp_common.full;
   p "  \"smoke\": %b,\n" smoke;
@@ -648,6 +694,14 @@ let emit_json ~macro ~micro ~telem ~defense ~obs ~scale () =
   p "    \"off_wall_s\": %.4f,\n" defense.do_off_wall_s;
   p "    \"on_wall_s\": %.4f,\n" defense.do_on_wall_s;
   p "    \"overhead_pct\": %.2f,\n" defense.do_overhead_pct;
+  p "    \"budget_pct\": 5.0\n";
+  p "  },\n";
+  p "  \"hardening_overhead\": {\n";
+  p "    \"workload\": \"ext_cmproto CM-protocol 168B ack_every:1\",\n";
+  p "    \"packets\": %d,\n" hardening.ho_packets;
+  p "    \"off_wall_s\": %.4f,\n" hardening.ho_off_wall_s;
+  p "    \"on_wall_s\": %.4f,\n" hardening.ho_on_wall_s;
+  p "    \"overhead_pct\": %.2f,\n" hardening.ho_overhead_pct;
   p "    \"budget_pct\": 5.0\n";
   p "  },\n";
   p "  \"observability_overhead\": {\n";
@@ -700,7 +754,8 @@ let () =
   let macro = run_macro () in
   let telem = run_telemetry_overhead () in
   let defense = run_defense_overhead () in
+  let hardening = run_hardening_overhead () in
   let obs = run_observability_overhead () in
   let scale = run_scale () in
   let micro = run_microbenchmarks () in
-  emit_json ~macro ~micro ~telem ~defense ~obs ~scale ()
+  emit_json ~macro ~micro ~telem ~defense ~hardening ~obs ~scale ()

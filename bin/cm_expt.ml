@@ -62,6 +62,9 @@ let run_fattree p = Experiments.Fattree.print p (Experiments.Fattree.run p)
 let run_cdn_edge p = Experiments.Cdn_edge.print p (Experiments.Cdn_edge.run p)
 let run_cellular p = Experiments.Cellular.print p (Experiments.Cellular.run p)
 
+let run_feedback_faults p =
+  Experiments.Feedback_faults.print p (Experiments.Feedback_faults.run p)
+
 let experiments =
   [
     ("fig3", "Throughput vs loss: TCP/CM vs TCP/Linux", run_fig3);
@@ -87,6 +90,7 @@ let experiments =
     ("fattree", "Fat-tree k=4 incast + cross-pod shuffle, spec-DSL authored (JSON)", run_fattree);
     ("cdn_edge", "CDN edge flash crowd: 2x1024 clients, spec-DSL authored (JSON)", run_cdn_edge);
     ("cellular", "Cellular last mile: layered app vs ramps and handoff flaps, spec-DSL authored (JSON)", run_cellular);
+    ("feedback_faults", "Feedback-plane faults: blackout, degraded control plane, receiver restart (JSON)", run_feedback_faults);
   ]
 
 let make_cmd (name, doc, runner) =
@@ -289,6 +293,42 @@ let spec_cmd =
   in
   Cmd.v (Cmd.info "spec" ~doc) Term.(const action $ list_arg $ check_arg $ dump_arg)
 
+let soak_cmd =
+  let doc =
+    "Seeded chaos soak: draw a well-formed random spec (dumbbell + bulk flows) composed with \
+     random network, control-plane and application fault schedules, and run it under the \
+     invariant oracles (auditor sweep incl. grant-ledger skew, flow/timer leaks, bounded \
+     engine backlog, run-twice byte-determinism).  Failures are shrunk to a minimal \
+     configuration and a one-line reproducer is printed.  Exit 1 on any oracle breach."
+  in
+  let count_arg =
+    let doc = "Run $(docv) consecutive seeds starting at --seed." in
+    Arg.(value & opt int 1 & info [ "n"; "count" ] ~docv:"N" ~doc)
+  in
+  let canary_arg =
+    let doc =
+      "Mutation canary: deliberately re-introduce a grant leak in the close path \
+       (Macroflow.canary_grant_leak) — the soak MUST fail, proving the oracles catch a \
+       real accounting bug."
+    in
+    Arg.(value & flag & info [ "canary" ] ~doc)
+  in
+  let action seed count canary =
+    let failures = ref 0 in
+    for s = seed to seed + count - 1 do
+      match Cm_soak.Soak.run_seed ~canary s with
+      | None -> Printf.printf "seed %d: ok\n%!" s
+      | Some f ->
+          incr failures;
+          Printf.printf "seed %d: FAIL\n%!" s;
+          List.iter (fun v -> Printf.printf "  %s\n" v) f.Cm_soak.Soak.f_failures;
+          Printf.printf "  %s\n" (Cm_soak.Soak.repro_line ~canary f);
+          Printf.printf "  %s\n%!" (Cm_util.Json.to_string (Cm_soak.Soak.failure_json ~canary f))
+    done;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "soak" ~doc) Term.(const action $ seed_arg $ count_arg $ canary_arg)
+
 let all_cmd =
   let doc = "Run every experiment in order." in
   let action seed full =
@@ -303,7 +343,7 @@ let () =
   let info = Cmd.info "cm_expt" ~version:"1.0" ~doc in
   let group =
     Cmd.group info
-      (all_cmd :: trace_cmd :: report_cmd :: scale_cmd :: spec_cmd
+      (all_cmd :: trace_cmd :: report_cmd :: scale_cmd :: spec_cmd :: soak_cmd
       :: List.map make_cmd experiments)
   in
   exit (Cmd.eval group)

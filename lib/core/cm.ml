@@ -923,6 +923,13 @@ module Audit = struct
         if conservation_breaches mf > 0 then
           fail "mf%d: window conservation breached %d times at grant issue" mfid
             (conservation_breaches mf);
+        (* the grant ledger re-derived from the age chain must agree with
+           the running counter — catches leaks on *alive* macroflows,
+           where the dead-with-granted-bytes check below never looks *)
+        let skew = granted_ledger_skew mf in
+        if skew <> 0 then
+          fail "mf%d: grant ledger skewed by %d bytes (granted %d vs live reservations)" mfid
+            skew (granted mf);
         if alive mf then begin
           (* a live empty non-default macroflow's timer would tick forever *)
           if attached = 0 && not (List.mem mfid default_ids) then

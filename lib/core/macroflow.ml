@@ -438,6 +438,13 @@ let notify t ?m ~nbytes () =
     (* a small transmission may have freed most of its reservation *)
     maybe_grant t
 
+(* Mutation canary for the soak oracles: with this on,
+   [release_flow_grants] "forgets" to return the released reservation to
+   the window — precisely the grant-leak bug the ledger-skew audit
+   exists to catch.  CI flips it to prove the oracle pipeline detects a
+   real, silently-wrong ledger. *)
+let canary_grant_leak = ref false
+
 let release_flow_grants t m =
   (* Return a closing/crashed flow's unconsumed grants to the window
      immediately rather than waiting out the reclaim timer.  The member's
@@ -455,10 +462,22 @@ let release_flow_grants t m =
   done;
   if !released > 0 then begin
     gq_drop_dead t;
-    t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - !released);
+    if not !canary_grant_leak then
+      t.granted_bytes <- Stdlib.max 0 (t.granted_bytes - !released);
     maybe_grant t
   end;
   !released
+
+(* The grant ledger re-derived from first principles: [granted_bytes]
+   minus the sum of live reservations on the age chain.  Anything but
+   zero means a grant path lost or double-counted bytes — the audit
+   invariant that catches leaks on *alive* macroflows (the
+   dead-with-granted-bytes check only fires at teardown). *)
+let granted_ledger_skew t =
+  let rec live g acc =
+    if g == g_nil then acc else live g.g_qnext (if g.g_dead then acc else acc + g.reserved)
+  in
+  t.granted_bytes - live t.gq_head 0
 
 let discharge t nbytes =
   if nbytes > 0 then begin

@@ -91,6 +91,18 @@ val outstanding : t -> int
 val granted : t -> int
 (** Payload bytes granted but not yet transmitted. *)
 
+val granted_ledger_skew : t -> int
+(** {!granted} minus the sum of live grant reservations, re-derived by
+    walking the grant age chain.  Always 0 unless a grant path lost or
+    double-counted bytes — the audit invariant that catches ledger leaks
+    on alive macroflows. *)
+
+val canary_grant_leak : bool ref
+(** Mutation canary (default [false]; see [cm_expt soak --canary]): when
+    set, {!release_flow_grants} deliberately leaks the released
+    reservation out of the ledger so the soak oracles can prove they
+    catch a real accounting bug.  Never set outside canary runs. *)
+
 val members : t -> int
 (** Number of flows attached. *)
 

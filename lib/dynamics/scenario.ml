@@ -15,6 +15,7 @@ type action =
   | Outage of Time.span
   | Flap of { down : Time.span; up : Time.span; cycles : int }
   | Delay_spike of { extra : Time.span; jitter : Time.span; duration : Time.span }
+  | Control_fault of { profile : Control_faults.profile; duration : Time.span }
 
 type step = { at : Time.t; target : string; action : action }
 type t = { name : string; steps : step list }
@@ -44,6 +45,9 @@ let validate_action ~ctx = function
   | Delay_spike { extra; jitter; duration } ->
       if extra < 0 || jitter < 0 then invalid_arg (ctx ^ ": negative delay/jitter");
       if duration < 0 then invalid_arg (ctx ^ ": negative spike duration")
+  | Control_fault { profile; duration } ->
+      Control_faults.check_profile ~ctx profile;
+      if duration <= 0 then invalid_arg (ctx ^ ": control fault needs a positive duration")
 
 let make ~name steps =
   List.iter
@@ -57,13 +61,22 @@ let make ~name steps =
 let of_bandwidth_schedule ~name ~target sched =
   make ~name (List.map (fun (at, bw) -> { at; target; action = Set_bandwidth bw }) sched)
 
-let validate ~links t =
+let validate ~links ?(controls = []) t =
   List.iter
-    (fun { target; _ } ->
-      if not (List.mem target links) then
-        invalid_arg
-          (Printf.sprintf "Scenario %S: unknown topology element %S (have: %s)" t.name target
-             (String.concat ", " links)))
+    (fun { target; action; _ } ->
+      match action with
+      | Control_fault _ ->
+          if not (List.mem target controls) then
+            invalid_arg
+              (Printf.sprintf
+                 "Scenario %S: control fault targets %S, which has no control-fault injector \
+                  (have: %s)"
+                 t.name target (String.concat ", " controls))
+      | _ ->
+          if not (List.mem target links) then
+            invalid_arg
+              (Printf.sprintf "Scenario %S: unknown topology element %S (have: %s)" t.name
+                 target (String.concat ", " links)))
     t.steps
 
 (* the horizon of the *disruptions* — bounded faults whose clearance a
@@ -80,6 +93,7 @@ let fault_window t =
             Some (at, Time.add at (((down + up) * cycles) - up))
         | Loss_burst { duration; _ } -> Some (at, Time.add at duration)
         | Delay_spike { duration; _ } -> Some (at, Time.add at duration)
+        | Control_fault { duration; _ } -> Some (at, Time.add at duration)
         | Set_bandwidth _ | Ramp_bandwidth _ | Set_loss _ -> None)
       t.steps
   in
@@ -93,14 +107,19 @@ let model_of_spec rng = function
   | Loss_bernoulli p -> Loss.bernoulli rng ~p
   | Loss_gilbert_elliott g -> Loss.gilbert_elliott rng g
 
-let compile engine ~rng ~links t =
-  validate ~links:(List.map fst links) t;
+let compile engine ~rng ~links ?(controls = []) t =
+  validate ~links:(List.map fst links) ~controls:(List.map fst controls) t;
   let link name = List.assoc name links in
   (* each stochastic step gets its own stream, split in declaration order:
      the sampled values depend only on the scenario and the seed, never on
      how steps interleave at run time *)
   List.iter
     (fun { at; target; action } ->
+      match action with
+      | Control_fault { profile; duration } ->
+          Control_faults.engage (List.assoc target controls) ~rng:(Rng.split rng) ~at ~profile
+            ~duration
+      | _ ->
       let l = link target in
       match action with
       | Set_bandwidth bw -> Faults.bandwidth_steps engine l [ (at, bw) ]
@@ -117,5 +136,6 @@ let compile engine ~rng ~links t =
       | Outage duration -> Faults.outage engine l ~at ~duration
       | Flap { down; up; cycles } -> Faults.flap engine l ~at ~down ~up ~cycles
       | Delay_spike { extra; jitter; duration } ->
-          Faults.delay_spike engine l ~at ~extra ~jitter ~duration ())
+          Faults.delay_spike engine l ~at ~extra ~jitter ~duration ()
+      | Control_fault _ -> assert false (* handled above *))
     t.steps

@@ -34,6 +34,9 @@ type action =
       (** Repeated outages. *)
   | Delay_spike of { extra : Time.span; jitter : Time.span; duration : Time.span }
       (** Temporarily inflated propagation delay with optional jitter. *)
+  | Control_fault of { profile : Control_faults.profile; duration : Time.span }
+      (** Degrade only classified control traffic (CM feedback) at the
+          target *host*'s {!Control_faults} injector for [duration]. *)
 
 type step = { at : Time.t; target : string; action : action }
 (** One scheduled action on one named topology element. *)
@@ -49,18 +52,26 @@ val of_bandwidth_schedule : name:string -> target:string -> (Time.t * float) lis
 (** The classic Figs. 8–10 shape: a list of [(time, bps)] renegotiations
     on one link. *)
 
-val validate : links:string list -> t -> unit
-(** Check every step's target against the available element names; raises
+val validate : links:string list -> ?controls:string list -> t -> unit
+(** Check every step's target against the available element names —
+    [Control_fault] steps against [controls] (the hosts carrying an
+    injector), every other action against [links]; raises
     [Invalid_argument] on an unknown name. *)
 
 val fault_window : t -> (Time.t * Time.t) option
 (** [(first fault start, last fault clearance)] over the *bounded*
-    disruptions (outages, flaps, loss bursts, delay spikes) — what a
-    recovery experiment measures against.  Persistent renegotiations
-    (set/ramp bandwidth, set loss) have no clearance and are ignored.
-    [None] if the scenario has no bounded disruption. *)
+    disruptions (outages, flaps, loss bursts, delay spikes, control
+    faults) — what a recovery experiment measures against.  Persistent
+    renegotiations (set/ramp bandwidth, set loss) have no clearance and
+    are ignored.  [None] if the scenario has no bounded disruption. *)
 
-val compile : Engine.t -> rng:Rng.t -> links:(string * Link.t) list -> t -> unit
-(** Bind targets to links and schedule every step on the engine (steps at
-    or before "now" apply immediately).  Raises [Invalid_argument] on an
-    unknown target. *)
+val compile :
+  Engine.t ->
+  rng:Rng.t ->
+  links:(string * Link.t) list ->
+  ?controls:(string * Control_faults.t) list ->
+  t ->
+  unit
+(** Bind targets to links (and [Control_fault] targets to injectors) and
+    schedule every step on the engine (steps at or before "now" apply
+    immediately).  Raises [Invalid_argument] on an unknown target. *)

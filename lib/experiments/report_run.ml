@@ -9,7 +9,8 @@
 
 open Exp_common
 
-let experiments = [ "fig6"; "fig7"; "fig8"; "fig9"; "scenarios"; "app_faults" ]
+let experiments =
+  [ "fig6"; "fig7"; "fig8"; "fig9"; "scenarios"; "app_faults"; "feedback_faults" ]
 
 (* One capture = one (sub-run name, telemetry) list.  Families that run a
    single simulated system report under their own name; multi-system
@@ -32,6 +33,14 @@ let capture ~expt ~seed =
       let params = { default_params with seed; telemetry = Some req } in
       ignore (App_faults.run_case params App_faults.Storm);
       List.map (fun tel -> ("app_faults_storm", tel)) (List.rev req.captured)
+  | "feedback_faults" ->
+      (* the blackout case drives every defense counter; the baseline
+         would report all-pass *)
+      Netsim.Packet.reset_ids ();
+      let req = request_telemetry () in
+      let params = { default_params with seed; telemetry = Some req } in
+      ignore (Feedback_faults.run_case params Feedback_faults.Blackout);
+      List.map (fun tel -> ("feedback_faults_blackout", tel)) (List.rev req.captured)
   | e ->
       invalid_arg
         (Printf.sprintf "report: unknown experiment %S (known: %s)" e

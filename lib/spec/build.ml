@@ -103,9 +103,34 @@ let scenario ~name (ir : Check.ir) =
     (Array.to_list
        (Array.map
           (fun (f : Check.fault) ->
-            {
-              Scenario.at = f.Check.f_at;
-              target = ir.Check.ir_edges.(f.Check.f_target).Check.e_name;
-              action = f.Check.f_action;
-            })
+            let target =
+              match f.Check.f_target with
+              | Check.On_link ei -> ir.Check.ir_edges.(ei).Check.e_name
+              | Check.On_host ni -> ir.Check.ir_nodes.(ni).Check.n_name
+            in
+            { Scenario.at = f.Check.f_at; target; action = f.Check.f_action })
           ir.Check.ir_faults))
+
+(* Hosts named as Control_fault targets, in declaration order.  Injector
+   filters must be registered before any agent filter that consumes
+   control traffic, so call this right after [instantiate], before
+   installing Cmproto agents. *)
+let control_injectors t ~classify =
+  let wanted = Hashtbl.create 4 in
+  Array.iter
+    (fun (f : Check.fault) ->
+      match f.Check.f_target with
+      | Check.On_host ni -> Hashtbl.replace wanted ni ()
+      | Check.On_link _ -> ())
+    t.ir.Check.ir_faults;
+  let acc = ref [] in
+  Array.iteri
+    (fun i (n : Check.node) ->
+      if Hashtbl.mem wanted i then
+        match t.impls.(i) with
+        | Host_impl h ->
+            acc :=
+              (n.Check.n_name, Cm_dynamics.Control_faults.install h ~classify) :: !acc
+        | Router_impl _ -> () (* rejected statically *))
+    t.ir.Check.ir_nodes;
+  List.rev !acc

@@ -41,4 +41,14 @@ val links_alist : t -> (string * Link.t) list
 
 val scenario : name:string -> Check.ir -> Cm_dynamics.Scenario.t
 (** The fault schedule as a Scenario program (steps in declaration
-    order, targets by link name). *)
+    order, network faults targeted by link name, control faults by host
+    name). *)
+
+val control_injectors :
+  t -> classify:(Packet.t -> bool) -> (string * Cm_dynamics.Control_faults.t) list
+(** Install a {!Cm_dynamics.Control_faults} injector on every host some
+    [Control_fault] step targets (declaration order) and return the
+    name binding {!Cm_dynamics.Scenario.compile}'s [?controls] consumes.
+    Call right after {!instantiate} — the injector's receive filter must
+    be registered {e before} any agent filter that consumes control
+    traffic. *)

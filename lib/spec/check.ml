@@ -34,7 +34,14 @@ type group = {
   g_span : Spec.span;
 }
 
-type fault = { f_at : Time.t; f_target : int; f_action : Scenario.action; f_span : Spec.span }
+type fault_target = On_link of int | On_host of int
+
+type fault = {
+  f_at : Time.t;
+  f_target : fault_target;
+  f_action : Scenario.action;
+  f_span : Spec.span;
+}
 
 type ir = {
   ir_nodes : node array;
@@ -47,6 +54,14 @@ type ir = {
 let is_host ir i = ir.ir_nodes.(i).n_kind = Spec.Host
 let node_name ir i = ir.ir_nodes.(i).n_name
 let edge_name ir i = ir.ir_edges.(i).e_name
+
+let fault_target_name ir = function
+  | On_link ei -> edge_name ir ei
+  | On_host ni -> node_name ir ni
+
+let fault_target_str ir = function
+  | On_link ei -> Printf.sprintf "link %S" (edge_name ir ei)
+  | On_host ni -> Printf.sprintf "host %S's control plane" (node_name ir ni)
 
 (* ---- routing ------------------------------------------------------------ *)
 
@@ -102,6 +117,7 @@ let step_window at = function
   | Scenario.Flap { down; up; cycles } -> Some (at, Time.add at (((down + up) * cycles) - up))
   | Scenario.Loss_burst { duration; _ } -> Some (at, Time.add at duration)
   | Scenario.Delay_spike { duration; _ } -> Some (at, Time.add at duration)
+  | Scenario.Control_fault { duration; _ } -> Some (at, Time.add at duration)
   | Scenario.Set_bandwidth _ | Scenario.Ramp_bandwidth _ | Scenario.Set_loss _ -> None
 
 (* ---- app parameters ----------------------------------------------------- *)
@@ -297,9 +313,27 @@ let elaborate spec =
           if at < 0 then err "bad-time" span "negative fault time";
           (try ignore (Scenario.make ~name:"check" [ { Scenario.at = Stdlib.max at 0; target; action } ])
            with Invalid_argument m -> err "bad-fault" span "%s" m);
-          (match Hashtbl.find_opt edge_idx target with
-          | Some ei -> faults := { f_at = at; f_target = ei; f_action = action; f_span = span } :: !faults
-          | None -> err "unknown-target" span "fault targets undeclared link %S" target)
+          (match action with
+          | Scenario.Control_fault _ -> (
+              (* control faults degrade a *host*'s feedback plane, not a link *)
+              match Hashtbl.find_opt node_idx target with
+              | Some ni when nodes.(ni).n_kind = Spec.Host ->
+                  faults :=
+                    { f_at = at; f_target = On_host ni; f_action = action; f_span = span }
+                    :: !faults
+              | Some _ ->
+                  err "control-target" span
+                    "control fault targets router %S; control-plane injectors live on hosts"
+                    target
+              | None ->
+                  err "control-target" span "control fault targets undeclared host %S" target)
+          | _ -> (
+              match Hashtbl.find_opt edge_idx target with
+              | Some ei ->
+                  faults :=
+                    { f_at = at; f_target = On_link ei; f_action = action; f_span = span }
+                    :: !faults
+              | None -> err "unknown-target" span "fault targets undeclared link %S" target))
       | Spec.Node _ | Spec.Link _ | Spec.Group _ -> ())
     spec;
   let faults = Array.of_list (List.rev !faults) in
@@ -321,9 +355,9 @@ let elaborate spec =
         | ((_, e1), f1) :: (((s2, _), f2) :: _ as rest) ->
             if s2 < e1 then
               err "fault-overlap" f2.f_span
-                "bounded disruptions overlap on link %S (previous one from %s clears at t=%ss, \
+                "bounded disruptions overlap on %s (previous one from %s clears at t=%ss, \
                  this one starts at t=%ss)"
-                (edge_name ir target) (Spec.span_str f1.f_span)
+                (fault_target_str ir target) (Spec.span_str f1.f_span)
                 (Json.float_str (Time.to_float_s e1))
                 (Json.float_str (Time.to_float_s s2));
             scan rest
@@ -443,7 +477,7 @@ let summary_json ir =
     let window = step_window f.f_at f.f_action in
     Obj
       [
-        ("target", Str (edge_name ir f.f_target));
+        ("target", Str (fault_target_name ir f.f_target));
         ("at_s", Float (Time.to_float_s f.f_at));
         ( "kind",
           Str
@@ -454,7 +488,8 @@ let summary_json ir =
             | Scenario.Loss_burst _ -> "loss_burst"
             | Scenario.Outage _ -> "outage"
             | Scenario.Flap _ -> "flap"
-            | Scenario.Delay_spike _ -> "delay_spike") );
+            | Scenario.Delay_spike _ -> "delay_spike"
+            | Scenario.Control_fault _ -> "control_fault") );
         ("clears_s", match window with Some (_, e) -> Float (Time.to_float_s e) | None -> Null);
       ]
   in

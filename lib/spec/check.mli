@@ -19,7 +19,10 @@
       a server only at equal object size);
     - [unknown-target] / [bad-fault] / [fault-overlap] — fault steps
       resolve to links, pass {!Cm_dynamics.Scenario.make} validation, and
-      bounded disruptions on one link never overlap;
+      bounded disruptions on one target never overlap;
+    - [control-target] — control-plane faults ([Control_fault]) must
+      target a declared {e host} (the injector lives on the host's
+      receive path), never a router or a link;
     - [unreachable] — every source reaches its destination and vice versa
       (feedback path), under the hosts-don't-forward routing rule;
     - [oversubscribed] — the inelastic floor (layered sources' base
@@ -56,9 +59,15 @@ type group = {
   g_span : Spec.span;
 }
 
+type fault_target =
+  | On_link of int  (** Edge index: network faults degrade a link. *)
+  | On_host of int
+      (** Node index: [Control_fault] steps degrade a host's
+          control-plane injector. *)
+
 type fault = {
   f_at : Time.t;
-  f_target : int;
+  f_target : fault_target;
   f_action : Cm_dynamics.Scenario.action;
   f_span : Spec.span;
 }

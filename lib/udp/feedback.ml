@@ -82,6 +82,9 @@ module Sender = struct
     engine : Engine.t;
     on_report : report -> unit;
     timeout_floor : Time.span;
+    on_starve : (unit -> unit) option;
+    starve_floor : Time.span;
+    starve_cap : Time.span;
     outstanding : (int, entry) Hashtbl.t; (* seq -> entry *)
     mutable next_seq : int;
     mutable lowest_unresolved : int;
@@ -89,6 +92,9 @@ module Sender = struct
     mutable srtt : float;
     mutable srtt_valid : bool;
     mutable last_feedback : Time.t;
+    mutable solicit_backoff : Time.span;
+    mutable next_solicit_at : Time.t;
+    mutable solicits : int;
     timer : Timer.t option ref;
   }
 
@@ -119,31 +125,59 @@ module Sender = struct
     if upto >= t.lowest_unresolved then t.lowest_unresolved <- upto + 1;
     (!resolved, !bytes)
 
+  (* Declare everything in flight lost: the shared core of the silence
+     timeout and of an explicit resync (receiver restarted, so feedback
+     for the old packets will never come). *)
+  let declare_outstanding_lost t =
+    let now = Engine.now t.engine in
+    if Hashtbl.length t.outstanding > 0 then begin
+      let bytes = Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.outstanding 0 in
+      Hashtbl.reset t.outstanding;
+      t.lowest_unresolved <- t.next_seq;
+      t.recover_seq <- t.next_seq;
+      t.last_feedback <- now;
+      t.on_report { nsent = bytes; nrecd = 0; loss = Cm.Cm_types.Persistent; rtt = None }
+    end
+
   let maintenance t () =
-    (* nothing heard for a long time while data is outstanding: persistent
-       congestion (the UDP analogue of a TCP timeout) *)
     if Hashtbl.length t.outstanding > 0 then begin
       let now = Engine.now t.engine in
+      (* Feedback starvation: before giving up on the outstanding data,
+         solicit the receiver — its feedback may be the only thing being
+         lost.  Exponential backoff so a dead feedback path costs a
+         handful of control packets, not a stream; any accepted feedback
+         resets the backoff to the floor. *)
+      (match t.on_starve with
+      | Some solicit ->
+          if
+            Time.diff now t.last_feedback >= t.solicit_backoff
+            && now >= t.next_solicit_at
+          then begin
+            t.solicits <- t.solicits + 1;
+            t.next_solicit_at <- Time.add now t.solicit_backoff;
+            t.solicit_backoff <- Stdlib.min (2 * t.solicit_backoff) t.starve_cap;
+            solicit ()
+          end
+      | None -> ());
+      (* nothing heard for a long time while data is outstanding: persistent
+         congestion (the UDP analogue of a TCP timeout) *)
       let limit =
         Stdlib.max t.timeout_floor
           (if t.srtt_valid then 2 * int_of_float t.srtt else t.timeout_floor)
       in
-      if Time.diff now t.last_feedback > limit then begin
-        let bytes = Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.outstanding 0 in
-        Hashtbl.reset t.outstanding;
-        t.lowest_unresolved <- t.next_seq;
-        t.recover_seq <- t.next_seq;
-        t.last_feedback <- now;
-        t.on_report { nsent = bytes; nrecd = 0; loss = Cm.Cm_types.Persistent; rtt = None }
-      end
+      if Time.diff now t.last_feedback > limit then declare_outstanding_lost t
     end
 
-  let create engine ~on_report ?(timeout_floor = Time.ms 500) () =
+  let create engine ~on_report ?(timeout_floor = Time.ms 500) ?on_starve
+      ?(starve_floor = Time.ms 200) ?(starve_cap = Time.sec 3.2) () =
     let t =
       {
         engine;
         on_report;
         timeout_floor;
+        on_starve;
+        starve_floor;
+        starve_cap;
         outstanding = Hashtbl.create 64;
         next_seq = 0;
         lowest_unresolved = 0;
@@ -151,6 +185,9 @@ module Sender = struct
         srtt = 0.;
         srtt_valid = false;
         last_feedback = Engine.now engine;
+        solicit_backoff = starve_floor;
+        next_solicit_at = 0;
+        solicits = 0;
         timer = ref None;
       }
     in
@@ -169,6 +206,8 @@ module Sender = struct
 
   let on_ack t ~max_seq ~count ~bytes ~ts_echo =
     t.last_feedback <- Engine.now t.engine;
+    t.solicit_backoff <- t.starve_floor;
+    t.next_solicit_at <- 0;
     let rtt =
       if ts_echo > 0 then begin
         let sample = Time.diff (Engine.now t.engine) ts_echo in
@@ -196,6 +235,8 @@ module Sender = struct
       t.on_report { nsent = resolved_bytes; nrecd; loss; rtt }
     end
 
+  let resync t = declare_outstanding_lost t
+  let solicits t = t.solicits
   let outstanding_packets t = Hashtbl.length t.outstanding
   let outstanding_bytes t = Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.outstanding 0
 

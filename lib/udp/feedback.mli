@@ -65,11 +65,25 @@ module Sender : sig
   type t
   (** Loss-detection and RTT bookkeeping for a data sender. *)
 
-  val create : Engine.t -> on_report:(report -> unit) -> ?timeout_floor:Time.span -> unit -> t
+  val create :
+    Engine.t ->
+    on_report:(report -> unit) ->
+    ?timeout_floor:Time.span ->
+    ?on_starve:(unit -> unit) ->
+    ?starve_floor:Time.span ->
+    ?starve_cap:Time.span ->
+    unit ->
+    t
   (** [create eng ~on_report ()] invokes [on_report] whenever feedback
       resolves outstanding data.  A maintenance timer declares data lost
       (Persistent) when nothing has been heard for
-      [max(2·srtt, timeout_floor)] (floor default 500 ms). *)
+      [max(2·srtt, timeout_floor)] (floor default 500 ms).
+
+      With [~on_starve], the same timer calls it to solicit the receiver
+      when feedback has starved for [starve_floor] (default 200 ms) while
+      data is outstanding, backing off exponentially (doubling up to
+      [starve_cap], default 3.2 s) until feedback is heard again —
+      feedback may be the only thing the network is losing. *)
 
   val next_seq : t -> int
   (** Sequence number to stamp on the next data packet. *)
@@ -79,6 +93,16 @@ module Sender : sig
 
   val on_ack : t -> max_seq:int -> count:int -> bytes:int -> ts_echo:Time.t -> unit
   (** Process incoming feedback; may emit one or more reports. *)
+
+  val resync : t -> unit
+  (** The receiver's acknowledgment state is gone (e.g. its CM agent
+      crashed and restarted): declare everything outstanding lost with one
+      Persistent report and fast-forward past it, so the sender backs off
+      to its floor and restarts cleanly instead of wedging on
+      acknowledgments that will never come. *)
+
+  val solicits : t -> int
+  (** Starvation solicitations issued (see [on_starve]). *)
 
   val outstanding_packets : t -> int
   (** Transmitted packets not yet resolved. *)

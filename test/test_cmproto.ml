@@ -171,6 +171,271 @@ let test_session_close_releases () =
         false
       with Invalid_argument _ -> true)
 
+(* ---- feedback-plane hardening ------------------------------------------- *)
+
+module Control_faults = Cm_dynamics.Control_faults
+
+(* like [make], but with control-fault injectors registered before the
+   agents (receive filters run in registration order: the injector must
+   see control packets before the agent consumes them) and the CM fully
+   defended *)
+let make_hardened ?(bandwidth = 1e7) ?(delay = Time.ms 10) ?(seed = 1) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let net = Topology.pipe engine ~bandwidth_bps:bandwidth ~delay ~rng () in
+  let cm =
+    Cm.create engine ~mtu:1000 ~feedback_watchdog:Cm.Macroflow.default_watchdog
+      ~auditor:Cm.default_auditor ()
+  in
+  Cm.attach cm net.Topology.a;
+  let snd_inj = Control_faults.install net.Topology.a ~classify:Cmproto.is_control in
+  let rcv_inj = Control_faults.install net.Topology.b ~classify:Cmproto.is_control in
+  let agent = Cmproto.Sender_agent.install net.Topology.a cm in
+  let receiver = Cmproto.Receiver_agent.install net.Topology.b () in
+  (engine, net, cm, agent, receiver, snd_inj, rcv_inj, rng)
+
+(* one 40-packet transfer, optionally with a control-plane filter
+   installed before the agents; returns what the hardening must keep
+   invariant under duplication/reordering *)
+let run_transfer ?twiddle () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:1 in
+  let net = Topology.pipe engine ~bandwidth_bps:1e7 ~delay:(Time.ms 10) ~rng () in
+  let cm = Cm.create engine ~mtu:1000 () in
+  Cm.attach cm net.Topology.a;
+  (match twiddle with Some f -> f engine net | None -> ());
+  let agent = Cmproto.Sender_agent.install net.Topology.a cm in
+  let _receiver = Cmproto.Receiver_agent.install net.Topology.b () in
+  let session =
+    Cmproto.Session.create agent ~host:net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  for _ = 1 to 40 do
+    Cmproto.Session.send session 500
+  done;
+  Engine.run_for engine (Time.sec 5.);
+  let srtt = (Cm.query cm (Cmproto.Session.flow session)).Cm.Cm_types.srtt in
+  ( srtt,
+    Cmproto.Session.packets_sent session,
+    Cmproto.Session.unresolved_packets session,
+    Cmproto.Sender_agent.counters agent,
+    (Cm.counters cm).Cm.updates )
+
+let test_duplicate_feedback_rejected () =
+  let clean_srtt, clean_sent, clean_unres, _, clean_updates = run_transfer () in
+  (* duplicate every control packet in the same tick *)
+  let dup_filter engine net =
+    let replaying = ref false in
+    Host.add_rx_filter net.Topology.a (fun pkt ->
+        if (not !replaying) && Cmproto.is_control pkt then
+          ignore
+            (Engine.schedule_after engine 0 (fun () ->
+                 replaying := true;
+                 Host.deliver net.Topology.a pkt;
+                 replaying := false));
+        Some pkt)
+  in
+  let srtt, sent, unres, d, updates = run_transfer ~twiddle:dup_filter () in
+  "duplicates were seen and dropped" => (d.Cmproto.Sender_agent.dup_feedback > 0);
+  Alcotest.(check int) "same packets sent" clean_sent sent;
+  Alcotest.(check int) "everything resolved" clean_unres unres;
+  Alcotest.(check int) "identical cm_update stream" clean_updates updates;
+  match (clean_srtt, srtt) with
+  | Some a, Some b -> Alcotest.(check int) "identical srtt" a b
+  | _ -> Alcotest.fail "srtt missing"
+
+let test_reordered_feedback_merged () =
+  let clean_srtt, clean_sent, _, _, _ = run_transfer () in
+  (* capture three consecutive feedback packets and re-deliver them fully
+     reversed: the newest cumulative packet must supersede the two
+     stragglers *)
+  let reorder_filter engine net =
+    let buf = ref [] and seen = ref 0 and replaying = ref false in
+    Host.add_rx_filter net.Topology.a (fun pkt ->
+        if !replaying || not (Cmproto.is_control pkt) then Some pkt
+        else begin
+          incr seen;
+          if !seen >= 4 && !seen <= 6 then begin
+            buf := pkt :: !buf;
+            (* cons order = newest first = full reversal on release *)
+            if List.length !buf = 3 then begin
+              let pkts = !buf in
+              buf := [];
+              ignore
+                (Engine.schedule_after engine (Time.ms 1) (fun () ->
+                     replaying := true;
+                     List.iter (Host.deliver net.Topology.a) pkts;
+                     replaying := false))
+            end;
+            None
+          end
+          else Some pkt
+        end)
+  in
+  let srtt, sent, unres, d, _ = run_transfer ~twiddle:reorder_filter () in
+  "the two stragglers were dropped" => (d.Cmproto.Sender_agent.dup_feedback >= 2);
+  "no echo ever looked like the future" => (d.Cmproto.Sender_agent.bad_echoes = 0);
+  Alcotest.(check int) "same packets sent" clean_sent sent;
+  Alcotest.(check int) "everything resolved" 0 unres;
+  match (clean_srtt, srtt) with
+  | Some a, Some b ->
+      "srtt within 5 ms of the in-order run"
+      => (abs (a - b) < Time.ms 5 && b > 0)
+  | _ -> Alcotest.fail "srtt missing"
+
+let test_future_echo_clamped () =
+  (* regression: a reordered/forged echo from the future must never
+     produce a negative RTT sample — the guard drops the sample and
+     counts it *)
+  let engine, net, cm, agent, _r = make () in
+  let session =
+    Cmproto.Session.create agent ~host:net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ()
+  in
+  for _ = 1 to 4 do
+    Cmproto.Session.send session 500
+  done;
+  Engine.run_for engine (Time.sec 1.);
+  let fid = Cmproto.Session.flow session in
+  let srtt_before = (Cm.query cm fid).Cm.Cm_types.srtt in
+  let data_flow = Cm.flow_key cm fid in
+  let now = Engine.now engine in
+  (* fb_seq far ahead so the dup guard accepts it; totals equal to what
+     is already applied (4 packets x (500 + header) wire bytes) so the
+     deltas are zero — only the poisoned echo distinguishes it *)
+  let forged =
+    Packet.make ~now
+      ~flow:(Cmproto.feedback_flow ~from_host:1 ~to_host:0)
+      ~payload_bytes:Cmproto.feedback_wire_bytes
+      (Cmproto.Feedback
+         {
+           data_flow;
+           epoch = 0;
+           fb_seq = 9999;
+           max_seq = 4;
+           total_count = 4;
+           total_bytes = 4 * (500 + Cmproto.header_bytes);
+           ts_echo = Time.add now (Time.sec 5.);
+         })
+  in
+  Host.deliver net.Topology.a forged;
+  Engine.run_for engine (Time.ms 50);
+  Alcotest.(check int) "future echo clamped and counted" 1
+    (Cmproto.Sender_agent.counters agent).Cmproto.Sender_agent.bad_echoes;
+  let srtt_after = (Cm.query cm fid).Cm.Cm_types.srtt in
+  (match srtt_after with
+  | Some s -> "srtt still positive" => (s > 0)
+  | None -> ());
+  "poisoned sample never reached the estimator" => (srtt_before = srtt_after)
+
+let blackout = { Control_faults.drop = 1.0; dup = 0.0; delay = 0; jitter = 0 }
+
+let test_blackout_decays_and_recovers () =
+  let engine, net, cm, agent, _recv, snd_inj, rcv_inj, rng = make_hardened () in
+  let session =
+    Cmproto.Session.create agent ~host:net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ~queue_limit_pkts:64 ()
+  in
+  let pump =
+    Timer.create engine ~callback:(fun () ->
+        while Cmproto.Session.queued session < 16 do
+          Cmproto.Session.send session 500
+        done)
+  in
+  Timer.start_periodic pump (Time.ms 5);
+  (* total control-plane partition from 2 s to 5 s *)
+  Control_faults.engage snd_inj ~rng:(Rng.split rng) ~at:(Time.sec 2.) ~profile:blackout
+    ~duration:(Time.sec 3.);
+  Control_faults.engage rcv_inj ~rng:(Rng.split rng) ~at:(Time.sec 2.) ~profile:blackout
+    ~duration:(Time.sec 3.);
+  let fid = Cmproto.Session.flow session in
+  let pre_cwnd = ref 0 and floor_cwnd = ref max_int and sent_at_fault_end = ref 0 in
+  ignore
+    (Engine.schedule_at engine (Time.sec 2.) (fun () ->
+         pre_cwnd := (Cm.query cm fid).Cm.Cm_types.cwnd));
+  let rec probe () =
+    let now = Engine.now engine in
+    if now >= Time.sec 4. && now < Time.sec 5. then begin
+      let c = (Cm.query cm fid).Cm.Cm_types.cwnd in
+      if c < !floor_cwnd then floor_cwnd := c
+    end;
+    if now < Time.sec 5. then ignore (Engine.schedule_after engine (Time.ms 100) probe)
+  in
+  ignore (Engine.schedule_at engine (Time.sec 4.) probe);
+  ignore
+    (Engine.schedule_at engine (Time.sec 5.) (fun () ->
+         sent_at_fault_end := Cmproto.Session.packets_sent session));
+  Engine.run_for engine (Time.sec 12.);
+  Timer.stop pump;
+  "watchdog aged the silent window" => (Cm.watchdog_fires cm > 0);
+  "cwnd decayed toward the floor" => (!floor_cwnd < !pre_cwnd);
+  "sender solicited the receiver" => (Cmproto.Session.solicits_sent session >= 1);
+  "goodput resumed after the blackout"
+  => (Cmproto.Session.packets_sent session > !sent_at_fault_end + 100);
+  Alcotest.(check (list string)) "auditor clean throughout" []
+    (Cm.Audit.run cm).Cm.Audit.violations
+
+let test_solicit_backoff_bounded () =
+  (* only the feedback direction is dark: the sender starves, solicits
+     with exponential backoff — a handful of solicits over 3 s, not one
+     per maintenance tick *)
+  let engine, net, cm, agent, _recv, snd_inj, _rcv_inj, rng = make_hardened () in
+  let session =
+    Cmproto.Session.create agent ~host:net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ~queue_limit_pkts:64 ()
+  in
+  let pump =
+    Timer.create engine ~callback:(fun () ->
+        while Cmproto.Session.queued session < 16 do
+          Cmproto.Session.send session 500
+        done)
+  in
+  Timer.start_periodic pump (Time.ms 5);
+  Control_faults.engage snd_inj ~rng:(Rng.split rng) ~at:(Time.sec 1.) ~profile:blackout
+    ~duration:(Time.sec 3.);
+  Engine.run_for engine (Time.sec 6.);
+  Timer.stop pump;
+  let solicits = Cmproto.Session.solicits_sent session in
+  "solicited at least twice" => (solicits >= 2);
+  "but backed off exponentially" => (solicits <= 10)
+
+let test_receiver_crash_restart_resync () =
+  let engine, net, cm, agent, receiver, _si, _ri, _rng = make_hardened () in
+  let session =
+    Cmproto.Session.create agent ~host:net.Topology.a ~cm
+      ~dst:(Addr.endpoint ~host:1 ~port:7000)
+      ~queue_limit_pkts:64 ()
+  in
+  let pump =
+    Timer.create engine ~callback:(fun () ->
+        while Cmproto.Session.queued session < 16 do
+          Cmproto.Session.send session 500
+        done)
+  in
+  Timer.start_periodic pump (Time.ms 5);
+  ignore
+    (Engine.schedule_at engine (Time.sec 1.) (fun () -> Cmproto.Receiver_agent.crash receiver));
+  ignore
+    (Engine.schedule_at engine (Time.sec 1.5) (fun () ->
+         Cmproto.Receiver_agent.restart receiver));
+  Engine.run_for engine (Time.sec 6.);
+  Timer.stop pump;
+  Engine.run_for engine (Time.sec 2.);
+  Alcotest.(check int) "receiver came back with a new epoch" 1
+    (Cmproto.Receiver_agent.epoch receiver);
+  "receiver announced the restart" => (Cmproto.Receiver_agent.resyncs_sent receiver >= 1);
+  "sender resynchronized" =>
+  ((Cmproto.Sender_agent.counters agent).Cmproto.Sender_agent.resyncs >= 1);
+  "data dropped while down was counted"
+  => (Cmproto.Receiver_agent.dropped_while_down receiver > 0);
+  Alcotest.(check int) "ledger fully resolved after resync" 0
+    (Cmproto.Session.unresolved_packets session);
+  Alcotest.(check (list string)) "auditor clean" [] (Cm.Audit.run cm).Cm.Audit.violations
+
 let () =
   Alcotest.run "cmproto"
     [
@@ -193,5 +458,20 @@ let () =
           Alcotest.test_case "window paces transmissions" `Quick test_window_opens_and_paces;
           Alcotest.test_case "loss via sequence gaps" `Quick test_loss_detected_via_gaps;
           Alcotest.test_case "close releases resources" `Quick test_session_close_releases;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "duplicate feedback rejected" `Quick
+            test_duplicate_feedback_rejected;
+          Alcotest.test_case "3-packet reordering merged" `Quick
+            test_reordered_feedback_merged;
+          Alcotest.test_case "future ts_echo clamped (no negative rtt)" `Quick
+            test_future_echo_clamped;
+          Alcotest.test_case "blackout decays to floor, recovers" `Quick
+            test_blackout_decays_and_recovers;
+          Alcotest.test_case "solicitation backs off exponentially" `Quick
+            test_solicit_backoff_bounded;
+          Alcotest.test_case "receiver crash/restart resyncs" `Quick
+            test_receiver_crash_restart_resync;
         ] );
     ]

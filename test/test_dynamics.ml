@@ -307,6 +307,111 @@ let test_scenario_deterministic () =
   => (stats1.Link.channel_drops > 0 && stats1.Link.down_drops > 0);
   "traffic flowed" => (got1 > 1000)
 
+(* ---- Control-plane fault injection -------------------------------------- *)
+
+(* two CBR streams into one host; the injector classifies only port-9
+   traffic as "control", so port 10 must never be touched *)
+let control_run ~profile ~seed =
+  let e = Engine.create () in
+  let rng = Rng.create ~seed in
+  let net = Topology.pipe e ~bandwidth_bps:8e6 ~delay:(Time.ms 5) ~rng () in
+  let inj =
+    Control_faults.install net.Topology.b ~classify:(fun pkt ->
+        pkt.Packet.flow.Addr.dst.Addr.port = 9)
+  in
+  let ctl = ref 0 and data = ref 0 in
+  Host.bind net.Topology.b Addr.Udp ~port:9 (fun _ -> incr ctl);
+  Host.bind net.Topology.b Addr.Udp ~port:10 (fun _ -> incr data);
+  List.iter
+    (fun port ->
+      ignore
+        (Background.cbr e ~host:net.Topology.a
+           ~dst:(Addr.endpoint ~host:1 ~port)
+           ~rate_bps:1e6 ~packet_bytes:500 ~stop:(Time.sec 6.) ()))
+    [ 9; 10 ];
+  Control_faults.engage inj ~rng:(Rng.split rng) ~at:(Time.sec 2.) ~profile
+    ~duration:(Time.sec 2.);
+  Engine.run ~until:(Time.sec 8.) e;
+  (!ctl, !data, Control_faults.counters inj, Control_faults.active inj)
+
+let test_control_faults_targets_only_control () =
+  let drop_all = { Control_faults.drop = 1.0; dup = 0.0; delay = 0; jitter = 0 } in
+  let ctl, data, c, still_active = control_run ~profile:drop_all ~seed:7 in
+  let clean_ctl, clean_data, _, _ =
+    control_run ~profile:{ drop_all with Control_faults.drop = 0.0 } ~seed:7
+  in
+  Alcotest.(check int) "data traffic untouched" clean_data data;
+  "all in-window control packets dropped" => (c.Control_faults.dropped > 0);
+  "control deliveries reduced by exactly the drops"
+  => (ctl = clean_ctl - c.Control_faults.dropped);
+  "window cleared after its duration" => (not still_active);
+  "bookkeeping balances"
+  => (c.Control_faults.matched
+      = c.Control_faults.passed + c.Control_faults.dropped + c.Control_faults.delayed)
+
+let test_control_faults_dup_delay_deterministic () =
+  let messy =
+    { Control_faults.drop = 0.2; dup = 0.3; delay = Time.ms 2; jitter = Time.ms 5 }
+  in
+  let r1 = control_run ~profile:messy ~seed:11 in
+  let r2 = control_run ~profile:messy ~seed:11 in
+  "same seed, same outcome" => (r1 = r2);
+  let _, _, c, _ = r1 in
+  "duplicates injected" => (c.Control_faults.duplicated > 0);
+  "packets rescheduled" => (c.Control_faults.delayed > 0)
+
+let test_control_fault_scenario_action () =
+  let profile = { Control_faults.drop = 0.5; dup = 0.0; delay = 0; jitter = 0 } in
+  expect_invalid "zero-duration control fault rejected at make" (fun () ->
+      Scenario.make ~name:"bad"
+        [
+          {
+            Scenario.at = 0;
+            target = "ctl";
+            action = Scenario.Control_fault { profile; duration = 0 };
+          };
+        ]);
+  expect_invalid "bad probability rejected at make" (fun () ->
+      Scenario.make ~name:"bad"
+        [
+          {
+            Scenario.at = 0;
+            target = "ctl";
+            action =
+              Scenario.Control_fault
+                { profile = { profile with Control_faults.drop = 1.5 }; duration = Time.sec 1. };
+          };
+        ]);
+  let good =
+    Scenario.make ~name:"good"
+      [
+        {
+          Scenario.at = Time.sec 1.;
+          target = "ctl";
+          action = Scenario.Control_fault { profile; duration = Time.sec 2. };
+        };
+      ]
+  in
+  (* control targets resolve against the controls binding, not links *)
+  Scenario.validate ~links:[] ~controls:[ "ctl" ] good;
+  expect_invalid "unknown control target rejected" (fun () ->
+      Scenario.validate ~links:[] ~controls:[] good);
+  (match Scenario.fault_window good with
+  | Some (s0, e0) ->
+      Alcotest.(check int) "window opens at the engagement" (Time.sec 1.) s0;
+      Alcotest.(check int) "window closes at the clearance" (Time.sec 3.) e0
+  | None -> Alcotest.fail "control fault must contribute a fault window");
+  (* and compile arms the injector *)
+  let e = Engine.create () in
+  let host = Host.create e ~id:0 () in
+  let inj = Control_faults.install host ~classify:(fun _ -> true) in
+  Scenario.compile e ~rng:(Rng.create ~seed:1) ~links:[] ~controls:[ ("ctl", inj) ] good;
+  "inactive before the window" => (not (Control_faults.active inj));
+  Engine.run ~until:(Time.sec 2.) e;
+  "active inside the window" => Control_faults.active inj;
+  Engine.run ~until:(Time.sec 4.) e;
+  "cleared after the window" => (not (Control_faults.active inj))
+
 (* ---- Scenario experiments (acceptance criteria) -------------------------- *)
 
 (* a TCP/CM bulk flow must collapse during the 2 s outage and climb back to
@@ -363,6 +468,14 @@ let () =
           Alcotest.test_case "validation" `Quick test_scenario_validation;
           Alcotest.test_case "fault window" `Quick test_scenario_fault_window;
           Alcotest.test_case "determinism" `Quick test_scenario_deterministic;
+        ] );
+      ( "control_faults",
+        [
+          Alcotest.test_case "targets only control traffic" `Quick
+            test_control_faults_targets_only_control;
+          Alcotest.test_case "dup/delay deterministic" `Quick
+            test_control_faults_dup_delay_deterministic;
+          Alcotest.test_case "scenario action" `Quick test_control_fault_scenario_action;
         ] );
       ( "experiments",
         [

@@ -200,6 +200,50 @@ let test_meter_reset () =
   Libcm.Ops.reset meter;
   Alcotest.(check int) "total after reset" 0 (Libcm.Ops.total meter)
 
+(* ---- destroy vs in-flight grants ----------------------------------------- *)
+
+let audit_clean name cm =
+  Alcotest.(check (list string)) name [] (Cm.Audit.run cm).Cm.Audit.violations
+
+let test_destroy_races_inflight_grant () =
+  (* destroy in the same tick the grant event is posted, before it is
+     delivered: the callback must be suppressed and the granted bytes
+     returned exactly once (the audit's ledger-skew check would flag a
+     double return as negative skew and a leak as positive skew) *)
+  let engine, _net, cm, lib = make () in
+  let fid = Libcm.open_flow lib (flow_key ()) in
+  let fired = ref 0 in
+  Libcm.register_send lib fid (fun _ -> incr fired);
+  Libcm.request lib fid;
+  Libcm.destroy lib;
+  Engine.run_for engine (Time.sec 2.);
+  Alcotest.(check int) "callback suppressed after destroy" 0 !fired;
+  Alcotest.(check (list int)) "flow reaped" [] (Cm.flows cm);
+  audit_clean "grant ledger balanced (returned exactly once)" cm
+
+let test_destroy_mid_dispatch_skips_rest () =
+  (* two grants drained by one control-socket wakeup; the first callback
+     destroys the process — the second flow's callback must not run, and
+     its already-extracted grant must be returned exactly once (by the
+     reap, not also by a notify) *)
+  let engine, _net, cm, lib = make () in
+  let f1 = Libcm.open_flow lib (flow_key ~sport:100 ()) in
+  let f2 = Libcm.open_flow lib (flow_key ~sport:101 ()) in
+  let f2_fired = ref 0 in
+  let destroyed_in_cb = ref false in
+  Libcm.register_send lib f1 (fun _ ->
+      destroyed_in_cb := true;
+      Libcm.destroy lib);
+  Libcm.register_send lib f2 (fun _ -> incr f2_fired);
+  (* open the window so both grants land in the same wakeup *)
+  Cm.update cm f1 ~nsent:2000 ~nrecd:2000 ~loss:Cm.Cm_types.No_loss ~rtt:(Time.ms 10) ();
+  Libcm.bulk_request lib [ f1; f2 ];
+  Engine.run_for engine (Time.sec 2.);
+  "first callback ran and destroyed the process" => !destroyed_in_cb;
+  Alcotest.(check int) "second callback suppressed" 0 !f2_fired;
+  Alcotest.(check (list int)) "both flows reaped" [] (Cm.flows cm);
+  audit_clean "grant ledger balanced after mid-dispatch destroy" cm
+
 let () =
   Alcotest.run "libcm"
     [
@@ -214,6 +258,12 @@ let () =
           Alcotest.test_case "failed close keeps library state" `Quick
             test_failed_close_keeps_library_state;
           Alcotest.test_case "declined grant counted" `Quick test_decline_grant_counted;
+        ] );
+      ( "destroy",
+        [
+          Alcotest.test_case "races in-flight grant" `Quick test_destroy_races_inflight_grant;
+          Alcotest.test_case "mid-dispatch destroy skips rest" `Quick
+            test_destroy_mid_dispatch_skips_rest;
         ] );
       ( "modes",
         [

@@ -140,6 +140,36 @@ let test_fault_overlap () =
             Spec.faults ~target:"rev" [ (Time.sec 3., Scenario.Outage (Time.sec 1.)) ];
           ]))
 
+let control_fault_on target =
+  Spec.faults ~target
+    [
+      ( Time.sec 1.,
+        Scenario.Control_fault
+          {
+            profile = { Cm_dynamics.Control_faults.drop = 0.5; dup = 0.1; delay = 0; jitter = 0 };
+            duration = Time.sec 2.;
+          } );
+    ]
+
+let test_control_target () =
+  (* control-plane injectors live on hosts: a router or an undeclared
+     name is a dedicated diagnostic, and a host target is clean *)
+  has_code "control-target"
+    (Spec.par
+       [
+         Spec.node "a";
+         Spec.node "b";
+         Spec.router "r";
+         Spec.duplex ~bw:1e6 ~lat:0 "a" "r";
+         Spec.duplex ~bw:1e6 ~lat:0 "r" "b";
+         control_fault_on "r";
+       ]);
+  has_code "control-target" (Spec.par [ pipe_base; control_fault_on "ghost" ]);
+  has_code "control-target" (Spec.par [ pipe_base; control_fault_on "fwd" ]);
+  Alcotest.(check (list string))
+    "host-targeted control fault is clean" []
+    (codes (Spec.par [ pipe_base; bulk_group (); control_fault_on "a" ]))
+
 let test_unreachable () =
   (* c—d island, no path to/from b *)
   has_code "unreachable"
@@ -342,6 +372,101 @@ let prop_wellformed_compiles =
           Scenario.compile engine ~rng ~links:(Build.links_alist b) sc;
           Array.length b.Build.links = Array.length ir.Check.ir_edges)
 
+(* Same shape with the control-fault kind attached to a host: any such
+   spec that elaborates must also build (injector installed via
+   Build.control_injectors) and run to completion with the auditor
+   clean. *)
+let gen_ctrl_spec =
+  QCheck.Gen.(
+    let* n_l = int_range 1 3 in
+    let* bw_mbps = int_range 2 50 in
+    let* lat_ms = int_range 1 30 in
+    let* queue = int_range 5 100 in
+    let* bytes = int_range 1_000 60_000 in
+    let* drop10 = int_range 0 10 in
+    let* dup10 = int_range 0 5 in
+    let* jitter_ms = int_range 0 20 in
+    let* at_s = int_range 1 3 in
+    let* dur_s = int_range 1 3 in
+    return
+      (let lhosts = List.init n_l (Printf.sprintf "l%d") in
+       let bw = float_of_int bw_mbps *. 1e6 in
+       let lat = Time.ms lat_ms in
+       Spec.(
+         par
+           [
+             par (List.map node lhosts);
+             node "r0";
+             router "x";
+             router "y";
+             par (List.map (fun h -> duplex ~queue ~bw ~lat h "x") lhosts);
+             duplex ~name:"bottleneck" ~queue ~bw ~lat "x" "y";
+             duplex ~queue ~bw ~lat "y" "r0";
+             flows ~name:"xfer" ~src:lhosts ~dst:"r0" ~port:5000 ~app:(bulk ~bytes)
+               ~stagger:(Time.ms 20) ();
+             faults ~target:"l0"
+               [
+                 ( Time.sec (float_of_int at_s),
+                   Scenario.Control_fault
+                     {
+                       profile =
+                         {
+                           Cm_dynamics.Control_faults.drop = float_of_int drop10 /. 10.;
+                           dup = float_of_int dup10 /. 10.;
+                           delay = 0;
+                           jitter = Time.ms jitter_ms;
+                         };
+                       duration = Time.sec (float_of_int dur_s);
+                     } );
+               ];
+           ])))
+
+let prop_ctrl_fault_runs =
+  QCheck.Test.make ~count:20
+    ~name:"control-fault specs elaborate, build and run with the auditor clean"
+    (QCheck.make gen_ctrl_spec) (fun spec ->
+      match Check.elaborate spec with
+      | Error ds ->
+          QCheck.Test.fail_reportf "diagnostics on well-formed control-fault spec: %s"
+            (String.concat "; " (List.map Check.diag_str ds))
+      | Ok ir ->
+          let engine = Eventsim.Engine.create () in
+          let rng = Rng.create ~seed:5 in
+          let b = Build.instantiate ~rng engine ir in
+          let controls = Build.control_injectors b ~classify:Cmproto.is_control in
+          let sc = Build.scenario ~name:"p" ir in
+          Scenario.compile engine ~rng:(Rng.split rng) ~links:(Build.links_alist b) ~controls
+            sc;
+          let cms = ref [] in
+          let by_host = Hashtbl.create 4 in
+          let cm_for h =
+            match Hashtbl.find_opt by_host (Netsim.Host.id h) with
+            | Some cm -> cm
+            | None ->
+                let cm =
+                  Cm.create engine ~feedback_watchdog:Cm.Macroflow.default_watchdog
+                    ~auditor:Cm.default_auditor ()
+                in
+                Cm.attach cm h;
+                Hashtbl.replace by_host (Netsim.Host.id h) cm;
+                cms := cm :: !cms;
+                cm
+          in
+          let running =
+            Cm_spec.Launch.run b
+              ~driver_for:(fun h -> Some (Tcp.Conn.Cm_driven (cm_for h)))
+              ()
+          in
+          Eventsim.Engine.run ~until:(Time.sec 60.) engine;
+          let breaches =
+            List.concat_map (fun cm -> (Cm.Audit.run cm).Cm.Audit.violations) !cms
+          in
+          if breaches <> [] then
+            QCheck.Test.fail_reportf "auditor breaches: %s" (String.concat "; " breaches);
+          if not (List.for_all (fun r -> Cm_spec.Launch.done_count r > 0) running) then
+            QCheck.Test.fail_reportf "bulk transfer never completed";
+          controls <> [])
+
 (* ---- the three DSL-native families: determinism ------------------------- *)
 
 let family_json run to_json =
@@ -412,6 +537,7 @@ let () =
           Alcotest.test_case "port-clash" `Quick test_port_clash;
           Alcotest.test_case "server-conflict" `Quick test_server_conflict;
           Alcotest.test_case "oversubscribed" `Quick test_oversubscribed;
+          Alcotest.test_case "control-target" `Quick test_control_target;
           Alcotest.test_case "diagnostics carry spans" `Quick test_span_in_diag;
         ] );
       ( "sugar",
@@ -420,7 +546,11 @@ let () =
           Alcotest.test_case "clients shape + naming" `Quick test_clients_shape;
           Alcotest.test_case "seq shifts phases" `Quick test_seq_offsets;
         ] );
-      ("property", [ QCheck_alcotest.to_alcotest prop_wellformed_compiles ]);
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_wellformed_compiles;
+          QCheck_alcotest.to_alcotest prop_ctrl_fault_runs;
+        ] );
       ( "families",
         [
           Alcotest.test_case "fattree deterministic" `Slow
